@@ -1,0 +1,44 @@
+// Ablation: virtual grid shape p x q for a fixed 60-node machine (the
+// paper fixes 15 x 4 after tuning, §V-A). Sweeps the factorizations of 60.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/algorithms.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"b", "280"}, {"csv", ""}});
+  const int b = static_cast<int>(cli.integer("b"));
+
+  SimOptions opts;
+  opts.platform = Platform::edel();
+  opts.b = b;
+
+  TextTable table({"case", "p", "q", "GFlop/s", "% peak", "messages"});
+  struct Case {
+    const char* name;
+    long long m, n;
+  };
+  for (const Case& c : {Case{"tall-skinny", 286720, 4480},
+                        Case{"square", 33600, 33600}}) {
+    const int mt = static_cast<int>((c.m + b - 1) / b);
+    const int nt = static_cast<int>((c.n + b - 1) / b);
+    for (auto [p, q] : {std::pair{60, 1}, std::pair{30, 2}, std::pair{20, 3},
+                        std::pair{15, 4}, std::pair{10, 6}, std::pair{6, 10},
+                        std::pair{4, 15}, std::pair{1, 60}}) {
+      HqrConfig cfg{p, 4, TreeKind::Fibonacci, TreeKind::Fibonacci, true};
+      SimResult r =
+          simulate_algorithm(make_hqr_run(mt, nt, cfg, q), c.m, c.n, opts);
+      table.row()
+          .add(c.name)
+          .add(p)
+          .add(q)
+          .add(r.gflops, 5)
+          .add(100.0 * r.peak_fraction, 3)
+          .add(r.messages);
+    }
+  }
+  bench::emit(table, cli, "Ablation: virtual grid shape on 60 nodes");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: scheduler priority policy and network-model components in the
+// cluster simulator (DESIGN.md's design-choice ablations). Shows how much of
+// HQR's simulated performance comes from critical-path priorities, NIC
+// serialization and the communication-thread CPU model.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/algorithms.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"b", "280"}, {"csv", ""}});
+  const int b = static_cast<int>(cli.integer("b"));
+  const int p = 15, q = 4;
+
+  TextTable table({"case", "algorithm", "priority", "nic", "comm-cpu",
+                   "GFlop/s", "% peak"});
+  struct Case {
+    const char* name;
+    long long m, n;
+  };
+  for (const Case& c : {Case{"tall-skinny", 286720, 4480},
+                        Case{"square", 33600, 33600}}) {
+    const int mt = static_cast<int>((c.m + b - 1) / b);
+    const int nt = static_cast<int>((c.n + b - 1) / b);
+    HqrConfig cfg{p, 4, TreeKind::Fibonacci, TreeKind::Fibonacci, true};
+    const AlgorithmRun runs[] = {make_hqr_run(mt, nt, cfg, q),
+                                 make_bbd10_run(mt, nt, p, q)};
+    for (const auto& run : runs) {
+      for (bool priority : {true, false}) {
+        for (bool nic : {true, false}) {
+          for (bool comm_cpu : {true, false}) {
+            SimOptions opts;
+            opts.platform = Platform::edel();
+            opts.b = b;
+            opts.priority_scheduling = priority;
+            opts.nic_contention = nic;
+            opts.comm_thread_steal = comm_cpu;
+            SimResult r = simulate_algorithm(run, c.m, c.n, opts);
+            table.row()
+                .add(c.name)
+                .add(run.name)
+                .add(priority ? "cp" : "fifo")
+                .add(nic ? "on" : "off")
+                .add(comm_cpu ? "on" : "off")
+                .add(r.gflops, 5)
+                .add(100.0 * r.peak_fraction, 3);
+          }
+        }
+      }
+    }
+  }
+  bench::emit(table, cli, "Ablation: scheduler and network model");
+  return 0;
+}

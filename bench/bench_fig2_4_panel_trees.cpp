@@ -1,0 +1,56 @@
+// Regenerates Figures 2-4: the binary tree, the flat/binary hierarchical
+// tree (p = 3 clusters, cyclic layout) and the domain tree (2 domains per
+// cluster) for a single panel of m = 12 rows.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "trees/hqr_tree.hpp"
+#include "trees/validate.hpp"
+
+using namespace hqr;
+
+namespace {
+
+void print_edges(const std::string& title, const EliminationList& list) {
+  std::cout << "\n== " << title << " ==\n";
+  for (const auto& e : list) {
+    std::cout << "  elim(" << e.row << ", " << e.piv << ", " << e.k << ") "
+              << (e.ts ? "[TS]" : "[TT]") << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"m", "12"}, {"csv", ""}});
+  const int m = static_cast<int>(cli.integer("m"));
+
+  {
+    auto pairs = reduce_subset(TreeKind::Binary, [&] {
+      std::vector<int> rows(m);
+      for (int i = 0; i < m; ++i) rows[i] = i;
+      return rows;
+    }());
+    std::cout << "== Figure 2: binary tree for panel 0 ==\n";
+    for (const auto& p : pairs)
+      std::cout << "  round " << p.round << ": " << p.victim << " <- "
+                << p.killer << "\n";
+  }
+  {
+    // Figure 3: flat/binary with p = 3 clusters (cyclic layout): local flat
+    // trees rooted at rows 0, 1, 2, then a binary tree over the roots.
+    HqrConfig cfg{3, 1000, TreeKind::Flat, TreeKind::Binary, true};
+    auto list = hqr_elimination_list(m, 1, cfg);
+    check_valid(list, m, 1);
+    print_edges("Figure 3: flat/binary tree (p=3, cyclic)", list);
+  }
+  {
+    // Figure 4: domain tree, two domains per cluster (a = 2 with m = 12,
+    // p = 3), binary tree over the six domain killers.
+    HqrConfig cfg{3, 2, TreeKind::Binary, TreeKind::Binary, true};
+    auto list = hqr_elimination_list(m, 1, cfg);
+    check_valid(list, m, 1);
+    print_edges("Figure 4: domain tree (2 domains/cluster)", list);
+  }
+  return 0;
+}

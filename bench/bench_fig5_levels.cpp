@@ -1,0 +1,52 @@
+// Regenerates Figure 5: tile reduction levels (0 = TS, 1 = head, 2 = domino,
+// 3 = top) for the m = 24, n = 10, p = 3, a = 2 example of §IV-B, in both
+// the global view and the per-cluster local views.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "trees/hqr_tree.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv,
+          {{"mt", "24"}, {"nt", "10"}, {"p", "3"}, {"a", "2"}, {"csv", ""}});
+  const int mt = static_cast<int>(cli.integer("mt"));
+  const int nt = static_cast<int>(cli.integer("nt"));
+  HqrConfig cfg{static_cast<int>(cli.integer("p")),
+                static_cast<int>(cli.integer("a")), TreeKind::Greedy,
+                TreeKind::Greedy, true};
+
+  std::cout << "Figure 5(a): global view (rows x panels), '.' = above "
+               "diagonal\n     ";
+  for (int k = 0; k < nt; ++k) std::cout << k % 10 << ' ';
+  std::cout << "\n";
+  for (int i = 0; i < mt; ++i) {
+    std::cout << (i < 10 ? " " : "") << i << " | ";
+    for (int k = 0; k < nt; ++k) {
+      const int lvl = tile_level(i, k, mt, cfg);
+      if (lvl < 0)
+        std::cout << ". ";
+      else
+        std::cout << lvl << ' ';
+    }
+    std::cout << " (node P" << i % cfg.p << ")\n";
+  }
+
+  std::cout << "\nFigure 5(b): local views per cluster\n";
+  for (int r = 0; r < cfg.p; ++r) {
+    std::cout << "  P" << r << ":\n";
+    for (int lm = 0; r + lm * cfg.p < mt; ++lm) {
+      const int i = r + lm * cfg.p;
+      std::cout << "   lm=" << (lm < 10 ? " " : "") << lm << " (row " << i
+                << ") | ";
+      for (int k = 0; k < nt; ++k) {
+        const int lvl = tile_level(i, k, mt, cfg);
+        std::cout << (lvl < 0 ? std::string(". ")
+                              : std::to_string(lvl) + " ");
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

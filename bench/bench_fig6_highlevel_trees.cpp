@@ -1,0 +1,51 @@
+// Regenerates Figure 6: HQR performance on M x 4480 matrices for every
+// high-level tree, low-level tree in {greedy (6a), flat (6b)} and TS-domain
+// size a in {1, 4, 8}. Domino optimization off, as in the paper.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/algorithms.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"b", "280"}, {"n", "4480"}, {"csv", ""}, {"quick", "false"}});
+  const int b = static_cast<int>(cli.integer("b"));
+  const long long n = cli.integer("n");
+  const int nt = static_cast<int>((n + b - 1) / b);
+  const int p = 15, q = 4;
+
+  SimOptions opts;
+  opts.platform = Platform::edel();
+  opts.b = b;
+
+  std::vector<long long> ms = {4480, 8960, 17920, 35840, 71680, 143360, 286720};
+  if (cli.flag("quick")) ms = {4480, 35840, 286720};
+
+  TextTable table({"M", "low", "high", "a", "GFlop/s", "% peak", "messages"});
+  for (TreeKind low : {TreeKind::Greedy, TreeKind::Flat}) {
+    std::cout << "Figure 6" << (low == TreeKind::Greedy ? "(a)" : "(b)")
+              << ": low-level tree = " << tree_name(low) << "\n";
+    for (TreeKind high : {TreeKind::Greedy, TreeKind::Binary, TreeKind::Flat,
+                          TreeKind::Fibonacci}) {
+      for (int a : {1, 4, 8}) {
+        for (long long m : ms) {
+          const int mt = static_cast<int>((m + b - 1) / b);
+          HqrConfig cfg{p, a, low, high, /*domino=*/false};
+          auto run = make_hqr_run(mt, nt, cfg, q);
+          SimResult r = simulate_algorithm(run, m, n, opts);
+          table.row()
+              .add(m)
+              .add(tree_name(low))
+              .add(tree_name(high))
+              .add(a)
+              .add(r.gflops, 5)
+              .add(100.0 * r.peak_fraction, 3)
+              .add(r.messages);
+        }
+      }
+    }
+  }
+  bench::emit(table, cli, "Figure 6: influence of TS level and trees");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates Figure 7: influence of the low-level tree and the domino
+// (coupling level) optimization; a = 4, high-level tree = Fibonacci, on
+// M x 4480 matrices.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/algorithms.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"b", "280"}, {"n", "4480"}, {"csv", ""}, {"quick", "false"}});
+  const int b = static_cast<int>(cli.integer("b"));
+  const long long n = cli.integer("n");
+  const int nt = static_cast<int>((n + b - 1) / b);
+  const int p = 15, q = 4;
+
+  SimOptions opts;
+  opts.platform = Platform::edel();
+  opts.b = b;
+
+  std::vector<long long> ms = {17920, 35840, 71680, 143360, 286720};
+  if (cli.flag("quick")) ms = {17920, 286720};
+
+  TextTable table({"M", "low", "domino", "GFlop/s", "% peak"});
+  for (bool domino : {false, true}) {
+    for (TreeKind low : {TreeKind::Flat, TreeKind::Fibonacci, TreeKind::Greedy,
+                         TreeKind::Binary}) {
+      for (long long m : ms) {
+        const int mt = static_cast<int>((m + b - 1) / b);
+        HqrConfig cfg{p, 4, low, TreeKind::Fibonacci, domino};
+        SimResult r =
+            simulate_algorithm(make_hqr_run(mt, nt, cfg, q), m, n, opts);
+        table.row()
+            .add(m)
+            .add(tree_name(low))
+            .add(domino ? "on" : "off")
+            .add(r.gflops, 5)
+            .add(100.0 * r.peak_fraction, 3);
+      }
+    }
+  }
+  bench::emit(table, cli,
+              "Figure 7: low-level tree x domino (a=4, high=fibonacci)");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Microbenchmarks of the six tile kernels (google-benchmark): the real
+// numeric kernels, across tile sizes, including the paper's b = 280. The
+// TS-vs-TT rate gap measured here is the quantity the simulator's
+// calibration (KernelRates) encodes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "kernels/tile_kernels.hpp"
+#include "kernels/weights.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace hqr {
+namespace {
+
+Matrix random_tile(int b, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_gaussian(b, b, rng);
+}
+
+void report_rate(benchmark::State& state, KernelType type, int b) {
+  state.counters["GFlop/s"] = benchmark::Counter(
+      kernel_flops(type, b) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Geqrt(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix a0 = random_tile(b, 1);
+  Matrix t(b, b);
+  TileWorkspace ws(b);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix a = a0;
+    state.ResumeTiming();
+    geqrt(a.view(), t.view(), ws);
+    benchmark::DoNotOptimize(a.storage().data());
+  }
+  report_rate(state, KernelType::GEQRT, b);
+}
+
+void BM_Unmqr(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix v = random_tile(b, 2);
+  Matrix t(b, b);
+  TileWorkspace ws(b);
+  geqrt(v.view(), t.view(), ws);
+  Matrix c = random_tile(b, 3);
+  for (auto _ : state) {
+    unmqr(v.view(), t.view(), Trans::Yes, c.view(), ws);
+    benchmark::DoNotOptimize(c.storage().data());
+  }
+  report_rate(state, KernelType::UNMQR, b);
+}
+
+void BM_Tsqrt(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix a1_0 = random_tile(b, 4);
+  Matrix a2_0 = random_tile(b, 5);
+  Matrix t(b, b);
+  TileWorkspace ws(b);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix a1 = a1_0, a2 = a2_0;
+    state.ResumeTiming();
+    tsqrt(a1.view(), a2.view(), t.view(), ws);
+    benchmark::DoNotOptimize(a2.storage().data());
+  }
+  report_rate(state, KernelType::TSQRT, b);
+}
+
+void BM_Tsmqr(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix a1 = random_tile(b, 6), a2 = random_tile(b, 7);
+  Matrix t(b, b);
+  TileWorkspace ws(b);
+  tsqrt(a1.view(), a2.view(), t.view(), ws);
+  Matrix c1 = random_tile(b, 8), c2 = random_tile(b, 9);
+  for (auto _ : state) {
+    tsmqr(c1.view(), c2.view(), a2.view(), t.view(), Trans::Yes, ws);
+    benchmark::DoNotOptimize(c2.storage().data());
+  }
+  report_rate(state, KernelType::TSMQR, b);
+}
+
+void BM_Ttqrt(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix a1_0 = random_tile(b, 10);
+  Matrix a2_0 = random_tile(b, 11);
+  Matrix t(b, b);
+  TileWorkspace ws(b);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Matrix a1 = a1_0, a2 = a2_0;
+    state.ResumeTiming();
+    ttqrt(a1.view(), a2.view(), t.view(), ws);
+    benchmark::DoNotOptimize(a2.storage().data());
+  }
+  report_rate(state, KernelType::TTQRT, b);
+}
+
+void BM_Ttmqr(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix a1 = random_tile(b, 12), a2 = random_tile(b, 13);
+  Matrix t(b, b);
+  TileWorkspace ws(b);
+  ttqrt(a1.view(), a2.view(), t.view(), ws);
+  Matrix c1 = random_tile(b, 14), c2 = random_tile(b, 15);
+  for (auto _ : state) {
+    ttmqr(c1.view(), c2.view(), a2.view(), t.view(), Trans::Yes, ws);
+    benchmark::DoNotOptimize(c2.storage().data());
+  }
+  report_rate(state, KernelType::TTMQR, b);
+}
+
+BENCHMARK(BM_Geqrt)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Unmqr)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Tsqrt)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Tsmqr)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ttqrt)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ttmqr)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hqr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Communication-avoidance accounting (paper §IV-A): inter-node messages and
+// volume per algorithm, plus per-panel cross-node elimination counts, and
+// the load-balance statistics of the distributions (§III-C).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/algorithms.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"b", "280"}, {"csv", ""}});
+  const int b = static_cast<int>(cli.integer("b"));
+  const int p = 15, q = 4, nodes = 60;
+
+  SimOptions opts;
+  opts.platform = Platform::edel();
+  opts.b = b;
+
+  TextTable table({"case", "algorithm", "messages", "volume GB",
+                   "msgs/elimination", "load imbalance"});
+  struct Case {
+    const char* name;
+    long long m, n;
+  };
+  for (const Case& c : {Case{"tall-skinny", 286720, 4480},
+                        Case{"square", 33600, 33600}}) {
+    const int mt = static_cast<int>((c.m + b - 1) / b);
+    const int nt = static_cast<int>((c.n + b - 1) / b);
+    long long elims = 0;
+    for (int k = 0; k < std::min(mt, nt); ++k) elims += mt - 1 - k;
+
+    HqrConfig cfg{p, 4, TreeKind::Fibonacci, TreeKind::Fibonacci, true};
+    const AlgorithmRun runs[] = {
+        make_hqr_run(mt, nt, cfg, q),
+        make_slhd10_run(mt, nt, nodes),
+        make_bbd10_run(mt, nt, p, q),
+    };
+    for (const auto& run : runs) {
+      SimResult r = simulate_algorithm(run, c.m, c.n, opts);
+      auto load = qr_load_stats(mt, nt, run.dist);
+      table.row()
+          .add(c.name)
+          .add(run.name)
+          .add(r.messages)
+          .add(r.volume_gbytes, 4)
+          .add(static_cast<double>(r.messages) / elims, 3)
+          .add(load.imbalance, 3);
+    }
+  }
+  bench::emit(table, cli, "Communication and load-balance accounting");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates Tables II, III and IV: killer/step tables of the first three
+// panels under the flat, binary and greedy algorithms (coarse-grain model,
+// §III-B). Known deviations from the published cells are discussed in
+// EXPERIMENTS.md.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "trees/single_level.hpp"
+#include "trees/steps.hpp"
+#include "trees/validate.hpp"
+
+using namespace hqr;
+
+namespace {
+
+void print_table(const Cli& cli, const std::string& title,
+                 const EliminationList& list, const std::vector<int>& steps,
+                 int m, int panels) {
+  auto t = killer_step_table(list, steps, m, panels);
+  std::vector<std::string> headers = {"Row"};
+  for (int k = 0; k < panels; ++k) {
+    headers.push_back("P" + std::to_string(k) + " killer");
+    headers.push_back("P" + std::to_string(k) + " step");
+  }
+  TextTable table(headers);
+  for (int i = 0; i < m; ++i) {
+    table.row().add(i);
+    for (int k = 0; k < panels; ++k) {
+      if (t.killer_of(i, k) < 0) {
+        table.add(i == k ? "*" : "").add("");
+      } else {
+        table.add(t.killer_of(i, k)).add(t.step_of(i, k));
+      }
+    }
+  }
+  bench::emit(table, cli, title);
+  std::cout << "makespan: " << coarse_makespan(steps) << " steps\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"m", "12"}, {"panels", "3"}, {"csv", ""}});
+  const int m = static_cast<int>(cli.integer("m"));
+  const int panels = static_cast<int>(cli.integer("panels"));
+
+  {
+    auto list = flat_ts_list(m, panels);
+    check_valid(list, m, panels);
+    print_table(cli, "Table II: flat tree, first " + std::to_string(panels) +
+                         " panels",
+                list, asap_steps(list, m, panels), m, panels);
+  }
+  {
+    auto list = per_panel_tree_list(TreeKind::Binary, m, panels);
+    check_valid(list, m, panels);
+    print_table(cli, "Table III: binary tree", list,
+                asap_steps(list, m, panels), m, panels);
+  }
+  {
+    auto sl = greedy_global_list(m, panels);
+    check_valid(sl.list, m, panels);
+    print_table(cli, "Table IV: greedy", sl.list, sl.step, m, panels);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Shared helpers for the figure/table regeneration drivers.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace hqr::bench {
+
+// Prints the table, and saves CSV next to it when --csv=<path> was given.
+inline void emit(const TextTable& table, const Cli& cli,
+                 const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (cli.has("csv") && !cli.str("csv").empty()) {
+    table.save_csv(cli.str("csv"));
+    std::cout << "(csv written to " << cli.str("csv") << ")\n";
+  }
+}
+
+}  // namespace hqr::bench

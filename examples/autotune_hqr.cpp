@@ -1,0 +1,60 @@
+// Auto-tune the HQR parameter space for a given matrix shape and platform:
+// the systematic exploration the paper names as future work (§VI), made
+// cheap by the calibrated simulator. Prints the top candidates and the
+// paper-style interpretation of the winner.
+//
+//   ./autotune_hqr --m=286720 --n=4480 --nodes=60
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/autotune.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"m", "143360"},
+                       {"n", "4480"},
+                       {"b", "280"},
+                       {"nodes", "60"},
+                       {"top", "10"}});
+  const long long m = cli.integer("m");
+  const long long n = cli.integer("n");
+  const int b = static_cast<int>(cli.integer("b"));
+  const int nodes = static_cast<int>(cli.integer("nodes"));
+  const int mt = static_cast<int>((m + b - 1) / b);
+  const int nt = static_cast<int>((n + b - 1) / b);
+
+  SimOptions opts;
+  opts.platform = Platform::edel();
+  opts.b = b;
+
+  std::cout << "tuning HQR for " << m << " x " << n << " (" << mt << " x "
+            << nt << " tiles) on " << nodes << " nodes...\n";
+  AutotuneResult r = autotune_hqr(mt, nt, m, n, nodes, opts);
+
+  TextTable table({"rank", "p", "q", "a", "low", "high", "domino", "GFlop/s",
+                   "% peak", "messages"});
+  const int top = std::min<int>(static_cast<int>(cli.integer("top")),
+                                static_cast<int>(r.explored.size()));
+  for (int i = 0; i < top; ++i) {
+    const auto& c = r.explored[static_cast<std::size_t>(i)];
+    table.row()
+        .add(i + 1)
+        .add(c.config.p)
+        .add(c.grid_q)
+        .add(c.config.a)
+        .add(tree_name(c.config.low))
+        .add(tree_name(c.config.high))
+        .add(c.config.domino ? "on" : "off")
+        .add(c.result.gflops, 5)
+        .add(100.0 * c.result.peak_fraction, 3)
+        .add(c.result.messages);
+  }
+  table.print(std::cout);
+  std::cout << "\nexplored " << r.explored.size()
+            << " configurations; winner: " << r.best.config.describe()
+            << " on a " << r.best.config.p << "x" << r.best.grid_q
+            << " grid\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Interactive exploration of elimination trees: prints the killer/step
+// table, the tile-level map and the elimination list for any configuration
+// — the tool to reason about algorithms the way §III-IV of the paper does.
+//
+//   ./tree_explorer --mt=12 --nt=3 --algo=hqr --p=3 --a=2
+//   ./tree_explorer --mt=12 --nt=3 --algo=greedy
+#include <algorithm>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dag/dot_export.hpp"
+#include "trees/hqr_tree.hpp"
+#include "trees/single_level.hpp"
+#include "trees/steps.hpp"
+#include "trees/validate.hpp"
+
+using namespace hqr;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"mt", "12"},
+                       {"nt", "3"},
+                       {"algo", "hqr"},
+                       {"p", "3"},
+                       {"a", "2"},
+                       {"low", "greedy"},
+                       {"high", "fibonacci"},
+                       {"domino", "true"},
+                       {"show_list", "false"},
+                       {"dot", ""},
+                       {"dot_updates", "false"}});
+  const int mt = static_cast<int>(cli.integer("mt"));
+  const int nt = static_cast<int>(cli.integer("nt"));
+  const std::string algo = cli.str("algo");
+
+  EliminationList list;
+  std::vector<int> steps;
+  HqrConfig cfg{static_cast<int>(cli.integer("p")),
+                static_cast<int>(cli.integer("a")),
+                tree_from_name(cli.str("low")), tree_from_name(cli.str("high")),
+                cli.flag("domino")};
+  if (algo == "hqr") {
+    list = hqr_elimination_list(mt, nt, cfg);
+    std::cout << cfg.describe() << "\n";
+  } else if (algo == "flat_ts") {
+    list = flat_ts_list(mt, nt);
+  } else if (algo == "greedy") {
+    auto sl = greedy_global_list(mt, nt);
+    list = sl.list;
+    steps = sl.step;
+  } else {
+    list = per_panel_tree_list(tree_from_name(algo), mt, nt);
+  }
+  check_valid(list, mt, nt);
+  if (steps.empty()) steps = asap_steps(list, mt, nt);
+
+  const int panels = std::min({mt, nt, 6});
+  auto t = killer_step_table(list, steps, mt, panels);
+  std::vector<std::string> headers = {"Row"};
+  for (int k = 0; k < panels; ++k) {
+    headers.push_back("P" + std::to_string(k) + " killer");
+    headers.push_back("P" + std::to_string(k) + " step");
+  }
+  TextTable table(headers);
+  for (int i = 0; i < mt; ++i) {
+    table.row().add(i);
+    for (int k = 0; k < panels; ++k) {
+      if (t.killer_of(i, k) < 0)
+        table.add(i == k ? "*" : "").add("");
+      else
+        table.add(t.killer_of(i, k)).add(t.step_of(i, k));
+    }
+  }
+  std::cout << "\nkiller/step table (first " << panels << " panels):\n";
+  table.print(std::cout);
+  std::cout << "coarse makespan: " << coarse_makespan(steps) << " steps, "
+            << list.size() << " eliminations\n";
+
+  if (algo == "hqr") {
+    std::cout << "\ntile levels (0=TS, 1=head, 2=domino, 3=top, .=R "
+                 "region):\n";
+    for (int i = 0; i < mt; ++i) {
+      std::cout << "  ";
+      for (int k = 0; k < nt; ++k) {
+        const int lvl = tile_level(i, k, mt, cfg);
+        std::cout << (lvl < 0 ? '.' : static_cast<char>('0' + lvl)) << ' ';
+      }
+      std::cout << "\n";
+    }
+  }
+
+  if (!cli.str("dot").empty()) {
+    TaskGraph g(expand_to_kernels(list, mt, nt), mt, nt);
+    DotOptions dopt;
+    dopt.include_updates = cli.flag("dot_updates");
+    save_dot(cli.str("dot"), g, dopt);
+    std::cout << "\nDAG written to " << cli.str("dot") << " (" << g.size()
+              << " tasks); render with: dot -Tsvg " << cli.str("dot")
+              << " -o dag.svg\n";
+  }
+
+  if (cli.flag("show_list")) {
+    std::cout << "\nelimination list:\n";
+    for (const auto& e : list)
+      std::cout << "  elim(" << e.row << ", " << e.piv << ", " << e.k << ") "
+                << (e.ts ? "[TS]" : "[TT]") << "\n";
+  }
+  return 0;
+}

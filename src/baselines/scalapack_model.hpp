@@ -1,0 +1,40 @@
+// Performance model of the ScaLAPACK QR factorization (pdgeqrf) on the
+// simulated platform — the paper's §V-C comparison baseline.
+//
+// ScaLAPACK is a panel algorithm, not a tile algorithm: every one of the N
+// matrix columns performs a distributed reduction across the p process rows
+// (norm + scale), so its latency term carries a factor b more messages than
+// any tile algorithm (paper §V-C), and the panel factorization is a
+// memory-bound sequential chain of column steps that the trailing update
+// cannot overlap (no lookahead in the reference pdgeqrf). The model charges,
+// per b-wide panel:
+//   * b column steps on the owning process column: memory-bound local
+//     GEMV work at `panel_node_gflops` per node plus 2 log2(p) latencies;
+//   * a panel broadcast along the process rows;
+//   * the trailing-matrix block-reflector update, compute-bound across all
+//     nodes at `update_core_gflops` per core.
+#pragma once
+
+#include "simcluster/platform.hpp"
+#include "simcluster/simulator.hpp"
+
+namespace hqr {
+
+struct ScalapackOptions {
+  Platform platform;
+  int nb = 64;      // ScaLAPACK block (panel) width
+  int grid_p = 15;  // process grid rows
+  int grid_q = 4;   // process grid columns
+  // Memory-bound panel rate per node (tall GEMV chains, no blocking).
+  double panel_node_gflops = 0.35;
+  // Compute-bound update rate per core (dlarfb-class).
+  double update_core_gflops = 6.5;
+};
+
+// Simulates pdgeqrf on an m x n matrix; returns the same result structure as
+// the tile simulator (message/volume fields reflect the per-column
+// reductions and panel broadcasts).
+SimResult simulate_scalapack(long long m, long long n,
+                             const ScalapackOptions& opts);
+
+}  // namespace hqr

@@ -1,0 +1,50 @@
+// Error handling primitives used across the HQR library.
+//
+// Library code throws hqr::Error on contract violations; HQR_CHECK is used
+// for argument validation on public entry points (always on), HQR_ASSERT for
+// internal invariants (compiled out in NDEBUG builds, like assert, but with
+// a formatted message).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hqr {
+
+// Exception type thrown by all HQR components on contract violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "HQR check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace hqr
+
+// Always-on check with streamed message: HQR_CHECK(n >= 0, "n=" << n).
+#define HQR_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream hqr_check_os_;                                   \
+      hqr_check_os_ << "" __VA_ARGS__;                                    \
+      ::hqr::detail::fail(#cond, __FILE__, __LINE__, hqr_check_os_.str()); \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define HQR_ASSERT(cond, ...) \
+  do {                        \
+  } while (0)
+#else
+#define HQR_ASSERT(cond, ...) HQR_CHECK(cond, __VA_ARGS__)
+#endif

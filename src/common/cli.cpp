@@ -1,0 +1,88 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
+    : values_(std::move(spec)) {
+  const std::map<std::string, std::string> defaults = values_;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = values_.find(name);
+    HQR_CHECK(it != values_.end(), "unknown flag --" << name);
+    const std::string& def = defaults.at(name);
+    const bool boolean = (def == "true" || def == "false");
+    if (!have_value) {
+      if (boolean) {
+        value = "true";
+      } else {
+        HQR_CHECK(i + 1 < argc, "flag --" << name << " needs a value");
+        value = argv[++i];
+      }
+    }
+    it->second = value;
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Cli::str(const std::string& name) const {
+  auto it = values_.find(name);
+  HQR_CHECK(it != values_.end(), "flag --" << name << " not declared");
+  return it->second;
+}
+
+long long Cli::integer(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  long long r = std::strtoll(v.c_str(), &end, 10);
+  HQR_CHECK(end && *end == '\0' && !v.empty(),
+            "flag --" << name << " expects an integer, got '" << v << "'");
+  return r;
+}
+
+double Cli::real(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  double r = std::strtod(v.c_str(), &end);
+  HQR_CHECK(end && *end == '\0' && !v.empty(),
+            "flag --" << name << " expects a number, got '" << v << "'");
+  return r;
+}
+
+bool Cli::flag(const std::string& name) const {
+  const std::string v = str(name);
+  HQR_CHECK(v == "true" || v == "false",
+            "flag --" << name << " expects true/false, got '" << v << "'");
+  return v == "true";
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program;
+  for (const auto& [name, def] : values_) {
+    os << " [--" << name << "=" << def << "]";
+  }
+  return os.str();
+}
+
+}  // namespace hqr

@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for examples and bench drivers.
+//
+// Supports `--name=value`, `--name value` and boolean `--name`. Unknown
+// flags are an error (typos surface immediately).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hqr {
+
+class Cli {
+ public:
+  // `spec` maps flag name -> default value (as string). A default of "false"
+  // or "true" marks a boolean flag that may appear without a value.
+  Cli(int argc, char** argv, std::map<std::string, std::string> spec);
+
+  bool has(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  long long integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool flag(const std::string& name) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Renders a usage string listing all flags and defaults.
+  std::string usage(const std::string& program) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hqr

@@ -1,0 +1,20 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace hqr {
+
+double Rng::gaussian() {
+  // Marsaglia polar method; one variate per call (the spare is discarded to
+  // keep the generator stateless beyond its 256-bit core state).
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace hqr

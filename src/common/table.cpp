@@ -1,0 +1,98 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HQR_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  HQR_CHECK(rows_.empty() || rows_.back().size() == headers_.size(),
+            "previous row incomplete: " << rows_.back().size() << " of "
+                                        << headers_.size() << " cells");
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(const std::string& value) {
+  HQR_CHECK(!rows_.empty(), "call row() before add()");
+  HQR_CHECK(rows_.back().size() < headers_.size(), "row overflow");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::add(const char* value) { return add(std::string(value)); }
+
+TextTable& TextTable::add(long long value) { return add(std::to_string(value)); }
+TextTable& TextTable::add(unsigned long long value) {
+  return add(std::to_string(value));
+}
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+TextTable& TextTable::add(std::size_t value) { return add(std::to_string(value)); }
+
+TextTable& TextTable::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+const std::string& TextTable::cell(std::size_t r, std::size_t c) const {
+  HQR_CHECK(r < rows_.size() && c < headers_.size(), "cell out of range");
+  return rows_[r][c];
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void TextTable::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << cells[c];
+      if (quote) os << '"';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+void TextTable::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  HQR_CHECK(f.good(), "cannot open " << path << " for writing");
+  write_csv(f);
+  HQR_CHECK(f.good(), "write to " << path << " failed");
+}
+
+}  // namespace hqr

@@ -1,0 +1,48 @@
+// Plain-text table and CSV emission for benches and examples.
+//
+// Every table/figure bench prints (a) an aligned text table for humans and
+// (b) optionally a CSV file for plotting, through this single facility.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hqr {
+
+// A simple row/column table of strings with typed cell setters.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Starts a new row; subsequent add() calls fill it left to right.
+  TextTable& row();
+
+  TextTable& add(const std::string& value);
+  TextTable& add(const char* value);
+  TextTable& add(long long value);
+  TextTable& add(unsigned long long value);
+  TextTable& add(int value);
+  TextTable& add(std::size_t value);
+  // Formats with `precision` significant digits.
+  TextTable& add(double value, int precision = 6);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  // Aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV rendering (no quoting needed for our numeric content,
+  // but commas in cells are quoted defensively).
+  void write_csv(std::ostream& os) const;
+  // Writes CSV to `path`; throws hqr::Error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hqr

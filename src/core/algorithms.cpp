@@ -1,0 +1,55 @@
+#include "core/algorithms.hpp"
+
+#include "dag/task_graph.hpp"
+
+namespace hqr {
+
+AlgorithmRun make_hqr_run(int mt, int nt, const HqrConfig& cfg, int grid_q) {
+  AlgorithmRun run;
+  run.name = "HQR " + cfg.describe();
+  run.list = hqr_elimination_list(mt, nt, cfg);
+  run.dist = Distribution::block_cyclic_2d(cfg.p, grid_q);
+  run.mt = mt;
+  run.nt = nt;
+  return run;
+}
+
+AlgorithmRun make_bbd10_run(int mt, int nt, int grid_p, int grid_q) {
+  AlgorithmRun run;
+  run.name = "[BBD+10] flat TS tile QR";
+  run.list = flat_ts_list(mt, nt);
+  run.dist = Distribution::block_cyclic_2d(grid_p, grid_q);
+  run.mt = mt;
+  run.nt = nt;
+  return run;
+}
+
+AlgorithmRun make_slhd10_run(int mt, int nt, int nodes) {
+  AlgorithmRun run;
+  run.name = "[SLHD10] 1D block + binary";
+  run.list = hqr_elimination_list(mt, nt, slhd10_config(mt, nodes));
+  run.dist = Distribution::block_1d(nodes, mt);
+  run.mt = mt;
+  run.nt = nt;
+  return run;
+}
+
+AlgorithmRun make_custom_run(std::string name, EliminationList list,
+                             Distribution dist, int mt, int nt) {
+  AlgorithmRun run;
+  run.name = std::move(name);
+  run.list = std::move(list);
+  run.dist = dist;
+  run.mt = mt;
+  run.nt = nt;
+  return run;
+}
+
+SimResult simulate_algorithm(const AlgorithmRun& run, long long m, long long n,
+                             const SimOptions& opts) {
+  KernelList kernels = expand_to_kernels(run.list, run.mt, run.nt);
+  TaskGraph graph(kernels, run.mt, run.nt);
+  return simulate_qr(graph, run.dist, m, n, opts);
+}
+
+}  // namespace hqr

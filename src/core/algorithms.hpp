@@ -1,0 +1,48 @@
+// Named end-to-end algorithm configurations: HQR and the comparators of the
+// paper's §V (each is an elimination list plus a data distribution), with a
+// one-call path from configuration to simulated cluster performance.
+#pragma once
+
+#include <string>
+
+#include "dist/distribution.hpp"
+#include "simcluster/simulator.hpp"
+#include "trees/hqr_tree.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+
+// An algorithm instance ready to factor an mt x nt tile matrix.
+struct AlgorithmRun {
+  std::string name;
+  EliminationList list;
+  Distribution dist = Distribution::cyclic_1d(1);
+  int mt = 0;
+  int nt = 0;
+};
+
+// HQR on a p x q virtual grid matching a 2D block-cyclic distribution
+// (cfg.p must equal the grid's p).
+AlgorithmRun make_hqr_run(int mt, int nt, const HqrConfig& cfg, int grid_q);
+
+// [BBD+10]: distribution-unaware flat TS tile QR on a 2D block-cyclic grid
+// (the DAGuE tile QR of the paper's comparison).
+AlgorithmRun make_bbd10_run(int mt, int nt, int grid_p, int grid_q);
+
+// [SLHD10]: 1D block distribution, intra-node TS flat tree, inter-node
+// binary tree (paper §V-A parameterization).
+AlgorithmRun make_slhd10_run(int mt, int nt, int nodes);
+
+// Arbitrary pairing of an elimination list with a data distribution — the
+// §IV-A flexibility: "the actual (physical) distribution of tiles to
+// clusters needs not obey the virtual p x q cluster grid", which is how the
+// paper expresses all previously published algorithms in one framework.
+AlgorithmRun make_custom_run(std::string name, EliminationList list,
+                             Distribution dist, int mt, int nt);
+
+// Builds the kernel DAG for `run` and simulates it; m, n are element
+// dimensions (for the GFlop/s figure of merit).
+SimResult simulate_algorithm(const AlgorithmRun& run, long long m, long long n,
+                             const SimOptions& opts);
+
+}  // namespace hqr

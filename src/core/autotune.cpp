@@ -1,0 +1,46 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+
+namespace hqr {
+
+AutotuneResult autotune_hqr(int mt, int nt, long long m, long long n,
+                            int nodes, SimOptions opts) {
+  HQR_CHECK(nodes >= 1, "need at least one node");
+  AutotuneResult out;
+
+  std::vector<std::pair<int, int>> grids;
+  for (int p = 1; p <= nodes; ++p)
+    if (nodes % p == 0) grids.push_back({p, nodes / p});
+
+  for (auto [p, q] : grids) {
+    for (int a : {1, 4, 8}) {
+      if (a > 1 && static_cast<long long>(a) * p > mt) continue;  // no TS room
+      for (TreeKind low : {TreeKind::Flat, TreeKind::Greedy}) {
+        for (TreeKind high : {TreeKind::Flat, TreeKind::Fibonacci}) {
+          if (p == 1 && high != TreeKind::Flat) continue;  // high tree unused
+          for (bool domino : {false, true}) {
+            AutotuneCandidate cand;
+            cand.config = HqrConfig{p, a, low, high, domino};
+            cand.grid_q = q;
+            SimOptions local = opts;
+            local.platform.nodes = nodes;
+            cand.result = simulate_algorithm(
+                make_hqr_run(mt, nt, cand.config, q), m, n, local);
+            out.explored.push_back(std::move(cand));
+          }
+        }
+      }
+    }
+  }
+
+  std::stable_sort(out.explored.begin(), out.explored.end(),
+                   [](const AutotuneCandidate& x, const AutotuneCandidate& y) {
+                     return x.result.gflops > y.result.gflops;
+                   });
+  HQR_CHECK(!out.explored.empty(), "no feasible candidate");
+  out.best = out.explored.front();
+  return out;
+}
+
+}  // namespace hqr

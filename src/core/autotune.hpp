@@ -1,0 +1,35 @@
+// Simulation-driven auto-tuning of the HQR parameter space.
+//
+// The paper fixes (p, q, a, trees, domino) per experiment by hand and names
+// the systematic exploration of this "huge parameter space" as future work
+// (§VI). The simulator makes the exploration cheap: enumerate candidate
+// configurations, simulate each on the target platform, keep the best.
+#pragma once
+
+#include <vector>
+
+#include "core/algorithms.hpp"
+
+namespace hqr {
+
+struct AutotuneCandidate {
+  HqrConfig config;
+  int grid_q = 1;
+  SimResult result;
+};
+
+struct AutotuneResult {
+  AutotuneCandidate best;
+  std::vector<AutotuneCandidate> explored;  // sorted best-first
+};
+
+// Explores virtual-grid factorizations p x q of `nodes`, a in {1, 4, 8},
+// low trees {flat, greedy}, high trees {flat, fibonacci} and domino on/off
+// for an mt x nt tile problem of m x n elements, simulating each candidate
+// under `opts` (opts.platform.nodes must equal p * q for every candidate;
+// it is overridden per candidate). Returns all candidates sorted by
+// simulated GFlop/s.
+AutotuneResult autotune_hqr(int mt, int nt, long long m, long long n,
+                            int nodes, SimOptions opts);
+
+}  // namespace hqr

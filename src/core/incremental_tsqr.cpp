@@ -1,0 +1,58 @@
+#include "core/incremental_tsqr.hpp"
+
+#include <algorithm>
+
+namespace hqr {
+
+namespace {
+
+int checked_nt(int n, int b) {
+  HQR_CHECK(n >= 1 && b >= 1, "bad TSQR shape n=" << n << " b=" << b);
+  return (n + b - 1) / b;
+}
+
+}  // namespace
+
+IncrementalTSQR::IncrementalTSQR(int n, int b)
+    : n_(n),
+      b_(b),
+      nt_(checked_nt(n, b)),
+      r_tiles_(nt_ * b, n, b),
+      t_scratch_(b, b),
+      ws_(b) {}
+
+void IncrementalTSQR::add_rows(const Matrix& block) {
+  HQR_CHECK(block.cols() == n_, "block has " << block.cols()
+                                             << " columns, expected " << n_);
+  HQR_CHECK(block.rows() >= 1, "empty block");
+  TiledMatrix incoming = TiledMatrix::from_matrix(block, b_);
+
+  // Flat TS reduction of the incoming tiles into the running triangle: the
+  // diagonal tile (k, k) of R kills tile (i, k) of the block, then the
+  // trailing tiles of both rows are updated. Starting from R = 0 this also
+  // handles the very first block (Householder reflectors on a zero pivot
+  // column are well defined).
+  for (int k = 0; k < nt_; ++k) {
+    for (int i = 0; i < incoming.mt(); ++i) {
+      tsqrt(r_tiles_.tile(k, k), incoming.tile(i, k), t_scratch_.view(), ws_);
+      for (int j = k + 1; j < nt_; ++j) {
+        tsmqr(r_tiles_.tile(k, j), incoming.tile(i, j),
+              ConstMatrixView(incoming.tile(i, k)),
+              ConstMatrixView(t_scratch_.view()), Trans::Yes, ws_);
+      }
+    }
+  }
+  rows_seen_ += block.rows();
+}
+
+Matrix IncrementalTSQR::r() const {
+  const int k =
+      static_cast<int>(std::min<long long>(rows_seen_, n_));
+  Matrix out(k, n_);
+  for (int j = 0; j < n_; ++j)
+    for (int i = 0; i <= std::min(j, k - 1); ++i)
+      out(i, j) = r_tiles_.at(i, j);
+  return out;
+}
+
+}  // namespace hqr

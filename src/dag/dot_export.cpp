@@ -1,0 +1,95 @@
+#include "dag/dot_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+std::string label(const KernelOp& op) {
+  std::string s = kernel_name(op.type) + "(" + std::to_string(op.row);
+  if (op.type != KernelType::GEQRT && op.type != KernelType::UNMQR)
+    s += "," + std::to_string(op.piv);
+  s += "," + std::to_string(op.k);
+  if (op.j >= 0) s += "," + std::to_string(op.j);
+  return s + ")";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const TaskGraph& graph,
+               const DotOptions& opts) {
+  // Which tasks are emitted (all, or factor kernels only).
+  std::vector<char> keep(static_cast<std::size_t>(graph.size()), 1);
+  if (!opts.include_updates) {
+    for (int i = 0; i < graph.size(); ++i)
+      keep[i] = is_factor_kernel(graph.op(i).type);
+  }
+
+  os << "digraph tile_qr {\n  rankdir=TB;\n  node [fontsize=10];\n";
+
+  if (opts.cluster_by_panel) {
+    std::map<int, std::vector<int>> by_panel;
+    for (int i = 0; i < graph.size(); ++i)
+      if (keep[i]) by_panel[graph.op(i).k].push_back(i);
+    for (const auto& [k, tasks] : by_panel) {
+      os << "  subgraph cluster_panel" << k << " {\n    label=\"panel " << k
+         << "\";\n";
+      for (int i : tasks) {
+        const KernelOp& op = graph.op(i);
+        os << "    t" << i << " [label=\"" << label(op) << "\", shape="
+           << (is_factor_kernel(op.type) ? "box" : "ellipse") << "];\n";
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (int i = 0; i < graph.size(); ++i) {
+      if (!keep[i]) continue;
+      const KernelOp& op = graph.op(i);
+      os << "  t" << i << " [label=\"" << label(op) << "\", shape="
+         << (is_factor_kernel(op.type) ? "box" : "ellipse") << "];\n";
+    }
+  }
+
+  if (opts.include_updates) {
+    for (int i = 0; i < graph.size(); ++i)
+      for (auto s : graph.successors(i))
+        os << "  t" << i << " -> t" << s << ";\n";
+  } else {
+    // Factor-only skeleton: contract paths through dropped update tasks so
+    // the transitive factor-to-factor dependencies survive.
+    for (int i = 0; i < graph.size(); ++i) {
+      if (!keep[i]) continue;
+      // BFS through non-kept successors.
+      std::vector<int> stack(graph.successors(i).begin(),
+                             graph.successors(i).end());
+      std::vector<char> seen(static_cast<std::size_t>(graph.size()), 0);
+      while (!stack.empty()) {
+        const int s = stack.back();
+        stack.pop_back();
+        if (seen[s]) continue;
+        seen[s] = 1;
+        if (keep[s]) {
+          os << "  t" << i << " -> t" << s << ";\n";
+        } else {
+          for (auto nxt : graph.successors(s)) stack.push_back(nxt);
+        }
+      }
+    }
+  }
+  os << "}\n";
+}
+
+void save_dot(const std::string& path, const TaskGraph& graph,
+              const DotOptions& opts) {
+  std::ofstream f(path);
+  HQR_CHECK(f.good(), "cannot open " << path << " for writing");
+  write_dot(f, graph, opts);
+  HQR_CHECK(f.good(), "write to " << path << " failed");
+}
+
+}  // namespace hqr

@@ -1,0 +1,29 @@
+// Graphviz DOT export of task graphs — the visual-inspection tool for the
+// DAGs the paper reasons about (its Figures 1-4 are exactly such trees).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/task_graph.hpp"
+
+namespace hqr {
+
+struct DotOptions {
+  // Include update kernels (UNMQR/TSMQR/TTMQR); false plots the factor-only
+  // skeleton — the panel reduction trees themselves.
+  bool include_updates = true;
+  // Cluster nodes by panel index (subgraphs per k).
+  bool cluster_by_panel = true;
+};
+
+// Writes `graph` in DOT format. Node labels are "KERNEL(row,piv,k[,j])";
+// factor kernels are drawn as boxes, updates as ellipses.
+void write_dot(std::ostream& os, const TaskGraph& graph,
+               const DotOptions& opts = {});
+
+// Convenience: writes to a file; throws hqr::Error on I/O failure.
+void save_dot(const std::string& path, const TaskGraph& graph,
+              const DotOptions& opts = {});
+
+}  // namespace hqr

@@ -1,0 +1,229 @@
+#include "dag/task_graph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+// Per-tile access bookkeeping for dependency inference.
+struct TileState {
+  std::int32_t last_writer = -1;
+  std::vector<std::int32_t> readers_since;  // readers after last write
+};
+
+// Read/write sets of a kernel as (region_index, is_write) pairs.
+//
+// Factored panel tiles carry two independent regions, exactly as in the
+// DPLASMA dataflow: U = upper triangle incl. diagonal (the R factor /
+// triangular V2 of TTQRT), L = strict lower triangle (the GEQRT Householder
+// vectors). UNMQR reads only L of its panel tile while TSQRT/TTQRT rewrite
+// only U of the killer tile — they are concurrent, not WAR-serialized.
+// T-factor tiles are private to their producing kernel and the updates that
+// read them, whose ordering is already induced by the A-tile regions, so
+// they are not tracked separately.
+template <typename Fn>
+void for_each_access(const KernelOp& op, int mt, Fn&& fn) {
+  auto upper = [mt](int i, int j) {
+    return 2 * (static_cast<std::int64_t>(j) * mt + i);
+  };
+  auto lower = [mt](int i, int j) {
+    return 2 * (static_cast<std::int64_t>(j) * mt + i) + 1;
+  };
+  switch (op.type) {
+    case KernelType::GEQRT:
+      fn(upper(op.row, op.k), true);
+      fn(lower(op.row, op.k), true);
+      break;
+    case KernelType::UNMQR:
+      fn(lower(op.row, op.k), false);  // reads V (+T)
+      fn(upper(op.row, op.j), true);
+      fn(lower(op.row, op.j), true);
+      break;
+    case KernelType::TSQRT:
+      fn(upper(op.piv, op.k), true);  // R1 in place
+      fn(upper(op.row, op.k), true);  // V2 overwrites the full victim tile
+      fn(lower(op.row, op.k), true);
+      break;
+    case KernelType::TTQRT:
+      fn(upper(op.piv, op.k), true);  // R1 in place
+      fn(upper(op.row, op.k), true);  // triangular V2; victim's L untouched
+      break;
+    case KernelType::TSMQR:
+      fn(upper(op.row, op.k), false);  // reads dense V2 (+T)
+      fn(lower(op.row, op.k), false);
+      fn(upper(op.piv, op.j), true);
+      fn(lower(op.piv, op.j), true);
+      fn(upper(op.row, op.j), true);
+      fn(lower(op.row, op.j), true);
+      break;
+    case KernelType::TTMQR:
+      fn(upper(op.row, op.k), false);  // reads triangular V2 (+T)
+      fn(upper(op.piv, op.j), true);
+      fn(lower(op.piv, op.j), true);
+      fn(upper(op.row, op.j), true);
+      fn(lower(op.row, op.j), true);
+      break;
+  }
+}
+
+}  // namespace
+
+TaskGraph::TaskGraph(const KernelList& kernels, int mt, int nt)
+    : ops_(kernels) {
+  HQR_CHECK(mt >= 1 && nt >= 1, "empty tile grid");
+  const std::int32_t n = size();
+  npred_.assign(static_cast<std::size_t>(n), 0);
+
+  // Edge discovery is run twice with identical results: a counting pass to
+  // size the CSR arrays, then a filling pass. This keeps peak memory at the
+  // final footprint even for the ~10^7-task square-matrix DAGs.
+  std::vector<TileState> tiles(2 * static_cast<std::size_t>(mt) * nt);
+  std::vector<std::int32_t> stamp(static_cast<std::size_t>(n), -1);
+
+  auto sweep = [&](auto&& on_edge) {
+    for (auto& t : tiles) {
+      t.last_writer = -1;
+      t.readers_since.clear();
+    }
+    std::fill(stamp.begin(), stamp.end(), -1);
+    for (std::int32_t idx = 0; idx < n; ++idx) {
+      auto add_edge = [&](std::int32_t from) {
+        if (from < 0 || from == idx) return;
+        if (stamp[from] == idx) return;  // duplicate edge
+        stamp[from] = idx;
+        on_edge(from, idx);
+      };
+      for_each_access(ops_[idx], mt, [&](std::int64_t t, bool write) {
+        TileState& st = tiles[static_cast<std::size_t>(t)];
+        if (write) {
+          // WAW when no readers intervened, WAR edges otherwise (a reader's
+          // RAW edge to the last writer makes WAW transitive).
+          if (st.readers_since.empty()) {
+            add_edge(st.last_writer);
+          } else {
+            for (std::int32_t r : st.readers_since) add_edge(r);
+          }
+          st.last_writer = idx;
+          st.readers_since.clear();
+        } else {
+          add_edge(st.last_writer);  // RAW
+          st.readers_since.push_back(idx);
+        }
+      });
+    }
+  };
+
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  sweep([&](std::int32_t from, std::int32_t to) {
+    ++offsets_[static_cast<std::size_t>(from) + 1];
+    ++npred_[to];
+  });
+  for (std::int32_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+
+  edges_.assign(static_cast<std::size_t>(offsets_[n]), 0);
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  sweep([&](std::int32_t from, std::int32_t to) {
+    edges_[static_cast<std::size_t>(cursor[from]++)] = to;
+  });
+}
+
+TaskGraph TaskGraph::apply_graph(const KernelList& ops, int mt, int nt_c) {
+  HQR_CHECK(mt >= 1 && nt_c >= 1, "empty target grid");
+  TaskGraph g;
+  g.ops_ = ops;
+  const std::int32_t n = g.size();
+  g.npred_.assign(static_cast<std::size_t>(n), 0);
+
+  // Every op rewrites its C tiles in place: dependencies are last-writer
+  // chains per tile of C.
+  auto tiles_of = [&](const KernelOp& op, auto&& fn) {
+    const std::int64_t base = static_cast<std::int64_t>(op.j) * mt;
+    switch (op.type) {
+      case KernelType::UNMQR:
+        fn(base + op.row);
+        break;
+      case KernelType::TSMQR:
+      case KernelType::TTMQR:
+        fn(base + op.piv);
+        fn(base + op.row);
+        break;
+      default:
+        HQR_CHECK(false, "apply graph expects update kernels only");
+    }
+  };
+
+  std::vector<std::int32_t> last_writer(
+      static_cast<std::size_t>(mt) * nt_c, -1);
+  std::vector<std::int32_t> stamp(static_cast<std::size_t>(n), -1);
+  auto sweep = [&](auto&& on_edge) {
+    std::fill(last_writer.begin(), last_writer.end(), -1);
+    std::fill(stamp.begin(), stamp.end(), -1);
+    for (std::int32_t idx = 0; idx < n; ++idx) {
+      tiles_of(g.ops_[idx], [&](std::int64_t t) {
+        const std::int32_t from = last_writer[static_cast<std::size_t>(t)];
+        last_writer[static_cast<std::size_t>(t)] = idx;
+        if (from < 0 || from == idx || stamp[from] == idx) return;
+        stamp[from] = idx;
+        on_edge(from, idx);
+      });
+    }
+  };
+
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  sweep([&](std::int32_t from, std::int32_t to) {
+    ++g.offsets_[static_cast<std::size_t>(from) + 1];
+    ++g.npred_[to];
+  });
+  for (std::int32_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.edges_.assign(static_cast<std::size_t>(g.offsets_[n]), 0);
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  sweep([&](std::int32_t from, std::int32_t to) {
+    g.edges_[static_cast<std::size_t>(cursor[from]++)] = to;
+  });
+  return g;
+}
+
+std::vector<std::int32_t> TaskGraph::roots() const {
+  std::vector<std::int32_t> r;
+  for (std::int32_t i = 0; i < size(); ++i)
+    if (npred_[i] == 0) r.push_back(i);
+  return r;
+}
+
+double TaskGraph::critical_path(
+    const std::function<double(const KernelOp&)>& duration,
+    std::vector<double>* depth) const {
+  const int n = size();
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  double best = 0.0;
+  // Indices are a topological order; sweep backwards.
+  for (int i = n - 1; i >= 0; --i) {
+    double succ_max = 0.0;
+    for (std::int32_t s : successors(i)) succ_max = std::max(succ_max, d[s]);
+    d[i] = duration(ops_[i]) + succ_max;
+    best = std::max(best, d[i]);
+  }
+  if (depth) *depth = std::move(d);
+  return best;
+}
+
+int TaskGraph::unit_critical_path() const {
+  std::vector<double> depth;
+  const double cp = critical_path([](const KernelOp&) { return 1.0; }, &depth);
+  return static_cast<int>(cp + 0.5);
+}
+
+double TaskGraph::total_work(
+    const std::function<double(const KernelOp&)>& duration) const {
+  double w = 0.0;
+  for (const KernelOp& op : ops_) w += duration(op);
+  return w;
+}
+
+double unit_weight_duration(const KernelOp& op) {
+  return static_cast<double>(kernel_weight(op.type));
+}
+
+}  // namespace hqr

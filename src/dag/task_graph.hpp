@@ -1,0 +1,74 @@
+// Data-flow task graph: the DAGuE-style representation of a tiled QR
+// factorization (paper §IV-C).
+//
+// The kernel list (derived from an elimination list) is expanded into a DAG
+// by tracking, per tile, the last writer and the readers since that write:
+// read-after-write, write-after-read and write-after-write orderings become
+// edges. The kernel list is in sequentially-valid order, so indices are a
+// topological order of the DAG by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "trees/elimination.hpp"
+
+namespace hqr {
+
+class TaskGraph {
+ public:
+  // Builds the dependency graph over `kernels` for an mt x nt tile grid.
+  TaskGraph(const KernelList& kernels, int mt, int nt);
+
+  // Builds the dependency graph of a Q/Q^T *application*: `ops` are update
+  // kernels (UNMQR/TSMQR/TTMQR) whose `j` indexes the tile columns of the
+  // target matrix C (mt tile rows, nt_c tile columns) and whose V/T inputs
+  // are immutable — dependencies are write-write chains on C tiles only.
+  // `ops` must be in a sequentially valid order (as produced by
+  // q_apply_ops).
+  static TaskGraph apply_graph(const KernelList& ops, int mt, int nt_c);
+
+  int size() const { return static_cast<int>(ops_.size()); }
+  const KernelOp& op(int idx) const { return ops_[idx]; }
+  const KernelList& ops() const { return ops_; }
+
+  // Direct successors / predecessor count of a task. Successor edges are
+  // stored in CSR form: DAGs of square-matrix runs reach ~10^7 tasks.
+  std::span<const std::int32_t> successors(int idx) const {
+    return {edges_.data() + offsets_[idx],
+            static_cast<std::size_t>(offsets_[idx + 1] - offsets_[idx])};
+  }
+  int num_predecessors(int idx) const { return npred_[idx]; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+
+  // Tasks with no predecessors.
+  std::vector<std::int32_t> roots() const;
+
+  // Longest path through the DAG where each task's duration is given by
+  // `duration(op)`; also fills `depth[idx]` = longest path from idx to any
+  // sink, inclusive (the standard scheduling priority).
+  double critical_path(const std::function<double(const KernelOp&)>& duration,
+                       std::vector<double>* depth = nullptr) const;
+
+  // Unit-duration critical path (number of kernels on the longest chain).
+  int unit_critical_path() const;
+
+  // Sum of duration over all tasks.
+  double total_work(
+      const std::function<double(const KernelOp&)>& duration) const;
+
+ private:
+  TaskGraph() = default;
+
+  KernelList ops_;
+  std::vector<std::int64_t> offsets_;  // size() + 1 entries
+  std::vector<std::int32_t> edges_;    // successor indices
+  std::vector<std::int32_t> npred_;
+};
+
+// Duration model in "b^3/3" units: kernel weight (paper §II).
+double unit_weight_duration(const KernelOp& op);
+
+}  // namespace hqr

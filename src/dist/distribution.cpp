@@ -1,0 +1,91 @@
+#include "dist/distribution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "kernels/weights.hpp"
+
+namespace hqr {
+
+Distribution Distribution::block_cyclic_2d(int p, int q) {
+  HQR_CHECK(p >= 1 && q >= 1, "bad grid " << p << "x" << q);
+  return Distribution(Kind::BlockCyclic2D, p * q, p, q, 1);
+}
+
+Distribution Distribution::block_1d(int nodes, int mt) {
+  HQR_CHECK(nodes >= 1 && mt >= 1, "bad 1D block parameters");
+  const int rows_per = (mt + nodes - 1) / nodes;
+  return Distribution(Kind::Block1D, nodes, nodes, 1, rows_per);
+}
+
+Distribution Distribution::cyclic_1d(int nodes) {
+  HQR_CHECK(nodes >= 1, "bad node count");
+  return Distribution(Kind::Cyclic1D, nodes, nodes, 1, 1);
+}
+
+int Distribution::owner(int i, int j) const {
+  HQR_ASSERT(i >= 0 && j >= 0, "negative tile index");
+  switch (kind_) {
+    case Kind::BlockCyclic2D:
+      return (i % p_) * q_ + (j % q_);
+    case Kind::Block1D:
+      return std::min(i / rows_per_, nodes_ - 1);
+    case Kind::Cyclic1D:
+      return i % nodes_;
+  }
+  HQR_CHECK(false, "unreachable distribution kind");
+}
+
+std::string Distribution::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::BlockCyclic2D:
+      os << "block-cyclic " << p_ << "x" << q_;
+      break;
+    case Kind::Block1D:
+      os << "1D block over " << nodes_ << " nodes (chunk " << rows_per_ << ")";
+      break;
+    case Kind::Cyclic1D:
+      os << "1D cyclic over " << nodes_ << " nodes";
+      break;
+  }
+  return os.str();
+}
+
+LoadStats qr_load_stats(int mt, int nt, const Distribution& dist) {
+  HQR_CHECK(mt >= 1 && nt >= 1, "empty grid");
+  LoadStats s;
+  s.node_weight.assign(static_cast<std::size_t>(dist.nodes()), 0.0);
+  // Work model: each panel k charges its owner row-tiles below the diagonal
+  // with one elimination + (nt - 1 - k) updates of TS weight; the exact
+  // kernel mix does not change totals (§II invariant), so TS weights give
+  // the right shares.
+  double total = 0.0;
+  for (int k = 0; k < std::min(mt, nt); ++k) {
+    for (int i = k; i < mt; ++i) {
+      for (int j = k; j < nt; ++j) {
+        // Tile (i, j) is written once per panel k by a factor/update kernel
+        // executing on its owner.
+        const double w = (j == k)
+                             ? kernel_weight(KernelType::TSQRT)
+                             : kernel_weight(KernelType::TSMQR);
+        s.node_weight[static_cast<std::size_t>(dist.owner(i, j))] += w;
+        total += w;
+      }
+    }
+  }
+  double mx = 0.0, mean = total / dist.nodes();
+  for (auto& w : s.node_weight) {
+    mx = std::max(mx, w);
+    w /= total;
+  }
+  s.imbalance = mx / mean - 1.0;
+  s.parallel_fraction = mean / mx;
+  return s;
+}
+
+double block_distribution_speedup_bound(double m, double n, int p) {
+  return p * (1.0 - n / (3.0 * m));
+}
+
+}  // namespace hqr

@@ -1,0 +1,61 @@
+// Data distributions: which node owns each tile (paper §III-A / §IV-A).
+//
+// The 2D block-cyclic distribution on a p x q grid is HQR's native layout;
+// the 1D block distribution is what [SLHD10] and [Agullo et al.] use and is
+// the source of their load imbalance on square matrices (§III-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+class Distribution {
+ public:
+  enum class Kind { BlockCyclic2D, Block1D, Cyclic1D };
+
+  // 2D block-cyclic on a p x q grid: owner(i, j) = (i mod p) * q + (j mod q).
+  static Distribution block_cyclic_2d(int p, int q);
+  // 1D block over `nodes` nodes: rows split into contiguous chunks of
+  // ceil(mt / nodes) tile rows, all columns local.
+  static Distribution block_1d(int nodes, int mt);
+  // 1D cyclic over `nodes` nodes: owner(i, j) = i mod nodes.
+  static Distribution cyclic_1d(int nodes);
+
+  int owner(int i, int j) const;
+  int nodes() const { return nodes_; }
+  Kind kind() const { return kind_; }
+  std::string describe() const;
+
+  // Grid shape for BlockCyclic2D (p, q); (nodes, 1) otherwise.
+  int grid_p() const { return p_; }
+  int grid_q() const { return q_; }
+
+ private:
+  Distribution(Kind kind, int nodes, int p, int q, int rows_per)
+      : kind_(kind), nodes_(nodes), p_(p), q_(q), rows_per_(rows_per) {}
+
+  Kind kind_;
+  int nodes_;
+  int p_ = 1, q_ = 1;
+  int rows_per_ = 1;  // Block1D chunk height
+};
+
+// Load statistics of a QR factorization under a distribution: per-node share
+// of the total kernel weight, assuming each kernel runs on the owner of its
+// victim tile.
+struct LoadStats {
+  std::vector<double> node_weight;  // fraction of total weight per node
+  double imbalance = 0.0;           // max/mean - 1
+  double parallel_fraction = 0.0;   // mean/max = attainable efficiency
+};
+
+LoadStats qr_load_stats(int mt, int nt, const Distribution& dist);
+
+// The paper's §III-C bound: the speedup attainable by a 1D block
+// distribution on p clusters for an m x n (tile) matrix is p(1 - n/(3m)).
+double block_distribution_speedup_bound(double m, double n, int p);
+
+}  // namespace hqr

@@ -1,0 +1,36 @@
+#include "linalg/householder.hpp"
+#include "kernels/tile_kernels.hpp"
+
+namespace hqr {
+
+void geqrt(MatrixView a, MatrixView t, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(a.rows == b && a.cols == b && t.rows == b && t.cols == b,
+            "geqrt expects b x b tiles");
+  MatrixView work = ws.vec();
+
+  for (int j = 0; j < b; ++j) {
+    const int below = b - j;
+    double alpha = a(j, j);
+    MatrixView x = below > 1 ? a.block(j + 1, j, below - 1, 1)
+                             : MatrixView(nullptr, 0, 1, 1);
+    const double tau = larfg(below, alpha, x);
+    a(j, j) = alpha;
+    if (j + 1 < b && tau != 0.0) {
+      MatrixView c = a.block(j, j + 1, below, b - j - 1);
+      larf_left(tau, x, c, work);
+    }
+    larft_column(a, j, tau, t);
+  }
+}
+
+void unmqr(ConstMatrixView v, ConstMatrixView t, Trans trans, MatrixView c,
+           TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(v.rows == b && v.cols == b && t.rows == b && t.cols == b &&
+                c.rows == b,
+            "unmqr expects b x b tiles");
+  larfb_left(trans, v, t, c, ws.w1());
+}
+
+}  // namespace hqr

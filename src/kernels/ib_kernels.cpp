@@ -1,0 +1,242 @@
+#include "kernels/ib_kernels.hpp"
+
+#include <algorithm>
+
+#include "linalg/householder.hpp"
+
+namespace hqr {
+namespace {
+
+int check_panels(int b, int ib) {
+  HQR_CHECK(ib >= 1 && ib <= b, "inner block ib=" << ib << " out of [1, "
+                                                  << b << "]");
+  return (b + ib - 1) / ib;
+}
+
+}  // namespace
+
+void geqrt_ib(MatrixView a, MatrixView t, int ib, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(a.rows == b && a.cols == b && t.rows == b && t.cols == b,
+            "geqrt_ib expects b x b tiles");
+  check_panels(b, ib);
+  MatrixView work = ws.vec();
+
+  for (int j0 = 0; j0 < b; j0 += ib) {
+    const int w = std::min(ib, b - j0);
+    // Factor the panel columns with plain reflectors.
+    MatrixView v = a.block(j0, j0, b - j0, w);
+    MatrixView tp = t.block(0, j0, w, w);
+    for (int l = 0; l < w; ++l) {
+      const int j = j0 + l;
+      const int below = b - j;
+      double alpha = a(j, j);
+      MatrixView x = below > 1 ? a.block(j + 1, j, below - 1, 1)
+                               : MatrixView(nullptr, 0, 1, 1);
+      const double tau = larfg(below, alpha, x);
+      a(j, j) = alpha;
+      if (l + 1 < w && tau != 0.0) {
+        MatrixView c = a.block(j, j + 1, below, w - l - 1);
+        larf_left(tau, x, c, work);
+      }
+      larft_column(v, l, tau, tp);
+    }
+    // Block-apply the panel reflector to the trailing tile columns.
+    const int trailing = b - (j0 + w);
+    if (trailing > 0) {
+      MatrixView c = a.block(j0, j0 + w, b - j0, trailing);
+      larfb_left(Trans::Yes, v, tp, c, ws.w1());
+    }
+  }
+}
+
+void unmqr_ib(ConstMatrixView v, ConstMatrixView t, int ib, Trans trans,
+              MatrixView c, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(v.rows == b && v.cols == b && t.rows == b && c.rows == b,
+            "unmqr_ib expects b x b tiles");
+  const int panels = check_panels(b, ib);
+  // Q = Q_p0 Q_p1 ... : Q^T applies panels forward, Q reversed.
+  for (int pi = 0; pi < panels; ++pi) {
+    const int p = trans == Trans::Yes ? pi : panels - 1 - pi;
+    const int j0 = p * ib;
+    const int w = std::min(ib, b - j0);
+    ConstMatrixView vp = v.block(j0, j0, b - j0, w);
+    ConstMatrixView tp = t.block(0, j0, w, w);
+    MatrixView cc = c.block(j0, 0, b - j0, c.cols);
+    larfb_left(trans, vp, tp, cc, ws.w1());
+  }
+}
+
+void tsqrt_ib(MatrixView a1, MatrixView a2, MatrixView t, int ib,
+              TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(a1.rows == b && a2.rows == b && t.rows == b,
+            "tsqrt_ib expects b x b tiles");
+  check_panels(b, ib);
+
+  for (int j0 = 0; j0 < b; j0 += ib) {
+    const int w = std::min(ib, b - j0);
+    MatrixView tp = t.block(0, j0, w, w);
+    // Panel factorization (same recurrences as tsqrt, restricted to the
+    // panel columns).
+    for (int l = 0; l < w; ++l) {
+      const int j = j0 + l;
+      double alpha = a1(j, j);
+      MatrixView v2j = a2.col(j);
+      const double tau = larfg(b + 1, alpha, v2j);
+      a1(j, j) = alpha;
+      if (tau != 0.0) {
+        for (int jj = j + 1; jj < j0 + w; ++jj) {
+          double s = a1(j, jj);
+          for (int i = 0; i < b; ++i) s += a2(i, j) * a2(i, jj);
+          s *= tau;
+          a1(j, jj) -= s;
+          for (int i = 0; i < b; ++i) a2(i, jj) -= s * a2(i, j);
+        }
+      }
+      // T column l within the panel.
+      for (int i = 0; i < l; ++i) {
+        double s = 0.0;
+        for (int r = 0; r < b; ++r) s += a2(r, j0 + i) * a2(r, j);
+        tp(i, l) = -tau * s;
+      }
+      if (l > 0) {
+        MatrixView tl = tp.block(0, l, l, 1);
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView(tp.data, l, l, tp.ld), tl);
+      }
+      tp(l, l) = tau;
+    }
+    // Block-apply the panel reflector to trailing columns of the pencil:
+    // V = [E_p; V2p] with E_p the identity columns at panel rows.
+    const int trailing = b - (j0 + w);
+    if (trailing > 0) {
+      ConstMatrixView v2p = a2.block(0, j0, b, w);
+      MatrixView c1p = a1.block(j0, j0 + w, w, trailing);
+      MatrixView c2p = a2.block(0, j0 + w, b, trailing);
+      MatrixView wk = ws.w1().block(0, 0, w, trailing);
+      copy(c1p, wk);
+      gemm(Trans::Yes, Trans::No, 1.0, v2p, c2p, 1.0, wk);
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, tp, wk);
+      axpy(-1.0, wk, c1p);
+      gemm(Trans::No, Trans::No, -1.0, v2p, wk, 1.0, c2p);
+    }
+  }
+}
+
+void tsmqr_ib(MatrixView c1, MatrixView c2, ConstMatrixView v2,
+              ConstMatrixView t, int ib, Trans trans, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(c1.rows == b && c2.rows == b && v2.rows == b,
+            "tsmqr_ib expects b x b tiles");
+  const int panels = check_panels(b, ib);
+  for (int pi = 0; pi < panels; ++pi) {
+    const int p = trans == Trans::Yes ? pi : panels - 1 - pi;
+    const int j0 = p * ib;
+    const int w = std::min(ib, b - j0);
+    ConstMatrixView v2p = v2.block(0, j0, b, w);
+    ConstMatrixView tp = t.block(0, j0, w, w);
+    MatrixView c1p = c1.block(j0, 0, w, c1.cols);
+    MatrixView wk = ws.w1().block(0, 0, w, c1.cols);
+    copy(c1p, wk);
+    gemm(Trans::Yes, Trans::No, 1.0, v2p, c2, 1.0, wk);
+    trmm_left(UpLo::Upper, trans, Diag::NonUnit, tp, wk);
+    axpy(-1.0, wk, c1p);
+    gemm(Trans::No, Trans::No, -1.0, v2p, wk, 1.0, c2);
+  }
+}
+
+namespace {
+
+// Zero-padded copy of the triangular V2 panel of a TTQRT factorization:
+// column l (global j0 + l) has stored rows 0 .. j0+l; everything below is
+// another kernel's data and must read as zero.
+void load_tt_panel(ConstMatrixView v2, int j0, int w, MatrixView wp) {
+  set_zero(wp);
+  for (int l = 0; l < w; ++l)
+    for (int r = 0; r <= j0 + l; ++r) wp(r, l) = v2(r, j0 + l);
+}
+
+}  // namespace
+
+void ttqrt_ib(MatrixView a1, MatrixView a2, MatrixView t, int ib,
+              TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(a1.rows == b && a2.rows == b && t.rows == b,
+            "ttqrt_ib expects b x b tiles");
+  check_panels(b, ib);
+
+  for (int j0 = 0; j0 < b; j0 += ib) {
+    const int w = std::min(ib, b - j0);
+    MatrixView tp = t.block(0, j0, w, w);
+    for (int l = 0; l < w; ++l) {
+      const int j = j0 + l;
+      double alpha = a1(j, j);
+      MatrixView v2j = a2.block(0, j, j + 1, 1);
+      const double tau = larfg(j + 2, alpha, v2j);
+      a1(j, j) = alpha;
+      if (tau != 0.0) {
+        for (int jj = j + 1; jj < j0 + w; ++jj) {
+          double s = a1(j, jj);
+          for (int r = 0; r <= j; ++r) s += a2(r, j) * a2(r, jj);
+          s *= tau;
+          a1(j, jj) -= s;
+          for (int r = 0; r <= j; ++r) a2(r, jj) -= s * a2(r, j);
+        }
+      }
+      for (int i = 0; i < l; ++i) {
+        double s = 0.0;
+        for (int r = 0; r <= j0 + i; ++r) s += a2(r, j0 + i) * a2(r, j);
+        tp(i, l) = -tau * s;
+      }
+      if (l > 0) {
+        MatrixView tl = tp.block(0, l, l, 1);
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView(tp.data, l, l, tp.ld), tl);
+      }
+      tp(l, l) = tau;
+    }
+    const int trailing = b - (j0 + w);
+    if (trailing > 0) {
+      const int rows = j0 + w;  // V2 panel support
+      MatrixView wp = ws.w2().block(0, 0, rows, w);
+      load_tt_panel(a2, j0, w, wp);
+      MatrixView c1p = a1.block(j0, j0 + w, w, trailing);
+      MatrixView c2p = a2.block(0, j0 + w, rows, trailing);
+      MatrixView wk = ws.w1().block(0, 0, w, trailing);
+      copy(c1p, wk);
+      gemm(Trans::Yes, Trans::No, 1.0, wp, c2p, 1.0, wk);
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, tp, wk);
+      axpy(-1.0, wk, c1p);
+      gemm(Trans::No, Trans::No, -1.0, wp, wk, 1.0, c2p);
+    }
+  }
+}
+
+void ttmqr_ib(MatrixView c1, MatrixView c2, ConstMatrixView v2,
+              ConstMatrixView t, int ib, Trans trans, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(c1.rows == b && c2.rows == b && v2.rows == b,
+            "ttmqr_ib expects b x b tiles");
+  const int panels = check_panels(b, ib);
+  for (int pi = 0; pi < panels; ++pi) {
+    const int p = trans == Trans::Yes ? pi : panels - 1 - pi;
+    const int j0 = p * ib;
+    const int w = std::min(ib, b - j0);
+    const int rows = j0 + w;
+    MatrixView wp = ws.w2().block(0, 0, rows, w);
+    load_tt_panel(v2, j0, w, wp);
+    ConstMatrixView tp = t.block(0, j0, w, w);
+    MatrixView c1p = c1.block(j0, 0, w, c1.cols);
+    MatrixView c2p = c2.block(0, 0, rows, c2.cols);
+    MatrixView wk = ws.w1().block(0, 0, w, c1.cols);
+    copy(c1p, wk);
+    gemm(Trans::Yes, Trans::No, 1.0, wp, c2p, 1.0, wk);
+    trmm_left(UpLo::Upper, trans, Diag::NonUnit, tp, wk);
+    axpy(-1.0, wk, c1p);
+    gemm(Trans::No, Trans::No, -1.0, wp, wk, 1.0, c2p);
+  }
+}
+
+}  // namespace hqr

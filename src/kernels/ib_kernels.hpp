@@ -1,0 +1,43 @@
+// Inner-blocked (IB) tile kernels — the production variants.
+//
+// The plain kernels in tile_kernels.hpp use one full-size b x b T factor per
+// tile, which costs an extra O(b^3) in every MQR application. Production
+// kernels (and the paper's flop weights, §II) use inner blocking: each tile
+// is factored in column panels of width ib, with one ib x ib T per panel,
+// stored side by side in the first ib rows of the T tile (the PLASMA ib x b
+// T layout). Applications then cost 4 b^3 + O(ib b^2) instead of 5 b^3.
+//
+// ib must divide into the tile: any 1 <= ib <= b works (the last panel may
+// be narrower). ib == b reproduces the plain kernels' math with a different
+// T layout.
+#pragma once
+
+#include "kernels/tile_kernels.hpp"
+
+namespace hqr {
+
+// A <- QR of the tile, panel width ib; T(0:ib, :) holds the stacked panel
+// T factors (panel starting at column j0 occupies T(0:w, j0:j0+w)).
+void geqrt_ib(MatrixView a, MatrixView t, int ib, TileWorkspace& ws);
+
+// C <- op(Q) C for a geqrt_ib factorization.
+void unmqr_ib(ConstMatrixView v, ConstMatrixView t, int ib, Trans trans,
+              MatrixView c, TileWorkspace& ws);
+
+// Triangle-on-square factorization with panel width ib.
+void tsqrt_ib(MatrixView a1, MatrixView a2, MatrixView t, int ib,
+              TileWorkspace& ws);
+
+// Applies a tsqrt_ib reflector to [C1; C2].
+void tsmqr_ib(MatrixView c1, MatrixView c2, ConstMatrixView v2,
+              ConstMatrixView t, int ib, Trans trans, TileWorkspace& ws);
+
+// Triangle-on-triangle factorization with panel width ib.
+void ttqrt_ib(MatrixView a1, MatrixView a2, MatrixView t, int ib,
+              TileWorkspace& ws);
+
+// Applies a ttqrt_ib reflector to [C1; C2].
+void ttmqr_ib(MatrixView c1, MatrixView c2, ConstMatrixView v2,
+              ConstMatrixView t, int ib, Trans trans, TileWorkspace& ws);
+
+}  // namespace hqr

@@ -1,0 +1,75 @@
+// The six tile QR kernels of the paper (§II, Algorithm 2), from scratch.
+//
+// All kernels operate on b x b tiles with compact-WY storage:
+//
+//   GEQRT(A, T)        A <- {R in upper, V unit-lower below diag}, T built.
+//   UNMQR(V, T, C)     C <- op(Q) C for the GEQRT reflector (TT/TS update of
+//                      the killer row's trailing tiles).
+//   TSQRT(A1, A2, T)   factors [R1; A2] (triangle on top of square):
+//                      A1 upper triangle <- new R, A2 <- V2 (dense), T built.
+//                      A1's strictly-lower part (the killer's own GEQRT V) is
+//                      neither read nor written.
+//   TSMQR(C1, C2, V2, T)  applies the TSQRT reflector to the tile pair
+//                      [C1; C2] in trailing columns.
+//   TTQRT(A1, A2, T)   factors [R1; R2] (triangle on top of triangle):
+//                      A2's upper triangle <- V2 (upper triangular, stored
+//                      diagonal); its strictly-lower part is untouched.
+//   TTMQR(C1, C2, V2, T)  applies the TTQRT reflector to [C1; C2].
+//
+// Weights in b^3/3 flop units (paper §II): GEQRT 4, UNMQR 6, TSQRT 6,
+// TSMQR 12, TTQRT 2, TTMQR 6.
+#pragma once
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hqr {
+
+// Scratch buffers reused across kernel invocations; one per worker thread.
+// No kernel allocates.
+class TileWorkspace {
+ public:
+  explicit TileWorkspace(int b) : b_(b), w1_(b, b), w2_(b, b), vec_(b, 1) {
+    HQR_CHECK(b >= 1, "tile size must be >= 1");
+  }
+
+  int b() const { return b_; }
+  MatrixView w1() { return w1_.view(); }
+  MatrixView w2() { return w2_.view(); }
+  MatrixView vec() { return vec_.view(); }
+
+ private:
+  int b_;
+  Matrix w1_, w2_, vec_;
+};
+
+// A <- QR of the b x b tile. R overwrites the upper triangle (incl. diag);
+// Householder vectors overwrite the strict lower triangle (unit diagonal
+// implicit). T (b x b) receives the upper-triangular block-reflector factor.
+void geqrt(MatrixView a, MatrixView t, TileWorkspace& ws);
+
+// C <- op(Q) * C where Q = I - V T V^T from geqrt; V is the factored tile
+// (only its strict lower triangle is read). trans == Trans::Yes applies Q^T
+// (the factorization update); Trans::No applies Q (used when building Q).
+void unmqr(ConstMatrixView v, ConstMatrixView t, Trans trans, MatrixView c,
+           TileWorkspace& ws);
+
+// Factors the 2b x b pencil [triangle(A1); A2]. On exit the upper triangle
+// of A1 holds the new R, A2 holds the dense reflector block V2, T is built.
+void tsqrt(MatrixView a1, MatrixView a2, MatrixView t, TileWorkspace& ws);
+
+// Applies the TSQRT reflector to [C1; C2] (both full tiles).
+void tsmqr(MatrixView c1, MatrixView c2, ConstMatrixView v2, ConstMatrixView t,
+           Trans trans, TileWorkspace& ws);
+
+// Factors the 2b x b pencil [triangle(A1); triangle(A2)]. On exit the upper
+// triangle of A1 holds the new R, the upper triangle of A2 holds V2
+// (triangular, stored diagonal), T is built.
+void ttqrt(MatrixView a1, MatrixView a2, MatrixView t, TileWorkspace& ws);
+
+// Applies the TTQRT reflector to [C1; C2] (both full tiles); only the upper
+// triangle of v2 is read.
+void ttmqr(MatrixView c1, MatrixView c2, ConstMatrixView v2, ConstMatrixView t,
+           Trans trans, TileWorkspace& ws);
+
+}  // namespace hqr

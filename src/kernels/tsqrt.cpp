@@ -1,0 +1,67 @@
+#include "linalg/householder.hpp"
+#include "kernels/tile_kernels.hpp"
+
+namespace hqr {
+
+void tsqrt(MatrixView a1, MatrixView a2, MatrixView t, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(a1.rows == b && a1.cols == b && a2.rows == b && a2.cols == b &&
+                t.rows == b && t.cols == b,
+            "tsqrt expects b x b tiles");
+
+  for (int j = 0; j < b; ++j) {
+    // Householder for the pencil column [a1(j,j); a2(:, j)] of length b + 1.
+    double alpha = a1(j, j);
+    MatrixView v2j = a2.col(j);
+    const double tau = larfg(b + 1, alpha, v2j);
+    a1(j, j) = alpha;
+
+    if (tau != 0.0) {
+      // Update trailing columns jj > j of the pencil. The reflector is
+      // v = [e_j; v2j]; only row j of A1 participates.
+      for (int jj = j + 1; jj < b; ++jj) {
+        double w = a1(j, jj);
+        const double* c2 = a2.data + static_cast<std::size_t>(jj) * a2.ld;
+        const double* vj = a2.data + static_cast<std::size_t>(j) * a2.ld;
+        for (int i = 0; i < b; ++i) w += vj[i] * c2[i];
+        w *= tau;
+        a1(j, jj) -= w;
+        double* c2m = a2.data + static_cast<std::size_t>(jj) * a2.ld;
+        for (int i = 0; i < b; ++i) c2m[i] -= w * vj[i];
+      }
+    }
+
+    // T column j: T(0:j, j) = -tau * T(0:j,0:j) * (V2(:,0:j)^T v2j). The
+    // top identity block of V contributes nothing (e_i^T e_j = 0, i < j).
+    for (int i = 0; i < j; ++i) {
+      const double* vi = a2.data + static_cast<std::size_t>(i) * a2.ld;
+      const double* vj = a2.data + static_cast<std::size_t>(j) * a2.ld;
+      double s = 0.0;
+      for (int r = 0; r < b; ++r) s += vi[r] * vj[r];
+      t(i, j) = -tau * s;
+    }
+    if (j > 0) {
+      MatrixView tj = t.block(0, j, j, 1);
+      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                ConstMatrixView(t.data, j, j, t.ld), tj);
+    }
+    t(j, j) = tau;
+  }
+}
+
+void tsmqr(MatrixView c1, MatrixView c2, ConstMatrixView v2, ConstMatrixView t,
+           Trans trans, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(c1.rows == b && c1.cols == b && c2.rows == b && c2.cols == b &&
+                v2.rows == b && v2.cols == b && t.rows == b && t.cols == b,
+            "tsmqr expects b x b tiles");
+  // V = [I; V2]:  W = C1 + V2^T C2;  W = op(T) W;  C1 -= W;  C2 -= V2 W.
+  MatrixView w = ws.w1();
+  copy(c1, w);
+  gemm(Trans::Yes, Trans::No, 1.0, v2, c2, 1.0, w);
+  trmm_left(UpLo::Upper, trans, Diag::NonUnit, t, w);
+  axpy(-1.0, w, c1);
+  gemm(Trans::No, Trans::No, -1.0, v2, w, 1.0, c2);
+}
+
+}  // namespace hqr

@@ -1,0 +1,73 @@
+#include "linalg/householder.hpp"
+#include "kernels/tile_kernels.hpp"
+
+namespace hqr {
+
+void ttqrt(MatrixView a1, MatrixView a2, MatrixView t, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(a1.rows == b && a1.cols == b && a2.rows == b && a2.cols == b &&
+                t.rows == b && t.cols == b,
+            "ttqrt expects b x b tiles");
+
+  for (int j = 0; j < b; ++j) {
+    // Column j of the triangle-on-triangle pencil: pivot a1(j,j), entries
+    // a2(0:j+1, j) (the upper triangle of A2 holds R2 then V2).
+    double alpha = a1(j, j);
+    MatrixView v2j = a2.block(0, j, j + 1, 1);
+    const double tau = larfg(j + 2, alpha, v2j);
+    a1(j, j) = alpha;
+
+    if (tau != 0.0) {
+      // Update trailing columns jj > j: only row j of A1 and rows 0..j of A2
+      // participate (the reflector support).
+      for (int jj = j + 1; jj < b; ++jj) {
+        double w = a1(j, jj);
+        for (int i = 0; i <= j; ++i) w += a2(i, j) * a2(i, jj);
+        w *= tau;
+        a1(j, jj) -= w;
+        for (int i = 0; i <= j; ++i) a2(i, jj) -= w * a2(i, j);
+      }
+    }
+
+    // T column j over the triangular V2 (column i has rows 0..i).
+    for (int i = 0; i < j; ++i) {
+      double s = 0.0;
+      for (int r = 0; r <= i; ++r) s += a2(r, i) * a2(r, j);
+      t(i, j) = -tau * s;
+    }
+    if (j > 0) {
+      MatrixView tj = t.block(0, j, j, 1);
+      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                ConstMatrixView(t.data, j, j, t.ld), tj);
+    }
+    t(j, j) = tau;
+  }
+}
+
+void ttmqr(MatrixView c1, MatrixView c2, ConstMatrixView v2, ConstMatrixView t,
+           Trans trans, TileWorkspace& ws) {
+  const int b = ws.b();
+  HQR_CHECK(c1.rows == b && c1.cols == b && c2.rows == b && c2.cols == b &&
+                v2.rows == b && v2.cols == b && t.rows == b && t.cols == b,
+            "ttmqr expects b x b tiles");
+  // V = [I; V2] with V2 upper triangular (stored diagonal); only the upper
+  // triangle of v2 is data — the strict lower part belongs to the victim's
+  // own GEQRT reflectors and must not be read.
+  MatrixView w = ws.w1();
+  MatrixView w2 = ws.w2();
+
+  // W = C1 + V2^T C2.
+  copy(c2, w2);
+  trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, v2, w2);
+  copy(c1, w);
+  axpy(1.0, w2, w);
+  // W = op(T) W.
+  trmm_left(UpLo::Upper, trans, Diag::NonUnit, t, w);
+  // C1 -= W;  C2 -= V2 W.
+  axpy(-1.0, w, c1);
+  copy(w, w2);
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, v2, w2);
+  axpy(-1.0, w2, c2);
+}
+
+}  // namespace hqr

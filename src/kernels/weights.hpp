@@ -1,0 +1,74 @@
+// Kernel classification, flop weights and counts (paper §II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+enum class KernelType : std::uint8_t {
+  GEQRT,
+  UNMQR,
+  TSQRT,
+  TSMQR,
+  TTQRT,
+  TTMQR,
+};
+
+// Weight in units of b^3/3 floating-point operations (paper §II):
+// GEQRT 4, UNMQR 6, TSQRT 6, TSMQR 12, TTQRT 2, TTMQR 6.
+constexpr int kernel_weight(KernelType k) {
+  switch (k) {
+    case KernelType::GEQRT:
+      return 4;
+    case KernelType::UNMQR:
+      return 6;
+    case KernelType::TSQRT:
+      return 6;
+    case KernelType::TSMQR:
+      return 12;
+    case KernelType::TTQRT:
+      return 2;
+    case KernelType::TTMQR:
+      return 6;
+  }
+  return 0;
+}
+
+// Flops for a kernel on b x b tiles: weight * b^3 / 3.
+constexpr double kernel_flops(KernelType k, int b) {
+  return kernel_weight(k) * (static_cast<double>(b) * b * b) / 3.0;
+}
+
+constexpr bool is_factor_kernel(KernelType k) {
+  return k == KernelType::GEQRT || k == KernelType::TSQRT ||
+         k == KernelType::TTQRT;
+}
+
+inline std::string kernel_name(KernelType k) {
+  switch (k) {
+    case KernelType::GEQRT:
+      return "GEQRT";
+    case KernelType::UNMQR:
+      return "UNMQR";
+    case KernelType::TSQRT:
+      return "TSQRT";
+    case KernelType::TSMQR:
+      return "TSMQR";
+    case KernelType::TTQRT:
+      return "TTQRT";
+    case KernelType::TTMQR:
+      return "TTMQR";
+  }
+  HQR_CHECK(false, "unreachable kernel type");
+}
+
+// Total weight of a full m x n tile factorization is 6 m n^2 - 2 n^3 for
+// m >= n (paper §II) — checked as a DAG invariant in tests.
+constexpr long long total_factorization_weight(long long mt, long long nt) {
+  return 6 * mt * nt * nt - 2 * nt * nt * nt;
+}
+
+}  // namespace hqr

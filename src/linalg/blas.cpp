@@ -1,0 +1,145 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+namespace hqr {
+namespace {
+
+int op_rows(Trans t, ConstMatrixView a) { return t == Trans::No ? a.rows : a.cols; }
+int op_cols(Trans t, ConstMatrixView a) { return t == Trans::No ? a.cols : a.rows; }
+
+double op_at(Trans t, ConstMatrixView a, int i, int j) {
+  return t == Trans::No ? a(i, j) : a(j, i);
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const int m = op_rows(ta, a);
+  const int k = op_cols(ta, a);
+  const int n = op_cols(tb, b);
+  HQR_CHECK(op_rows(tb, b) == k, "gemm inner dimension mismatch");
+  HQR_CHECK(c.rows == m && c.cols == n, "gemm output shape mismatch");
+
+  for (int j = 0; j < n; ++j) {
+    double* cj = c.data + static_cast<std::size_t>(j) * c.ld;
+    if (beta == 0.0) {
+      for (int i = 0; i < m; ++i) cj[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+    if (alpha == 0.0) continue;
+
+    if (ta == Trans::No) {
+      // c(:,j) += alpha * A * op(B)(:,j): accumulate column-by-column of A.
+      for (int l = 0; l < k; ++l) {
+        const double blj = op_at(tb, b, l, j);
+        if (blj == 0.0) continue;
+        const double f = alpha * blj;
+        const double* al = a.data + static_cast<std::size_t>(l) * a.ld;
+        for (int i = 0; i < m; ++i) cj[i] += f * al[i];
+      }
+    } else {
+      // c(i,j) += alpha * dot(A(:,i), op(B)(:,j)).
+      for (int i = 0; i < m; ++i) {
+        const double* ai = a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += ai[l] * op_at(tb, b, l, j);
+        cj[i] += alpha * s;
+      }
+    }
+  }
+}
+
+void gemv(Trans ta, double alpha, ConstMatrixView a, ConstMatrixView x,
+          double beta, MatrixView y) {
+  HQR_CHECK(x.cols == 1 && y.cols == 1, "gemv expects vectors");
+  gemm(ta, Trans::No, alpha, a, x, beta, y);
+}
+
+void trmm_left(UpLo uplo, Trans ta, Diag diag, ConstMatrixView a, MatrixView b) {
+  const int n = a.rows;
+  HQR_CHECK(a.cols == n, "trmm expects square triangular A");
+  HQR_CHECK(b.rows == n, "trmm shape mismatch");
+  const bool unit = diag == Diag::Unit;
+  // Effective triangle after transposition.
+  const bool upper = (uplo == UpLo::Upper) == (ta == Trans::No);
+
+  for (int j = 0; j < b.cols; ++j) {
+    double* bj = b.data + static_cast<std::size_t>(j) * b.ld;
+    if (upper) {
+      // Row i of op(A) touches bj[i..n): process top-down so inputs are live.
+      for (int i = 0; i < n; ++i) {
+        double s = unit ? bj[i] : op_at(ta, a, i, i) * bj[i];
+        for (int l = i + 1; l < n; ++l) s += op_at(ta, a, i, l) * bj[l];
+        bj[i] = s;
+      }
+    } else {
+      // Lower triangular: process bottom-up.
+      for (int i = n - 1; i >= 0; --i) {
+        double s = unit ? bj[i] : op_at(ta, a, i, i) * bj[i];
+        for (int l = 0; l < i; ++l) s += op_at(ta, a, i, l) * bj[l];
+        bj[i] = s;
+      }
+    }
+  }
+}
+
+void trsm_left(UpLo uplo, Trans ta, Diag diag, ConstMatrixView a, MatrixView b) {
+  const int n = a.rows;
+  HQR_CHECK(a.cols == n, "trsm expects square triangular A");
+  HQR_CHECK(b.rows == n, "trsm shape mismatch");
+  const bool unit = diag == Diag::Unit;
+  const bool upper = (uplo == UpLo::Upper) == (ta == Trans::No);
+
+  for (int j = 0; j < b.cols; ++j) {
+    double* bj = b.data + static_cast<std::size_t>(j) * b.ld;
+    if (upper) {
+      for (int i = n - 1; i >= 0; --i) {
+        double s = bj[i];
+        for (int l = i + 1; l < n; ++l) s -= op_at(ta, a, i, l) * bj[l];
+        bj[i] = unit ? s : s / op_at(ta, a, i, i);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        double s = bj[i];
+        for (int l = 0; l < i; ++l) s -= op_at(ta, a, i, l) * bj[l];
+        bj[i] = unit ? s : s / op_at(ta, a, i, i);
+      }
+    }
+  }
+}
+
+double nrm2(ConstMatrixView x) {
+  HQR_CHECK(x.cols == 1, "nrm2 expects a vector");
+  // Two-pass scaled norm for overflow safety, as dlassq would do.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (int i = 0; i < x.rows; ++i) {
+    const double v = std::abs(x(i, 0));
+    if (v == 0.0) continue;
+    if (scale < v) {
+      ssq = 1.0 + ssq * (scale / v) * (scale / v);
+      scale = v;
+    } else {
+      ssq += (v / scale) * (v / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double dot(ConstMatrixView x, ConstMatrixView y) {
+  HQR_CHECK(x.cols == 1 && y.cols == 1 && x.rows == y.rows,
+            "dot shape mismatch");
+  double s = 0.0;
+  for (int i = 0; i < x.rows; ++i) s += x(i, 0) * y(i, 0);
+  return s;
+}
+
+void scal(double alpha, MatrixView x) {
+  HQR_CHECK(x.cols == 1, "scal expects a vector");
+  for (int i = 0; i < x.rows; ++i) x(i, 0) *= alpha;
+}
+
+}  // namespace hqr

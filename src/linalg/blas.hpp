@@ -1,0 +1,41 @@
+// Level-1/2/3 BLAS-like primitives on views.
+//
+// Built from scratch (no external BLAS in this environment); loops are
+// ordered for column-major access. These are correctness-first kernels —
+// the performance story of the reproduction lives in the simulator's
+// calibrated rates, not in these loops.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace hqr {
+
+enum class Trans { No, Yes };
+
+// C = alpha * op(A) * op(B) + beta * C.
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+// y = alpha * op(A) * x + beta * y   (x, y are n x 1 views).
+void gemv(Trans ta, double alpha, ConstMatrixView a, ConstMatrixView x,
+          double beta, MatrixView y);
+
+enum class UpLo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+
+// B = op(A) * B where A is triangular (left side multiply).
+void trmm_left(UpLo uplo, Trans ta, Diag diag, ConstMatrixView a, MatrixView b);
+
+// Solves op(A) * X = B in place (left side, triangular A).
+void trsm_left(UpLo uplo, Trans ta, Diag diag, ConstMatrixView a, MatrixView b);
+
+// Euclidean norm of an n x 1 view.
+double nrm2(ConstMatrixView x);
+
+// Dot product of two n x 1 views.
+double dot(ConstMatrixView x, ConstMatrixView y);
+
+// x *= alpha for an n x 1 view.
+void scal(double alpha, MatrixView x);
+
+}  // namespace hqr

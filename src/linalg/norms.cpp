@@ -1,0 +1,79 @@
+#include "linalg/norms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+namespace hqr {
+
+double frobenius_norm(ConstMatrixView a) {
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (int j = 0; j < a.cols; ++j) {
+    for (int i = 0; i < a.rows; ++i) {
+      const double v = std::abs(a(i, j));
+      if (v == 0.0) continue;
+      if (scale < v) {
+        ssq = 1.0 + ssq * (scale / v) * (scale / v);
+        scale = v;
+      } else {
+        ssq += (v / scale) * (v / scale);
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double one_norm(ConstMatrixView a) {
+  double best = 0.0;
+  for (int j = 0; j < a.cols; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < a.rows; ++i) s += std::abs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double inf_norm(ConstMatrixView a) {
+  std::vector<double> rowsum(a.rows, 0.0);
+  for (int j = 0; j < a.cols; ++j)
+    for (int i = 0; i < a.rows; ++i) rowsum[i] += std::abs(a(i, j));
+  double best = 0.0;
+  for (double s : rowsum) best = std::max(best, s);
+  return best;
+}
+
+double max_norm(ConstMatrixView a) {
+  double best = 0.0;
+  for (int j = 0; j < a.cols; ++j)
+    for (int i = 0; i < a.rows; ++i) best = std::max(best, std::abs(a(i, j)));
+  return best;
+}
+
+double orthogonality_error(ConstMatrixView q) {
+  HQR_CHECK(q.rows >= q.cols, "orthogonality check expects tall Q");
+  Matrix g(q.cols, q.cols);
+  gemm(Trans::Yes, Trans::No, 1.0, q, q, 0.0, g.view());
+  for (int i = 0; i < q.cols; ++i) g(i, i) -= 1.0;
+  return frobenius_norm(g.view());
+}
+
+double factorization_residual(ConstMatrixView a, ConstMatrixView q,
+                              ConstMatrixView r) {
+  HQR_CHECK(q.rows == a.rows && r.cols == a.cols && q.cols == r.rows,
+            "residual shape mismatch");
+  Matrix qr(a.rows, a.cols);
+  // Zero out anything below the diagonal of R defensively: callers pass the
+  // factored tile matrix whose lower part holds Householder vectors.
+  Matrix rr(r.rows, r.cols);
+  for (int j = 0; j < r.cols; ++j)
+    for (int i = 0; i <= std::min(j, r.rows - 1); ++i) rr(i, j) = r(i, j);
+  gemm(Trans::No, Trans::No, 1.0, q, rr.view(), 0.0, qr.view());
+  axpy(-1.0, a, qr.view());
+  const double na = frobenius_norm(a);
+  return frobenius_norm(qr.view()) / (na > 0.0 ? na : 1.0);
+}
+
+}  // namespace hqr

@@ -1,0 +1,22 @@
+// Matrix norms and the residual/orthogonality checks used throughout the
+// tests, examples and benches (the paper's §V-A correctness protocol).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace hqr {
+
+double frobenius_norm(ConstMatrixView a);
+double one_norm(ConstMatrixView a);   // max column sum
+double inf_norm(ConstMatrixView a);   // max row sum
+double max_norm(ConstMatrixView a);   // max |a_ij|
+
+// ||Q^T Q - I||_F where Q is m x n with m >= n (orthonormal columns check).
+double orthogonality_error(ConstMatrixView q);
+
+// ||A - Q R||_F / ||A||_F. R may be rectangular; only its upper triangle is
+// used. Q is m x n, R is n x cols(A).
+double factorization_residual(ConstMatrixView a, ConstMatrixView q,
+                              ConstMatrixView r);
+
+}  // namespace hqr

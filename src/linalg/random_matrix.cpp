@@ -1,0 +1,47 @@
+#include "linalg/random_matrix.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace hqr {
+
+Matrix random_uniform(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix random_gaussian(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) m(i, j) = rng.gaussian();
+  return m;
+}
+
+Matrix random_graded(int rows, int cols, double decades, Rng& rng) {
+  Matrix m = random_gaussian(rows, cols, rng);
+  for (int j = 0; j < cols; ++j) {
+    const double e = cols > 1 ? decades * j / (cols - 1) : 0.0;
+    const double s = std::pow(10.0, -e);
+    for (int i = 0; i < rows; ++i) m(i, j) *= s;
+  }
+  return m;
+}
+
+Matrix random_near_rank_deficient(int rows, int cols, int rank, double perturb,
+                                  Rng& rng) {
+  HQR_CHECK(rank >= 0 && rank <= cols, "rank out of range");
+  Matrix left = random_gaussian(rows, rank, rng);
+  Matrix right = random_gaussian(rank, cols, rng);
+  Matrix m(rows, cols);
+  gemm(Trans::No, Trans::No, 1.0, left.view(), right.view(), 0.0, m.view());
+  if (perturb > 0.0) {
+    for (int j = 0; j < cols; ++j)
+      for (int i = 0; i < rows; ++i) m(i, j) += perturb * rng.gaussian();
+  }
+  return m;
+}
+
+}  // namespace hqr

@@ -1,0 +1,25 @@
+// Random test-matrix generation.
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hqr {
+
+// Entries i.i.d. uniform in [-1, 1].
+Matrix random_uniform(int rows, int cols, Rng& rng);
+
+// Entries i.i.d. standard normal.
+Matrix random_gaussian(int rows, int cols, Rng& rng);
+
+// Matrix with geometrically graded column scales (condition ~ 10^decades):
+// column j scaled by 10^(-decades * j / (cols-1)). Stresses the numerics.
+Matrix random_graded(int rows, int cols, double decades, Rng& rng);
+
+// Tall matrix whose columns are nearly linearly dependent: rank-deficient to
+// within `perturb` (used to check small-R-diagonal handling; the tile QR must
+// still deliver A = QR even when R is nearly singular).
+Matrix random_near_rank_deficient(int rows, int cols, int rank, double perturb,
+                                  Rng& rng);
+
+}  // namespace hqr

@@ -1,0 +1,43 @@
+// Reference Householder QR (LAPACK-style), used as the numeric baseline the
+// tile algorithms are validated against, and as the "panel algorithm" that
+// underlies the ScaLAPACK comparison model.
+#pragma once
+
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hqr {
+
+// Result of a reference QR factorization of an m x n matrix (m >= n not
+// required; k = min(m, n) reflectors are produced).
+struct RefQR {
+  Matrix a;                 // R in the upper triangle, V below the diagonal
+  std::vector<double> tau;  // k reflector scalars
+
+  int rows() const { return a.rows(); }
+  int cols() const { return a.cols(); }
+  int k() const { return static_cast<int>(tau.size()); }
+};
+
+// Unblocked Householder QR (dgeqr2 analogue).
+RefQR ref_qr_unblocked(const Matrix& a);
+
+// Blocked Householder QR with panel width nb (dgeqrf analogue).
+RefQR ref_qr_blocked(const Matrix& a, int nb);
+
+// Forms the economy Q (m x k) from a factorization (dorgqr analogue).
+Matrix ref_form_q(const RefQR& qr);
+
+// Applies Q or Q^T (from the left) to C in place (dormqr analogue).
+void ref_apply_q(const RefQR& qr, Trans trans, MatrixView c);
+
+// Extracts the k x n upper-triangular/trapezoidal R.
+Matrix ref_extract_r(const RefQR& qr);
+
+// Solves the least-squares problem min ||A x - b||_2 for full-column-rank A
+// (m >= n) via QR; b is m x nrhs, the result is n x nrhs.
+Matrix least_squares(const Matrix& a, const Matrix& b);
+
+}  // namespace hqr

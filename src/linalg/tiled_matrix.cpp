@@ -1,0 +1,61 @@
+#include "linalg/tiled_matrix.hpp"
+
+namespace hqr {
+
+TiledMatrix::TiledMatrix(int m, int n, int b) : m_(m), n_(n), b_(b) {
+  HQR_CHECK(m >= 0 && n >= 0 && b >= 1, "bad tiled matrix shape m=" << m
+                                          << " n=" << n << " b=" << b);
+  mt_ = (m + b - 1) / b;
+  nt_ = (n + b - 1) / b;
+  data_.assign(static_cast<std::size_t>(mt_) * nt_ * b * b, 0.0);
+}
+
+std::size_t TiledMatrix::tile_offset(int ti, int tj) const {
+  HQR_ASSERT(ti >= 0 && ti < mt_ && tj >= 0 && tj < nt_,
+             "tile (" << ti << "," << tj << ") out of " << mt_ << "x" << nt_);
+  return (static_cast<std::size_t>(tj) * mt_ + ti) *
+         (static_cast<std::size_t>(b_) * b_);
+}
+
+TiledMatrix TiledMatrix::from_matrix(const Matrix& a, int b) {
+  TiledMatrix t(a.rows(), a.cols(), b);
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) t.set(i, j, a(i, j));
+  return t;
+}
+
+Matrix TiledMatrix::to_matrix() const {
+  Matrix a(m_, n_);
+  for (int j = 0; j < n_; ++j)
+    for (int i = 0; i < m_; ++i) a(i, j) = at(i, j);
+  return a;
+}
+
+Matrix TiledMatrix::to_padded_matrix() const {
+  Matrix a(padded_m(), padded_n());
+  for (int j = 0; j < padded_n(); ++j)
+    for (int i = 0; i < padded_m(); ++i) a(i, j) = at(i, j);
+  return a;
+}
+
+MatrixView TiledMatrix::tile(int ti, int tj) {
+  return MatrixView(data_.data() + tile_offset(ti, tj), b_, b_, b_);
+}
+
+ConstMatrixView TiledMatrix::tile(int ti, int tj) const {
+  return ConstMatrixView(data_.data() + tile_offset(ti, tj), b_, b_, b_);
+}
+
+double TiledMatrix::at(int i, int j) const {
+  HQR_ASSERT(i >= 0 && i < padded_m() && j >= 0 && j < padded_n(),
+             "element out of padded range");
+  return tile(i / b_, j / b_)(i % b_, j % b_);
+}
+
+void TiledMatrix::set(int i, int j, double v) {
+  HQR_ASSERT(i >= 0 && i < padded_m() && j >= 0 && j < padded_n(),
+             "element out of padded range");
+  tile(i / b_, j / b_)(i % b_, j % b_) = v;
+}
+
+}  // namespace hqr

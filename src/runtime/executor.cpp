@@ -1,0 +1,198 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace hqr {
+namespace {
+
+struct ReadyTask {
+  double priority;
+  std::int32_t idx;
+
+  bool operator<(const ReadyTask& o) const {
+    // max-heap by priority, FIFO-ish tiebreak on index.
+    if (priority != o.priority) return priority < o.priority;
+    return idx > o.idx;
+  }
+};
+
+class Scheduler {
+ public:
+  // Called by a worker to run task `idx` with its private workspace.
+  using ExecuteFn = std::function<void(std::int32_t, TileWorkspace&)>;
+
+  Scheduler(const TaskGraph& graph, const ExecutorOptions& opts)
+      : graph_(graph), opts_(opts), remaining_(graph.size()) {
+    npred_ = std::make_unique<std::atomic<int>[]>(
+        static_cast<std::size_t>(graph.size()));
+    for (int i = 0; i < graph.size(); ++i)
+      npred_[i].store(graph.num_predecessors(i), std::memory_order_relaxed);
+    if (opts_.priority_scheduling) {
+      graph_.critical_path(unit_weight_duration, &depth_);
+    } else {
+      depth_.assign(static_cast<std::size_t>(graph.size()), 0.0);
+      // FIFO: earlier list index = higher priority.
+      for (int i = 0; i < graph.size(); ++i)
+        depth_[i] = static_cast<double>(graph.size() - i);
+    }
+    for (std::int32_t r : graph_.roots()) push(r);
+  }
+
+  void run(int b, const ExecuteFn& execute, int threads,
+           std::vector<long long>& per_thread) {
+    per_thread.assign(static_cast<std::size_t>(threads), 0);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int t = 1; t < threads; ++t)
+      pool.emplace_back([&, t] { worker(b, execute, per_thread[t]); });
+    worker(b, execute, per_thread[0]);
+    for (auto& th : pool) th.join();
+  }
+
+ private:
+  void push(std::int32_t idx) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ready_.push({depth_[idx], idx});
+    }
+    cv_.notify_one();
+  }
+
+  // Returns -1 when all tasks are done.
+  std::int32_t pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return !ready_.empty() || remaining_.load(std::memory_order_acquire) == 0;
+    });
+    if (ready_.empty()) return -1;
+    const std::int32_t idx = ready_.top().idx;
+    ready_.pop();
+    return idx;
+  }
+
+  void worker(int b, const ExecuteFn& execute, long long& executed) {
+    TileWorkspace ws(b);
+    std::int32_t next = -1;
+    for (;;) {
+      const std::int32_t idx = next >= 0 ? next : pop();
+      next = -1;
+      if (idx < 0) return;
+      execute(idx, ws);
+      ++executed;
+
+      // Release successors; keep the best newly-ready one local.
+      std::int32_t keep = -1;
+      for (std::int32_t s : graph_.successors(idx)) {
+        if (npred_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (opts_.data_reuse &&
+              (keep < 0 || depth_[s] > depth_[keep])) {
+            if (keep >= 0) push(keep);
+            keep = s;
+          } else {
+            push(s);
+          }
+        }
+      }
+      next = keep;
+
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        cv_.notify_all();  // everything done: wake sleepers to exit
+      }
+    }
+  }
+
+  const TaskGraph& graph_;
+  const ExecutorOptions& opts_;
+  std::unique_ptr<std::atomic<int>[]> npred_;
+  std::vector<double> depth_;
+  std::priority_queue<ReadyTask> ready_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<long long> remaining_;
+};
+
+RunStats run_graph(const TaskGraph& graph, int b,
+                   const Scheduler::ExecuteFn& execute,
+                   const ExecutorOptions& opts) {
+  HQR_CHECK(opts.threads >= 1, "need at least one thread");
+  Stopwatch sw;
+  Scheduler sched(graph, opts);
+  RunStats stats;
+  stats.threads = opts.threads;
+  sched.run(b, execute, opts.threads, stats.tasks_per_thread);
+  stats.seconds = sw.seconds();
+  stats.total_tasks = graph.size();
+  return stats;
+}
+
+}  // namespace
+
+RunStats execute_parallel(QRFactors& f, const TaskGraph& graph,
+                          const ExecutorOptions& opts) {
+  HQR_CHECK(static_cast<int>(f.kernels().size()) == graph.size(),
+            "kernel list / graph mismatch");
+  return run_graph(
+      graph, f.b(),
+      [&](std::int32_t idx, TileWorkspace& ws) {
+        execute_kernel(f.kernels()[idx], f, ws);
+      },
+      opts);
+}
+
+QRFactors qr_factorize_parallel(const Matrix& a, int b,
+                                const EliminationList& list,
+                                const ExecutorOptions& opts, RunStats* stats) {
+  TiledMatrix tiled = TiledMatrix::from_matrix(a, b);
+  const int mt = tiled.mt(), nt = tiled.nt();
+  KernelList kernels = expand_to_kernels(list, mt, nt);
+  TaskGraph graph(kernels, mt, nt);
+  QRFactors f(std::move(tiled), std::move(kernels), opts.ib);
+  RunStats s = execute_parallel(f, graph, opts);
+  if (stats) *stats = s;
+  return f;
+}
+
+Matrix build_q_parallel(const QRFactors& f, const ExecutorOptions& opts,
+                        RunStats* stats) {
+  TiledMatrix q(f.a().padded_m(),
+                std::min(f.a().padded_m(), f.a().padded_n()), f.b());
+  for (int d = 0; d < std::min(q.padded_m(), q.padded_n()); ++d)
+    q.set(d, d, 1.0);
+  const KernelList ops =
+      q_apply_ops(f, Trans::No, q.nt(), /*economy=*/true);
+  TaskGraph graph = TaskGraph::apply_graph(ops, f.mt(), q.nt());
+  RunStats s = run_graph(
+      graph, f.b(),
+      [&](std::int32_t idx, TileWorkspace& ws) {
+        execute_apply_kernel(ops[idx], f, Trans::No, q, ws);
+      },
+      opts);
+  if (stats) *stats = s;
+  return q.to_padded_matrix();
+}
+
+void apply_q_parallel(const QRFactors& f, Trans trans, TiledMatrix& c,
+                      const ExecutorOptions& opts, RunStats* stats) {
+  HQR_CHECK(c.mt() == f.mt() && c.b() == f.b(),
+            "apply_q_parallel: tile row/size mismatch");
+  const KernelList ops = q_apply_ops(f, trans, c.nt());
+  TaskGraph graph = TaskGraph::apply_graph(ops, f.mt(), c.nt());
+  RunStats s = run_graph(
+      graph, f.b(),
+      [&](std::int32_t idx, TileWorkspace& ws) {
+        execute_apply_kernel(ops[idx], f, trans, c, ws);
+      },
+      opts);
+  if (stats) *stats = s;
+}
+
+}  // namespace hqr

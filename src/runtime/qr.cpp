@@ -1,0 +1,94 @@
+#include "runtime/qr.hpp"
+
+#include <algorithm>
+
+#include "runtime/executor.hpp"
+#include "trees/validate.hpp"
+
+namespace hqr {
+
+QROptions default_qr_options(int m, int n, int threads) {
+  QROptions o;
+  o.threads = std::max(1, threads);
+  // Tile size: large enough for kernel efficiency, small enough to expose
+  // tasks; cap so a tall-skinny matrix still has several tile rows.
+  const int k = std::max(1, std::min(m, n));
+  o.b = std::clamp(k / 4, 8, 64);
+  o.b = std::min({o.b, std::max(1, m), std::max(1, n) * 4});
+  o.ib = std::max(1, o.b / 4);
+
+  const int mt = (m + o.b - 1) / o.b;
+  const int nt = (n + o.b - 1) / o.b;
+  // Virtual clusters: one per worker caps inter-"cluster" reductions at the
+  // parallelism we actually have; domains once each cluster has >= 4 rows.
+  o.tree.p = std::clamp(o.threads, 1, std::max(1, mt / 2));
+  o.tree.a = (mt / std::max(1, o.tree.p) >= 4) ? 2 : 1;
+  o.tree.low = TreeKind::Greedy;
+  o.tree.high = TreeKind::Fibonacci;
+  // Few tile columns -> starved for parallelism -> couple the trees.
+  o.tree.domino = nt <= std::max(4, mt / 8);
+  o.auto_tree = false;
+  return o;
+}
+
+QRResult qr(const Matrix& a, const QROptions& opts_in) {
+  HQR_CHECK(a.rows() >= 1 && a.cols() >= 1, "empty matrix");
+  QROptions o = opts_in;
+  if (o.b <= 0 || o.auto_tree) {
+    QROptions d = default_qr_options(a.rows(), a.cols(), o.threads);
+    if (o.b <= 0) o.b = d.b;
+    if (o.ib <= 0) o.ib = d.ib;
+    if (o.auto_tree) o.tree = d.tree;
+  }
+  o.ib = std::clamp(o.ib, 1, o.b);
+
+  TiledMatrix probe = TiledMatrix::from_matrix(a, o.b);
+  EliminationList list = hqr_elimination_list(probe.mt(), probe.nt(), o.tree);
+  HQR_ASSERT(validate_elimination_list(list, probe.mt(), probe.nt()).ok,
+             "generator produced an invalid list");
+
+  ExecutorOptions exec;
+  exec.threads = o.threads;
+  exec.ib = o.ib;
+  QRFactors f = qr_factorize_parallel(a, o.b, list, exec);
+
+  QRResult out;
+  Matrix q_padded = build_q_parallel(f, exec);
+  const int k = std::min(a.rows(), a.cols());
+  out.q = materialize(q_padded.block(0, 0, a.rows(), k));
+  out.r = extract_r(f);
+  out.tree = o.tree;
+  out.b = o.b;
+  out.ib = o.ib;
+  return out;
+}
+
+Matrix qr_solve(const Matrix& a, const Matrix& rhs, const QROptions& opts_in) {
+  HQR_CHECK(a.rows() >= a.cols(), "qr_solve expects m >= n");
+  HQR_CHECK(rhs.rows() == a.rows(), "rhs row mismatch");
+  QROptions o = opts_in;
+  QROptions d = default_qr_options(a.rows(), a.cols(), o.threads);
+  if (o.b <= 0) o.b = d.b;
+  if (o.ib <= 0) o.ib = d.ib;
+  if (o.auto_tree) o.tree = d.tree;
+  o.ib = std::clamp(o.ib, 1, o.b);
+
+  TiledMatrix probe = TiledMatrix::from_matrix(a, o.b);
+  EliminationList list = hqr_elimination_list(probe.mt(), probe.nt(), o.tree);
+  ExecutorOptions exec;
+  exec.threads = o.threads;
+  exec.ib = o.ib;
+  QRFactors f = qr_factorize_parallel(a, o.b, list, exec);
+
+  TiledMatrix c = TiledMatrix::from_matrix(rhs, o.b);
+  apply_q_parallel(f, Trans::Yes, c, exec);
+  Matrix qtb = c.to_matrix();
+  const int n = a.cols();
+  Matrix x = materialize(qtb.block(0, 0, n, rhs.cols()));
+  Matrix r = extract_r(f);
+  trsm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+            ConstMatrixView(r.block(0, 0, n, n)), x.view());
+  return x;
+}
+
+}  // namespace hqr

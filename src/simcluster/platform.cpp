@@ -1,0 +1,17 @@
+#include "simcluster/platform.hpp"
+
+#include <sstream>
+
+namespace hqr {
+
+std::string Platform::describe() const {
+  std::ostringstream os;
+  os << nodes << " nodes x " << cores_per_node << " cores, peak "
+     << theoretical_peak_gflops() << " GFlop/s, latency " << latency * 1e6
+     << " us, bandwidth " << bandwidth / 1e9 << " GB/s";
+  return os.str();
+}
+
+Platform Platform::edel() { return Platform{}; }
+
+}  // namespace hqr

@@ -1,0 +1,92 @@
+// Platform model for the cluster simulator.
+//
+// Calibrated against the paper's §V-A measurements on the Grid'5000 edel
+// cluster: 60 nodes x 8 cores, per-core theoretical peak 9.08 GFlop/s,
+// dTSMQR measured at 7.21 GFlop/s/core (79.4% of peak), dTTMQR at 6.28
+// (69.2%), Infiniband 20G interconnect.
+#pragma once
+
+#include <string>
+
+#include "kernels/weights.hpp"
+
+namespace hqr {
+
+// Per-core execution rates (GFlop/s) for each kernel class.
+struct KernelRates {
+  double geqrt = 5.80;
+  double unmqr = 7.00;
+  double tsqrt = 6.30;
+  double tsmqr = 7.21;  // measured in the paper
+  double ttqrt = 4.50;
+  double ttmqr = 6.28;  // measured in the paper
+
+  double rate(KernelType k) const {
+    switch (k) {
+      case KernelType::GEQRT:
+        return geqrt;
+      case KernelType::UNMQR:
+        return unmqr;
+      case KernelType::TSQRT:
+        return tsqrt;
+      case KernelType::TSMQR:
+        return tsmqr;
+      case KernelType::TTQRT:
+        return ttqrt;
+      case KernelType::TTMQR:
+        return ttmqr;
+    }
+    return 1.0;
+  }
+};
+
+struct Platform {
+  int nodes = 60;
+  int cores_per_node = 8;
+  double peak_per_core_gflops = 9.08;
+  KernelRates rates;
+  double latency = 1.5e-6;       // seconds per message (Infiniband-class)
+  double bandwidth = 1.8e9;      // bytes/second effective per link
+
+  // Accelerators (the paper's §VI future work): each node may carry
+  // `accels_per_node` devices that execute *update* kernels (UNMQR, TSMQR,
+  // TTMQR — the GEMM-rich work GPUs are good at) at `accel_rates`; factor
+  // kernels stay on the CPU cores (panel factorization is latency-bound and
+  // a poor fit for accelerators). accel_rates defaults are an order of
+  // magnitude above the CPU, 2011-era GPU-vs-socket.
+  int accels_per_node = 0;
+  KernelRates accel_rates{/*geqrt=*/0, /*unmqr=*/55.0, /*tsqrt=*/0,
+                          /*tsmqr=*/70.0, /*ttqrt=*/0, /*ttmqr=*/50.0};
+
+  double theoretical_peak_gflops() const {
+    return nodes * cores_per_node * peak_per_core_gflops;
+  }
+
+  // Wall-clock seconds for one kernel on b x b tiles on one core.
+  double kernel_seconds(KernelType k, int b) const {
+    return kernel_flops(k, b) / (rates.rate(k) * 1e9);
+  }
+
+  // True when `k` may execute on an accelerator of this platform.
+  bool accel_eligible(KernelType k) const {
+    return accels_per_node > 0 && !is_factor_kernel(k) &&
+           accel_rates.rate(k) > 0;
+  }
+
+  // Wall-clock seconds for one update kernel on one accelerator.
+  double accel_kernel_seconds(KernelType k, int b) const {
+    return kernel_flops(k, b) / (accel_rates.rate(k) * 1e9);
+  }
+
+  // Transfer time for `bytes` between two distinct nodes.
+  double transfer_seconds(double bytes) const {
+    return latency + bytes / bandwidth;
+  }
+
+  std::string describe() const;
+
+  // The paper's experimental platform (Grid'5000 edel, §V-A).
+  static Platform edel();
+};
+
+}  // namespace hqr

@@ -1,0 +1,277 @@
+#include "simcluster/simulator.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+// Node on which a kernel executes: the owner of the tile it zeroes (factor
+// kernels) or updates in place (update kernels).
+int task_node(const KernelOp& op, const Distribution& dist) {
+  switch (op.type) {
+    case KernelType::GEQRT:
+      return dist.owner(op.row, op.k);
+    case KernelType::UNMQR:
+      return dist.owner(op.row, op.j);
+    case KernelType::TSQRT:
+    case KernelType::TTQRT:
+      return dist.owner(op.row, op.k);
+    case KernelType::TSMQR:
+    case KernelType::TTMQR:
+      return dist.owner(op.row, op.j);
+  }
+  HQR_CHECK(false, "unreachable kernel type");
+}
+
+struct Event {
+  double time;
+  std::int32_t task;
+  bool is_completion;  // false: data-ready
+
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    if (is_completion != o.is_completion)
+      return is_completion;  // ready events before completions at equal time
+    return task > o.task;
+  }
+};
+
+struct ReadyEntry {
+  double priority;
+  std::int32_t task;
+  bool operator<(const ReadyEntry& o) const {
+    if (priority != o.priority) return priority < o.priority;
+    return task > o.task;
+  }
+};
+
+}  // namespace
+
+void SimTrace::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  HQR_CHECK(f.good(), "cannot open " << path << " for writing");
+  f << "task,node,kernel,start,end\n";
+  for (const TraceEvent& e : events) {
+    f << e.task << ',' << e.node << ',' << kernel_name(e.type) << ','
+      << e.start << ',' << e.end << '\n';
+  }
+  HQR_CHECK(f.good(), "write to " << path << " failed");
+}
+
+double qr_useful_flops(long long m, long long n) {
+  const double dm = static_cast<double>(m), dn = static_cast<double>(n);
+  return 2.0 * dm * dn * dn - 2.0 * dn * dn * dn / 3.0;
+}
+
+SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
+                      long long m, long long n, const SimOptions& opts) {
+  const std::int32_t ntasks = graph.size();
+  const int nnodes = dist.nodes();
+  const double tile_bytes =
+      static_cast<double>(opts.b) * opts.b * sizeof(double);
+
+  // Static per-task data.
+  const int naccel = opts.platform.accels_per_node;
+  std::vector<std::int32_t> node(static_cast<std::size_t>(ntasks));
+  std::vector<float> dur(static_cast<std::size_t>(ntasks));
+  std::vector<float> dur_accel;
+  std::vector<char> accel_ok(static_cast<std::size_t>(ntasks), 0);
+  if (naccel > 0) dur_accel.assign(static_cast<std::size_t>(ntasks), 0.0f);
+  for (std::int32_t i = 0; i < ntasks; ++i) {
+    const KernelOp& op = graph.op(i);
+    node[i] = static_cast<std::int32_t>(task_node(op, dist));
+    dur[i] = static_cast<float>(opts.platform.kernel_seconds(op.type, opts.b));
+    if (naccel > 0 && opts.platform.accel_eligible(op.type)) {
+      accel_ok[i] = 1;
+      dur_accel[i] = static_cast<float>(
+          opts.platform.accel_kernel_seconds(op.type, opts.b));
+    }
+  }
+
+  // Priorities: critical-path depth in seconds (or FIFO).
+  std::vector<double> depth;
+  if (opts.priority_scheduling) {
+    graph.critical_path(
+        [&](const KernelOp& op) {
+          return opts.platform.kernel_seconds(op.type, opts.b);
+        },
+        &depth);
+  } else {
+    depth.assign(static_cast<std::size_t>(ntasks), 0.0);
+    for (std::int32_t i = 0; i < ntasks; ++i)
+      depth[i] = static_cast<double>(ntasks - i);
+  }
+
+  std::vector<double> ready_time(static_cast<std::size_t>(ntasks), 0.0);
+  std::vector<std::int32_t> npred(static_cast<std::size_t>(ntasks));
+  for (std::int32_t i = 0; i < ntasks; ++i)
+    npred[i] = graph.num_predecessors(i);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  // Two ready pools per node: CPU-only tasks (factor kernels) and
+  // accelerator-eligible updates (which cores may also take).
+  std::vector<std::priority_queue<ReadyEntry>> ready(
+      static_cast<std::size_t>(nnodes));
+  std::vector<std::priority_queue<ReadyEntry>> ready_upd(
+      static_cast<std::size_t>(nnodes));
+  std::vector<int> idle(static_cast<std::size_t>(nnodes),
+                        opts.platform.cores_per_node);
+  std::vector<int> idle_accel(static_cast<std::size_t>(nnodes), naccel);
+  std::vector<double> busy(static_cast<std::size_t>(nnodes), 0.0);
+  std::vector<double> busy_accel(static_cast<std::size_t>(nnodes), 0.0);
+  // Which resource a running task occupies (0 = core, 1 = accelerator).
+  std::vector<char> resource(static_cast<std::size_t>(ntasks), 0);
+
+  SimResult res;
+  res.tasks = ntasks;
+
+  for (std::int32_t r : graph.roots())
+    events.push({0.0, r, /*is_completion=*/false});
+
+  double now = 0.0;
+  // Scratch for per-producer broadcast dedup: arrival time per dest node.
+  std::vector<double> arrival(static_cast<std::size_t>(nnodes), -1.0);
+  std::vector<std::int32_t> touched;
+  touched.reserve(16);
+  // Per-node NIC occupancy (one send channel, one receive channel).
+  std::vector<double> send_free(static_cast<std::size_t>(nnodes), 0.0);
+  std::vector<double> recv_free(static_cast<std::size_t>(nnodes), 0.0);
+  const double wire = tile_bytes / opts.platform.bandwidth;
+  // Outstanding communication-thread CPU debt per node (seconds); drained by
+  // stretching running kernels, capped at one core's share of node time.
+  std::vector<double> comm_debt(static_cast<std::size_t>(nnodes), 0.0);
+  const double msg_cpu =
+      opts.comm_cpu_per_msg + tile_bytes * opts.comm_cpu_per_byte;
+
+  auto dispatch = [&](int nd) {
+    // Accelerators drain the update pool first (they run those faster).
+    while (idle_accel[nd] > 0 && !ready_upd[nd].empty()) {
+      const std::int32_t t = ready_upd[nd].top().task;
+      ready_upd[nd].pop();
+      --idle_accel[nd];
+      resource[t] = 1;
+      const double d = dur_accel[t];
+      const double finish = now + d;
+      busy_accel[nd] += d;
+      if (opts.trace)
+        opts.trace->events.push_back(
+            {t, nd, graph.op(t).type, now, finish, /*on_accel=*/true});
+      events.push({finish, t, /*is_completion=*/true});
+    }
+    // Cores take the highest-priority task across both pools.
+    while (idle[nd] > 0) {
+      std::priority_queue<ReadyEntry>* q = nullptr;
+      if (!ready[nd].empty()) q = &ready[nd];
+      if (!ready_upd[nd].empty() &&
+          (!q || ready_upd[nd].top().priority > q->top().priority))
+        q = &ready_upd[nd];
+      if (!q) break;
+      const std::int32_t t = q->top().task;
+      q->pop();
+      --idle[nd];
+      resource[t] = 0;
+      double d = dur[t];
+      if (opts.comm_thread_steal && comm_debt[nd] > 0.0) {
+        // The communication thread steals at most one core's worth of time
+        // from the running kernels.
+        const double steal = std::min(
+            comm_debt[nd], d / opts.platform.cores_per_node);
+        comm_debt[nd] -= steal;
+        d += steal;
+      }
+      const double finish = now + d;
+      busy[nd] += d;
+      if (opts.trace)
+        opts.trace->events.push_back(
+            {t, nd, graph.op(t).type, now, finish, /*on_accel=*/false});
+      events.push({finish, t, /*is_completion=*/true});
+    }
+  };
+
+  long long done = 0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    const int nd = node[ev.task];
+    if (!ev.is_completion) {
+      if (accel_ok[ev.task])
+        ready_upd[nd].push({depth[ev.task], ev.task});
+      else
+        ready[nd].push({depth[ev.task], ev.task});
+      dispatch(nd);
+      continue;
+    }
+
+    // Task completion: free the resource, release successors.
+    ++done;
+    if (resource[ev.task])
+      ++idle_accel[nd];
+    else
+      ++idle[nd];
+    for (std::int32_t s : graph.successors(ev.task)) {
+      const int sn = node[s];
+      double avail = now;
+      if (sn != nd) {
+        if (arrival[sn] < 0.0) {
+          if (opts.nic_contention) {
+            const double start =
+                std::max({now, send_free[nd], recv_free[sn]});
+            arrival[sn] = start + opts.platform.latency + wire;
+            send_free[nd] = start + wire;
+            recv_free[sn] = start + wire;
+          } else {
+            arrival[sn] = now + opts.platform.transfer_seconds(tile_bytes);
+          }
+          touched.push_back(sn);
+          ++res.messages;
+          res.volume_gbytes += tile_bytes / 1e9;
+          comm_debt[nd] += msg_cpu;  // sender-side pack + progress
+          comm_debt[sn] += msg_cpu;  // receiver-side match + unpack
+        }
+        avail = arrival[sn];
+      }
+      ready_time[s] = std::max(ready_time[s], avail);
+      if (--npred[s] == 0)
+        events.push({ready_time[s], s, /*is_completion=*/false});
+    }
+    for (std::int32_t t : touched) arrival[t] = -1.0;
+    touched.clear();
+    dispatch(nd);
+  }
+
+  HQR_CHECK(done == ntasks, "simulation deadlock: " << done << " of "
+                                                    << ntasks << " completed");
+
+  res.seconds = now;
+  res.useful_gflop = qr_useful_flops(m, n) / 1e9;
+  res.gflops = res.seconds > 0 ? res.useful_gflop / res.seconds : 0.0;
+  res.peak_fraction = res.gflops / opts.platform.theoretical_peak_gflops();
+  double total_busy = 0.0;
+  res.node_busy_fraction.reserve(busy.size());
+  const double node_capacity = res.seconds * opts.platform.cores_per_node;
+  for (double b : busy) {
+    total_busy += b;
+    res.node_busy_fraction.push_back(node_capacity > 0 ? b / node_capacity
+                                                       : 0.0);
+  }
+  const double capacity = node_capacity * nnodes;
+  res.core_utilization = capacity > 0 ? total_busy / capacity : 0.0;
+  if (naccel > 0) {
+    double total_accel = 0.0;
+    for (double b : busy_accel) total_accel += b;
+    const double accel_capacity = res.seconds * naccel * nnodes;
+    res.accel_utilization =
+        accel_capacity > 0 ? total_accel / accel_capacity : 0.0;
+  }
+  res.critical_path_seconds = graph.critical_path([&](const KernelOp& op) {
+    return opts.platform.kernel_seconds(op.type, opts.b);
+  });
+  return res;
+}
+
+}  // namespace hqr

@@ -1,0 +1,92 @@
+// Discrete-event simulation of a tile QR factorization on a cluster of
+// multicore nodes — the reproduction substrate for the paper's Figures 6-9.
+//
+// Model:
+//  * every task executes on the node owning the tile it zeroes/updates
+//    (owner-computes): GEQRT/UNMQR on owner(row, k/j), the pencil kernels on
+//    the victim row's tile owner;
+//  * each node runs `cores_per_node` cores; ready tasks are dispatched to
+//    idle cores by priority (critical-path depth), mirroring the DAGuE
+//    scheduler;
+//  * a dependency crossing nodes costs one message of one tile
+//    (latency + b^2*8/bandwidth); a producer's output is sent to each
+//    consuming node once (broadcast dedup); each node has one send and one
+//    receive channel, so heavy traffic serializes at the NICs (this is what
+//    penalizes distribution-unaware algorithms, §V-C);
+//  * kernel durations come from per-kernel GFlop/s rates calibrated to the
+//    paper's measured dTSMQR/dTTMQR numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "dist/distribution.hpp"
+#include "simcluster/platform.hpp"
+
+namespace hqr {
+
+// Execution trace of a simulated run (one record per task), exportable for
+// Gantt-style inspection — the DAGuE-profiling analogue.
+struct TraceEvent {
+  std::int32_t task;
+  std::int32_t node;
+  KernelType type;
+  double start;
+  double end;
+  bool on_accel = false;
+};
+
+struct SimTrace {
+  std::vector<TraceEvent> events;
+
+  // CSV with header task,node,kernel,start,end.
+  void save_csv(const std::string& path) const;
+};
+
+struct SimOptions {
+  Platform platform;
+  int b = 280;                     // tile size (elements)
+  bool priority_scheduling = true; // false: FIFO (scheduler ablation)
+  // Serialize transfers on per-node NICs (one send + one receive channel
+  // per node). Without it bandwidth is infinite and only per-message
+  // pipeline delay remains (network-model ablation).
+  bool nic_contention = true;
+  // Model the DAGuE communication thread competing with compute threads for
+  // cores (§V-A: "an additional communication thread ... allowed to run on
+  // any core"). Every message charges CPU time (packing, matching, MPI
+  // progress) on both endpoints; the steal rate is capped at one core's
+  // worth, and it is what penalizes distribution-unaware algorithms whose
+  // traffic is large (§V-C on [BBD+10]).
+  bool comm_thread_steal = true;
+  double comm_cpu_per_msg = 5e-6;       // fixed per-message CPU cost (s)
+  double comm_cpu_per_byte = 1.0 / 1e9; // pack/unpack cost (s per byte)
+  // When non-null, receives one TraceEvent per executed task (use only for
+  // runs small enough to hold the trace).
+  SimTrace* trace = nullptr;
+};
+
+struct SimResult {
+  double seconds = 0.0;            // simulated makespan
+  double gflops = 0.0;             // useful flops / makespan
+  double useful_gflop = 0.0;       // 2MN^2 - 2/3 N^3, in GFlop
+  double peak_fraction = 0.0;      // gflops / platform peak
+  long long messages = 0;          // inter-node messages
+  double volume_gbytes = 0.0;      // inter-node traffic
+  double core_utilization = 0.0;   // busy time / (makespan * cores)
+  double accel_utilization = 0.0;  // busy time / (makespan * accels), 0 if none
+  double critical_path_seconds = 0.0;  // zero-communication lower bound
+  long long tasks = 0;
+  std::vector<double> node_busy_fraction;  // per-node busy / makespan*cores
+};
+
+// Simulates the execution of `graph` (built for an mt x nt tile grid) under
+// `dist`; m and n are the *element* dimensions used for the useful-flops
+// figure of merit.
+SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
+                      long long m, long long n, const SimOptions& opts);
+
+// Useful flops of an m x n QR factorization (m >= n): 2mn^2 - 2n^3/3.
+double qr_useful_flops(long long m, long long n);
+
+}  // namespace hqr

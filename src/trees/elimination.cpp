@@ -1,0 +1,67 @@
+#include "trees/elimination.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+KernelList expand_to_kernels(const EliminationList& list, int mt, int nt) {
+  HQR_CHECK(mt >= 1 && nt >= 1, "empty tile grid");
+  const int kmax = std::min(mt, nt);
+  KernelList out;
+  // Generous reserve: each elimination yields <= 2 GEQRT + 1 factor kernel,
+  // each followed by <= nt updates.
+  out.reserve(list.size() * 3 * static_cast<std::size_t>(nt));
+
+  // geqrt_done[k * mt + r]: GEQRT(r, k) already emitted.
+  std::vector<char> geqrt_done(static_cast<std::size_t>(mt) * kmax, 0);
+
+  auto emit_geqrt = [&](int r, int k) {
+    char& done = geqrt_done[static_cast<std::size_t>(k) * mt + r];
+    if (done) return;
+    done = 1;
+    out.push_back({KernelType::GEQRT, r, r, k, -1});
+    for (int j = k + 1; j < nt; ++j)
+      out.push_back({KernelType::UNMQR, r, r, k, j});
+  };
+
+  for (const Elimination& e : list) {
+    HQR_CHECK(e.k >= 0 && e.k < kmax && e.row > e.k && e.row < mt &&
+                  e.piv >= e.k && e.piv < mt && e.piv != e.row,
+              "malformed elimination (" << e.row << "," << e.piv << ","
+                                        << e.k << ")");
+    emit_geqrt(e.piv, e.k);
+    if (e.ts) {
+      out.push_back({KernelType::TSQRT, e.row, e.piv, e.k, -1});
+      for (int j = e.k + 1; j < nt; ++j)
+        out.push_back({KernelType::TSMQR, e.row, e.piv, e.k, j});
+    } else {
+      emit_geqrt(e.row, e.k);
+      out.push_back({KernelType::TTQRT, e.row, e.piv, e.k, -1});
+      for (int j = e.k + 1; j < nt; ++j)
+        out.push_back({KernelType::TTMQR, e.row, e.piv, e.k, j});
+    }
+  }
+
+  // Panels whose diagonal tile was never used as a killer (e.g. the last
+  // panel of a square matrix) still need their GEQRT to finish R.
+  for (int k = 0; k < kmax; ++k) emit_geqrt(k, k);
+
+  return out;
+}
+
+long long total_weight(const KernelList& kernels) {
+  long long w = 0;
+  for (const KernelOp& op : kernels) w += kernel_weight(op.type);
+  return w;
+}
+
+KernelList factor_kernels_only(const KernelList& kernels) {
+  KernelList out;
+  for (const KernelOp& op : kernels)
+    if (is_factor_kernel(op.type)) out.push_back(op);
+  return out;
+}
+
+}  // namespace hqr

@@ -1,0 +1,53 @@
+// Elimination lists: the complete characterization of a tiled QR algorithm
+// (paper §II). An algorithm *is* its ordered list of eliminations
+// elim(i, killer(i,k), k); everything else (kernels, updates, DAG) derives
+// from it mechanically.
+#pragma once
+
+#include <vector>
+
+#include "kernels/weights.hpp"
+
+namespace hqr {
+
+// One orthogonal transformation zeroing tile (row, k) using row piv.
+struct Elimination {
+  int row;  // i   — the row whose tile (i, k) is zeroed
+  int piv;  // killer(i, k)
+  int k;    // panel index
+  bool ts;  // true: TS kernels (victim square), false: TT kernels
+
+  friend bool operator==(const Elimination&, const Elimination&) = default;
+};
+
+using EliminationList = std::vector<Elimination>;
+
+// One tile kernel invocation. For GEQRT: (row=piv=r, j unused). For factor
+// kernels TSQRT/TTQRT: j unused. For updates, j > k is the trailing column.
+struct KernelOp {
+  KernelType type;
+  int row;  // victim row (or the GEQRT'd row)
+  int piv;  // killer row (== row for GEQRT/UNMQR)
+  int k;    // panel
+  int j;    // trailing column for updates, -1 otherwise
+
+  friend bool operator==(const KernelOp&, const KernelOp&) = default;
+};
+
+using KernelList = std::vector<KernelOp>;
+
+// Expands an elimination list into the full sequentially-valid kernel list:
+// GEQRT for every row that participates in a TT elimination or acts as a TS
+// killer (lazily, before first such use), each factor kernel followed by its
+// trailing updates on columns k+1 .. nt-1. Executing this list in order on a
+// tiled matrix performs the factorization.
+KernelList expand_to_kernels(const EliminationList& list, int mt, int nt);
+
+// Sum of kernel_weight over a kernel list; equals 6 mt nt^2 - 2 nt^3 for any
+// valid algorithm (paper §II invariant).
+long long total_weight(const KernelList& kernels);
+
+// Convenience: kills-only view (factor kernels) of a kernel list.
+KernelList factor_kernels_only(const KernelList& kernels);
+
+}  // namespace hqr

@@ -1,0 +1,139 @@
+#include "trees/hqr_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+// Per-node geometry for panel k: local row ranges in node r's coordinates
+// (global row g = r + lm * p).
+struct NodePanel {
+  bool active = false;
+  int lt = 0;    // top tile local row (level 3)
+  int last = 0;  // last local row
+  int dloc = 0;  // local diagonal row: min(k, last)
+};
+
+NodePanel node_panel(int r, int k, int mt, int p) {
+  NodePanel np;
+  if (r >= mt) return np;
+  const int last = (mt - 1 - r) / p;
+  // Smallest lm with r + lm*p >= k.
+  const int lt = std::max(0, (k - r + p - 1) / p);
+  if (lt > last) return np;
+  np.active = true;
+  np.lt = lt;
+  np.last = last;
+  np.dloc = std::min(k, last);
+  return np;
+}
+
+}  // namespace
+
+std::string HqrConfig::describe() const {
+  std::ostringstream os;
+  os << "hqr(p=" << p << ", a=" << a << ", low=" << tree_name(low)
+     << ", high=" << tree_name(high) << ", domino=" << (domino ? "on" : "off")
+     << ")";
+  return os.str();
+}
+
+EliminationList hqr_elimination_list(int mt, int nt, const HqrConfig& cfg) {
+  HQR_CHECK(mt >= 1 && nt >= 1, "empty tile grid");
+  HQR_CHECK(cfg.p >= 1 && cfg.a >= 1, "bad HQR parameters p=" << cfg.p
+                                        << " a=" << cfg.a);
+  const int p = cfg.p;
+  const int a = cfg.a;
+  const int kmax = std::min(mt, nt);
+  EliminationList out;
+
+  for (int k = 0; k < kmax; ++k) {
+    std::vector<int> tops;  // global rows of the p top tiles, for the high tree
+    for (int r = 0; r < p; ++r) {
+      const NodePanel np = node_panel(r, k, mt, p);
+      if (!np.active) continue;
+      auto g = [&](int lm) { return r + lm * p; };
+      tops.push_back(g(np.lt));
+
+      // Level 0: TS chains. Domains are `a` consecutive local rows aligned
+      // on multiples of a (absolute alignment, paper Fig. 5: with a = 2
+      // "the killer is always the tile above it in the local view" — so a
+      // top tile or a level-2 tile can be the TS killer of its domain).
+      // Victims are the non-head domain rows strictly below the local
+      // diagonal; the effective head of a domain clipped by the top tile
+      // is the top tile itself.
+      std::vector<int> heads;  // local rows of level-1 heads (below dloc)
+      if (np.dloc < np.last) {
+        const int d_first = np.lt / a;
+        const int d_last = np.last / a;
+        for (int d = d_first; d <= d_last; ++d) {
+          const int head = std::max(np.lt, d * a);
+          const int end = std::min(np.last, (d + 1) * a - 1);
+          if (head > np.dloc && head <= end) heads.push_back(head);
+          for (int lm = std::max(np.dloc, head) + 1; lm <= end; ++lm)
+            out.push_back({g(lm), g(head), k, /*ts=*/true});
+        }
+      }
+
+      if (cfg.domino) {
+        // Low-level tree over {dloc} U heads, rooted at the local diagonal.
+        std::vector<int> subset;
+        subset.push_back(g(np.dloc));
+        for (int h : heads) subset.push_back(g(h));
+        for (const ReductionPair& pr : reduce_subset(cfg.low, subset))
+          out.push_back({pr.victim, pr.killer, k, /*ts=*/false});
+        // Coupling level: domino chain, each level-2 tile killed by the
+        // local row directly above it. Listed bottom-up so each killer is
+        // still alive at its use.
+        for (int lm = np.dloc; lm > np.lt; --lm)
+          out.push_back({g(lm), g(lm - 1), k, /*ts=*/false});
+      } else {
+        // No coupling level: one local tree over all rows [lt, dloc] plus
+        // the domain heads, rooted at the top tile.
+        std::vector<int> subset;
+        for (int lm = np.lt; lm <= np.dloc; ++lm) subset.push_back(g(lm));
+        for (int h : heads) subset.push_back(g(h));
+        for (const ReductionPair& pr : reduce_subset(cfg.low, subset))
+          out.push_back({pr.victim, pr.killer, k, /*ts=*/false});
+      }
+    }
+
+    // High-level tree across the top tiles, rooted at the diagonal row k.
+    std::sort(tops.begin(), tops.end());
+    HQR_ASSERT(!tops.empty() && tops.front() == k,
+               "high tree root must be the diagonal row");
+    for (const ReductionPair& pr : reduce_subset(cfg.high, tops))
+      out.push_back({pr.victim, pr.killer, k, /*ts=*/false});
+  }
+  return out;
+}
+
+int tile_level(int i, int k, int mt, const HqrConfig& cfg) {
+  HQR_CHECK(i >= 0 && i < mt && k >= 0, "tile out of range");
+  if (i < k) return -1;
+  const int p = cfg.p;
+  const int r = i % p;
+  const int lm = i / p;
+  const NodePanel np = node_panel(r, k, mt, p);
+  HQR_ASSERT(np.active && lm >= np.lt && lm <= np.last, "inconsistent geometry");
+  if (lm == np.lt) return 3;
+  if (lm <= np.dloc) return 2;
+  const int head = std::max(np.lt, (lm / cfg.a) * cfg.a);
+  return lm == head ? 1 : 0;
+}
+
+HqrConfig slhd10_config(int mt, int nodes) {
+  HQR_CHECK(nodes >= 1, "need at least one node");
+  HqrConfig cfg;
+  cfg.p = 1;
+  cfg.a = std::max(1, (mt + nodes - 1) / nodes);
+  cfg.low = TreeKind::Binary;
+  cfg.high = TreeKind::Binary;  // irrelevant with p = 1
+  cfg.domino = false;
+  return cfg;
+}
+
+}  // namespace hqr

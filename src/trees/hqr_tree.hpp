@@ -1,0 +1,59 @@
+// The hierarchical HQR elimination-list generator (paper §IV).
+//
+// Rows of the tile matrix are distributed round-robin over the p rows of the
+// virtual cluster grid (2D block-cyclic awareness: for a p x q grid, the
+// panel-column reduction only involves the p grid rows). Within node r and
+// panel k (all indices in the node's *local* row coordinates lm, where the
+// global row is g = r + lm * p):
+//
+//   level 3 (top tile):  the first local row lt with g >= k. The p top tiles
+//                        are reduced across nodes by the HIGH-level tree,
+//                        rooted at global row k.
+//   level 2 (domino):    local rows in (lt, dloc], where dloc = min(k, last
+//                        local row) is the local diagonal. Each is killed by
+//                        the local row directly above it (the coupling
+//                        level); the chain unlocks top-down as inter-node
+//                        reductions of previous panels ripple (§IV-B).
+//   level 1 (heads):     domain heads strictly below the local diagonal
+//                        (domains of `a` consecutive local rows aligned on
+//                        multiples of a, clipped at dloc+1), reduced by the
+//                        LOW-level tree rooted at the local diagonal tile.
+//   level 0 (TS):        remaining rows below the local diagonal, killed by
+//                        their domain head through a flat TS chain.
+//
+// With the coupling level disabled, levels 2 and 1 merge: the low-level tree
+// reduces all of (lt, dloc] plus the domain heads, rooted at the top tile.
+#pragma once
+
+#include <string>
+
+#include "trees/elimination.hpp"
+#include "trees/panel_trees.hpp"
+
+namespace hqr {
+
+struct HqrConfig {
+  int p = 1;                           // virtual grid rows (clusters)
+  int a = 1;                           // TS domain size (1 = no TS level)
+  TreeKind low = TreeKind::Greedy;     // intra-node tree (TT kernels)
+  TreeKind high = TreeKind::Fibonacci; // inter-node tree (TT kernels)
+  bool domino = true;                  // coupling level (level-2 chain)
+
+  std::string describe() const;
+};
+
+// Generates the full elimination list, panels in ascending order.
+EliminationList hqr_elimination_list(int mt, int nt, const HqrConfig& cfg);
+
+// Reduction level of tile (i, k) for i >= k (paper Figure 5): 3 = top tile,
+// 2 = domino, 1 = domain head below the local diagonal, 0 = TS-killed.
+// Returns -1 for tiles above the diagonal (i < k).
+int tile_level(int i, int k, int mt, const HqrConfig& cfg);
+
+// The [SLHD10] comparator expressed as an HQR parameterization (paper §V-A):
+// virtual grid p = 1, domains of size a = ceil(mt / nodes), low-level binary
+// tree (the 1D block data distribution is a property of the simulator
+// mapping, not of the elimination structure).
+HqrConfig slhd10_config(int mt, int nodes);
+
+}  // namespace hqr

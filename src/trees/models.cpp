@@ -1,0 +1,62 @@
+#include "trees/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+int panel_tree_depth(TreeKind kind, int n) {
+  HQR_CHECK(n >= 1, "need at least the root");
+  switch (kind) {
+    case TreeKind::Flat:
+      return n - 1;
+    case TreeKind::Binary: {
+      int d = 0;
+      while ((1 << d) < n) ++d;
+      return d;
+    }
+    case TreeKind::Greedy: {
+      int d = 0;
+      int alive = n;
+      while (alive > 1) {
+        alive -= alive / 2;
+        ++d;
+      }
+      return d;
+    }
+    case TreeKind::Fibonacci: {
+      int d = 0;
+      int alive = n;
+      long long fa = 1, fb = 1;
+      while (alive > 1) {
+        ++d;
+        long long wave;
+        if (d <= 2) {
+          wave = 1;
+        } else {
+          wave = fa + fb;
+          fa = fb;
+          fb = wave;
+        }
+        alive -= static_cast<int>(
+            std::min<long long>(wave, alive / 2));
+      }
+      return d;
+    }
+  }
+  HQR_CHECK(false, "unreachable tree kind");
+}
+
+double column_cp_flat(int m, int n) { return m + 2.0 * n; }
+
+double column_cp_greedy(int m, int n) {
+  return std::log2(std::max(2, m)) + 2.0 * n;
+}
+
+long long geqrt_count(int mt, int nt, long long tt_kills) {
+  return std::min(mt, nt) + tt_kills;
+}
+
+}  // namespace hqr

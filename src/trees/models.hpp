@@ -1,0 +1,34 @@
+// Closed-form analytic models for reduction-tree depths and critical paths.
+//
+// These are the formulas the paper reasons with (§III, §V-B): they are
+// checked against the actual generators in the tests, and the benches print
+// model-vs-measured columns.
+#pragma once
+
+#include "trees/panel_trees.hpp"
+
+namespace hqr {
+
+// Number of rounds reduce_subset(kind, rows) takes for |rows| = n (n >= 1).
+//   flat:      n - 1                  (fully serial)
+//   binary:    ceil(log2 n)
+//   greedy:    halving rounds (n -> ceil(n/2)) until one row remains
+//   fibonacci: waves of size min(F_s, floor(alive/2))
+int panel_tree_depth(TreeKind kind, int n);
+
+// The paper's §V-B single-column critical-path model, in elimination units:
+// a panel of m tiles with n trailing updates costs ~(m + 2n) under a flat
+// tree and ~(log2(m) + 2n) under greedy. The paper evaluates the ratio on
+// the 68 x 16 local matrix and gets ~2.6.
+double column_cp_flat(int m, int n);
+double column_cp_greedy(int m, int n);
+
+// Exact number of GEQRT kernels in any valid algorithm on an mt x nt grid
+// with `tt_kills` TT eliminations: min(mt, nt) diagonal tiles plus one per
+// TT victim (every other triangularized tile is accounted for by a later
+// kill of itself; TS victims stay square). Checked against expanded kernel
+// lists in the tests — it is why a = 1 maximizes GEQRT/TTQRT work and
+// larger a shifts flops into the faster TS kernels (paper §V-B).
+long long geqrt_count(int mt, int nt, long long tt_kills);
+
+}  // namespace hqr

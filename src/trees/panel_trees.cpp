@@ -1,0 +1,105 @@
+#include "trees/panel_trees.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+std::string tree_name(TreeKind k) {
+  switch (k) {
+    case TreeKind::Flat:
+      return "flat";
+    case TreeKind::Binary:
+      return "binary";
+    case TreeKind::Greedy:
+      return "greedy";
+    case TreeKind::Fibonacci:
+      return "fibonacci";
+  }
+  HQR_CHECK(false, "unreachable tree kind");
+}
+
+TreeKind tree_from_name(const std::string& name) {
+  if (name == "flat") return TreeKind::Flat;
+  if (name == "binary") return TreeKind::Binary;
+  if (name == "greedy") return TreeKind::Greedy;
+  if (name == "fibonacci") return TreeKind::Fibonacci;
+  HQR_CHECK(false, "unknown tree kind '" << name << "'");
+}
+
+namespace {
+
+std::vector<ReductionPair> reduce_flat(const std::vector<int>& rows) {
+  std::vector<ReductionPair> out;
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    out.push_back({rows[i], rows[0], static_cast<int>(i)});
+  return out;
+}
+
+std::vector<ReductionPair> reduce_binary(const std::vector<int>& rows) {
+  const int n = static_cast<int>(rows.size());
+  std::vector<ReductionPair> out;
+  int round = 1;
+  for (int half = 1; half < n; half *= 2, ++round) {
+    const int stride = 2 * half;
+    for (int q = 0; q + half < n; q += stride)
+      out.push_back({rows[q + half], rows[q], round});
+  }
+  return out;
+}
+
+// Shared wave engine for Greedy and Fibonacci: at each round, kill `z`
+// bottom-most alive rows using the `z` alive rows directly above them,
+// paired in natural order. `wave_size(round, alive)` picks z.
+template <typename WaveSize>
+std::vector<ReductionPair> reduce_waves(const std::vector<int>& rows,
+                                        WaveSize wave_size) {
+  std::vector<int> alive = rows;
+  std::vector<ReductionPair> out;
+  int round = 1;
+  while (alive.size() > 1) {
+    const int cnt = static_cast<int>(alive.size());
+    const int z = std::min(wave_size(round, cnt), cnt / 2);
+    HQR_CHECK(z >= 1, "wave size must be positive");
+    const int vic0 = cnt - z;    // first victim position
+    const int kil0 = cnt - 2 * z;  // first killer position
+    for (int t = 0; t < z; ++t)
+      out.push_back({alive[vic0 + t], alive[kil0 + t], round});
+    alive.resize(static_cast<std::size_t>(vic0));
+    ++round;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ReductionPair> reduce_subset(TreeKind kind,
+                                         const std::vector<int>& rows) {
+  HQR_CHECK(!rows.empty(), "reduce_subset needs at least the root row");
+  HQR_CHECK(std::is_sorted(rows.begin(), rows.end()) &&
+                std::adjacent_find(rows.begin(), rows.end()) == rows.end(),
+            "rows must be sorted and unique");
+  switch (kind) {
+    case TreeKind::Flat:
+      return reduce_flat(rows);
+    case TreeKind::Binary:
+      return reduce_binary(rows);
+    case TreeKind::Greedy:
+      // As many kills as possible per round: z = floor(alive / 2).
+      return reduce_waves(rows, [](int, int alive) { return alive / 2; });
+    case TreeKind::Fibonacci: {
+      // Wave sizes follow the Fibonacci sequence 1, 1, 2, 3, 5, ...
+      return reduce_waves(rows, [fa = 1, fb = 1](int round, int) mutable {
+        if (round <= 2) return 1;
+        const int f = fa + fb;
+        fa = fb;
+        fb = f;
+        return fb;
+      });
+    }
+  }
+  HQR_CHECK(false, "unreachable tree kind");
+}
+
+}  // namespace hqr

@@ -1,0 +1,48 @@
+// Per-subset reduction trees (paper §III-A): FLATTREE, BINARYTREE, GREEDY,
+// FIBONACCI, each reducing an ordered set of rows to its first element.
+//
+// These are the building blocks of the hierarchical algorithm: the low-level
+// tree reduces domain heads inside a node, the high-level tree reduces the p
+// top tiles across nodes; both can be any of the four kinds (paper §IV-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hqr {
+
+enum class TreeKind { Flat, Binary, Greedy, Fibonacci };
+
+std::string tree_name(TreeKind k);
+// Parses "flat" / "binary" / "greedy" / "fibonacci" (case-sensitive).
+TreeKind tree_from_name(const std::string& name);
+
+// One internal node of a reduction tree: `victim` is eliminated by `killer`;
+// `round` is the tree level (1-based) used to order eliminations so that the
+// returned list is sequentially valid (killer of any pair is itself killed
+// in a later entry, or survives).
+struct ReductionPair {
+  int victim;
+  int killer;
+  int round;
+
+  friend bool operator==(const ReductionPair&, const ReductionPair&) = default;
+};
+
+// Reduces rows[1..] into rows[0] (the root survives). `rows` must be sorted
+// ascending and non-empty; returns exactly rows.size()-1 pairs in a
+// sequentially valid order.
+//
+//  - Flat:      rows[0] kills rows[1], rows[2], ... sequentially (paper
+//               Fig. 1).
+//  - Binary:    neighbor pairing at distances 1, 2, 4, ... (paper Fig. 2).
+//  - Greedy:    at each round, the bottom floor(alive/2) rows are killed by
+//               the alive rows directly above them, paired in natural order
+//               (the per-column wave of the paper's GREEDY, §III-B).
+//  - Fibonacci: bottom-up waves whose sizes grow like the Fibonacci
+//               sequence 1, 1, 2, 3, 5, ... (Modi–Clarke style ordering);
+//               each wave is killed by the rows directly above it.
+std::vector<ReductionPair> reduce_subset(TreeKind kind,
+                                         const std::vector<int>& rows);
+
+}  // namespace hqr

@@ -1,0 +1,101 @@
+#include "trees/single_level.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+EliminationList flat_ts_list(int mt, int nt) {
+  HQR_CHECK(mt >= 1 && nt >= 1, "empty tile grid");
+  EliminationList out;
+  const int kmax = std::min(mt, nt);
+  for (int k = 0; k < kmax; ++k)
+    for (int i = k + 1; i < mt; ++i) out.push_back({i, k, k, /*ts=*/true});
+  return out;
+}
+
+EliminationList per_panel_tree_list(TreeKind kind, int mt, int nt) {
+  HQR_CHECK(mt >= 1 && nt >= 1, "empty tile grid");
+  EliminationList out;
+  const int kmax = std::min(mt, nt);
+  for (int k = 0; k < kmax; ++k) {
+    std::vector<int> rows(static_cast<std::size_t>(mt - k));
+    std::iota(rows.begin(), rows.end(), k);
+    for (const ReductionPair& pr : reduce_subset(kind, rows))
+      out.push_back({pr.victim, pr.killer, k, /*ts=*/false});
+  }
+  return out;
+}
+
+SteppedList greedy_global_list(int mt, int nt) {
+  HQR_CHECK(mt >= 1 && nt >= 1, "empty tile grid");
+  const int kmax = std::min(mt, nt);
+
+  // killed_at[k][i]: step at which tile (i, k) was zeroed; 0 = not yet.
+  std::vector<std::vector<int>> killed_at(
+      static_cast<std::size_t>(kmax), std::vector<int>(static_cast<std::size_t>(mt), 0));
+  long long remaining = 0;
+  for (int k = 0; k < kmax; ++k) remaining += mt - 1 - k;
+
+  struct Timed {
+    Elimination e;
+    int step;
+  };
+  std::vector<Timed> acc;
+  acc.reserve(static_cast<std::size_t>(remaining));
+
+  for (int step = 1; remaining > 0; ++step) {
+    std::vector<char> busy(static_cast<std::size_t>(mt), 0);
+    bool progress = false;
+    for (int k = 0; k < kmax && remaining > 0; ++k) {
+      // Ready rows for panel k: alive in panel k (or the diagonal row k),
+      // zeroed in panel k-1 before this step, and not yet busy this step.
+      std::vector<int> ready;
+      for (int i = k; i < mt; ++i) {
+        if (busy[i]) continue;
+        if (i > k && killed_at[k][i] != 0) continue;  // already dead here
+        if (k > 0) {
+          const int done = killed_at[k - 1][i];
+          if (done == 0 || done >= step) continue;  // row not ready yet
+        }
+        ready.push_back(i);
+      }
+      const int cnt = static_cast<int>(ready.size());
+      const int z = cnt / 2;
+      if (z == 0) continue;
+      // Bottom z rows killed by the z ready rows directly above them.
+      for (int t = 0; t < z; ++t) {
+        const int victim = ready[cnt - z + t];
+        const int killer = ready[cnt - 2 * z + t];
+        HQR_ASSERT(victim > k, "greedy victim must be below the diagonal");
+        acc.push_back({{victim, killer, k, /*ts=*/false}, step});
+        killed_at[k][victim] = step;
+        busy[victim] = 1;
+        busy[killer] = 1;
+        --remaining;
+        progress = true;
+      }
+    }
+    HQR_CHECK(progress || remaining == 0,
+              "greedy simulation stalled at step " << step);
+  }
+
+  // Emit in (step, panel, row) order: sequentially valid by construction.
+  std::stable_sort(acc.begin(), acc.end(), [](const Timed& x, const Timed& y) {
+    if (x.step != y.step) return x.step < y.step;
+    if (x.e.k != y.e.k) return x.e.k < y.e.k;
+    return x.e.row < y.e.row;
+  });
+  SteppedList out;
+  out.list.reserve(acc.size());
+  out.step.reserve(acc.size());
+  for (const Timed& t : acc) {
+    out.list.push_back(t.e);
+    out.step.push_back(t.step);
+  }
+  return out;
+}
+
+}  // namespace hqr

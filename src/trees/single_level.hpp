@@ -1,0 +1,33 @@
+// Whole-matrix single-level tiled QR algorithms from the literature
+// (paper §III): the baselines HQR is compared against, and the per-panel
+// building blocks of Tables I-IV.
+#pragma once
+
+#include "trees/elimination.hpp"
+#include "trees/panel_trees.hpp"
+
+namespace hqr {
+
+// Sameh-Kuck / PLASMA / [BBD+10] ordering: in every panel the diagonal tile
+// kills all tiles below it with TS kernels (flat tree, Table I / II).
+EliminationList flat_ts_list(int mt, int nt);
+
+// Generic per-panel tree with TT kernels: the panel-k subset is
+// {k, k+1, ..., mt-1} reduced by `kind` (Table III for Binary).
+EliminationList per_panel_tree_list(TreeKind kind, int mt, int nt);
+
+// An elimination list together with the coarse-model step at which each
+// elimination executes (unit-time eliminations).
+struct SteppedList {
+  EliminationList list;
+  std::vector<int> step;  // parallel to list
+};
+
+// The GREEDY algorithm of [12], [13] in its tiled form (paper §III-B,
+// Table IV): a global unit-step simulation where, at every step and in every
+// panel (in order), the bottom floor(ready/2) ready-and-free rows are killed
+// by the ready rows directly above them. Rows are "ready" for panel k once
+// zeroed in panel k-1 and not busy in the current step. TT kernels.
+SteppedList greedy_global_list(int mt, int nt);
+
+}  // namespace hqr

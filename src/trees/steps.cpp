@@ -1,0 +1,62 @@
+#include "trees/steps.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+std::vector<int> asap_steps(const EliminationList& list, int mt, int nt) {
+  const int kmax = std::min(mt, nt);
+  // finish[k * mt + i]: completion step of the elimination zeroing (i, k).
+  std::vector<int> finish(static_cast<std::size_t>(mt) * kmax, 0);
+  // last_use[k * mt + piv]: last step at which piv killed in panel k.
+  std::vector<int> last_use(static_cast<std::size_t>(mt) * kmax, 0);
+
+  std::vector<int> steps;
+  steps.reserve(list.size());
+  for (const Elimination& e : list) {
+    HQR_CHECK(e.k >= 0 && e.k < kmax && e.row < mt && e.piv < mt,
+              "elimination out of range for step model");
+    int ready = 0;
+    if (e.k > 0) {
+      const int fi = finish[static_cast<std::size_t>(e.k - 1) * mt + e.row];
+      const int fp = finish[static_cast<std::size_t>(e.k - 1) * mt + e.piv];
+      HQR_CHECK(fi > 0 && fp > 0,
+                "rows not zeroed in previous panel; invalid list order");
+      ready = std::max(fi, fp);
+    }
+    ready = std::max(ready, last_use[static_cast<std::size_t>(e.k) * mt + e.piv]);
+    const int s = ready + 1;
+    steps.push_back(s);
+    finish[static_cast<std::size_t>(e.k) * mt + e.row] = s;
+    last_use[static_cast<std::size_t>(e.k) * mt + e.piv] = s;
+  }
+  return steps;
+}
+
+KillerStepTable killer_step_table(const EliminationList& list,
+                                  const std::vector<int>& steps, int mt,
+                                  int panels) {
+  HQR_CHECK(steps.size() == list.size(), "steps/list size mismatch");
+  KillerStepTable t;
+  t.mt = mt;
+  t.panels = panels;
+  t.killer.assign(static_cast<std::size_t>(mt) * panels, -1);
+  t.step.assign(static_cast<std::size_t>(mt) * panels, -1);
+  for (std::size_t idx = 0; idx < list.size(); ++idx) {
+    const Elimination& e = list[idx];
+    if (e.k >= panels) continue;
+    t.killer[static_cast<std::size_t>(e.k) * mt + e.row] = e.piv;
+    t.step[static_cast<std::size_t>(e.k) * mt + e.row] = steps[idx];
+  }
+  return t;
+}
+
+int coarse_makespan(const std::vector<int>& steps) {
+  int m = 0;
+  for (int s : steps) m = std::max(m, s);
+  return m;
+}
+
+}  // namespace hqr

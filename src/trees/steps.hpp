@@ -1,0 +1,41 @@
+// The coarse-grain unit-time step model of the paper's §III tables.
+//
+// Each elimination takes one time unit. An elimination elim(i, piv, k) can
+// start once (a) row i finished panel k-1, (b) row piv finished panel k-1,
+// and (c) any earlier use of piv as a killer in panel k completed. This is
+// exactly the model generating Tables I, II and III (it deliberately does
+// not serialize a row's own elimination against its killer duties — see
+// Table III where row 3 of panel 1 is killed at the same step it kills
+// row 4; DESIGN.md discusses this).
+#pragma once
+
+#include <vector>
+
+#include "trees/elimination.hpp"
+
+namespace hqr {
+
+// ASAP step for each elimination (parallel to `list`). The list must be
+// valid (panel-readiness is looked up from earlier entries).
+std::vector<int> asap_steps(const EliminationList& list, int mt, int nt);
+
+// Per-(row, panel) killer/step table for rendering the paper's tables.
+// Entries are -1 where a row has no elimination in a panel.
+struct KillerStepTable {
+  int mt = 0;
+  int panels = 0;
+  std::vector<int> killer;  // killer[k * mt + i]
+  std::vector<int> step;    // step[k * mt + i]
+
+  int killer_of(int i, int k) const { return killer[static_cast<std::size_t>(k) * mt + i]; }
+  int step_of(int i, int k) const { return step[static_cast<std::size_t>(k) * mt + i]; }
+};
+
+KillerStepTable killer_step_table(const EliminationList& list,
+                                  const std::vector<int>& steps, int mt,
+                                  int panels);
+
+// Total schedule length under the coarse model (max step).
+int coarse_makespan(const std::vector<int>& steps);
+
+}  // namespace hqr

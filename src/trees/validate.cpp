@@ -1,0 +1,91 @@
+#include "trees/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+std::string describe(const Elimination& e, std::size_t pos) {
+  std::ostringstream os;
+  os << "elim #" << pos << " (row=" << e.row << ", piv=" << e.piv
+     << ", k=" << e.k << ", " << (e.ts ? "TS" : "TT") << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationResult validate_elimination_list(const EliminationList& list, int mt,
+                                           int nt) {
+  const int kmax = std::min(mt, nt);
+  auto fail = [&](const Elimination& e, std::size_t pos, const std::string& why) {
+    ValidationResult r;
+    r.ok = false;
+    r.message = describe(e, pos) + ": " + why;
+    return r;
+  };
+
+  // zeroed_count[i]: number of panels in which row i has been zeroed so far;
+  // rows are zeroed in panel order (0, 1, 2, ...) in any valid list, so a
+  // single counter encodes "which panels are done" — but we must verify that
+  // property rather than assume it, so keep the full bitmap.
+  std::vector<char> zeroed(static_cast<std::size_t>(mt) * kmax, 0);
+  auto is_zeroed = [&](int i, int k) {
+    return zeroed[static_cast<std::size_t>(k) * mt + i] != 0;
+  };
+  // touched_in_panel: row appeared in panel k already (killer or victim) —
+  // a TS victim must be pristine (square).
+  std::vector<char> touched(static_cast<std::size_t>(mt) * kmax, 0);
+  auto touch = [&](int i, int k) {
+    touched[static_cast<std::size_t>(k) * mt + i] = 1;
+  };
+
+  for (std::size_t pos = 0; pos < list.size(); ++pos) {
+    const Elimination& e = list[pos];
+    if (e.k < 0 || e.k >= kmax) return fail(e, pos, "panel out of range");
+    if (e.row <= e.k || e.row >= mt) return fail(e, pos, "victim out of range");
+    if (e.piv < e.k || e.piv >= mt) return fail(e, pos, "killer out of range");
+    if (e.piv == e.row) return fail(e, pos, "killer equals victim");
+    for (int kp = 0; kp < e.k; ++kp) {
+      if (!is_zeroed(e.row, kp))
+        return fail(e, pos, "victim row not ready: tile (" +
+                                std::to_string(e.row) + "," +
+                                std::to_string(kp) + ") not zeroed");
+      if (e.piv > kp && !is_zeroed(e.piv, kp))
+        return fail(e, pos, "killer row not ready: tile (" +
+                                std::to_string(e.piv) + "," +
+                                std::to_string(kp) + ") not zeroed");
+    }
+    if (is_zeroed(e.piv, e.k))
+      return fail(e, pos, "killer already zeroed in this panel");
+    if (is_zeroed(e.row, e.k))
+      return fail(e, pos, "victim already zeroed in this panel");
+    if (e.ts && touched[static_cast<std::size_t>(e.k) * mt + e.row])
+      return fail(e, pos, "TS victim is not square (already used in panel)");
+    zeroed[static_cast<std::size_t>(e.k) * mt + e.row] = 1;
+    touch(e.row, e.k);
+    touch(e.piv, e.k);
+  }
+
+  // Completeness: every below-diagonal tile zeroed.
+  for (int k = 0; k < kmax; ++k)
+    for (int i = k + 1; i < mt; ++i)
+      if (!is_zeroed(i, k)) {
+        ValidationResult r;
+        r.ok = false;
+        r.message = "tile (" + std::to_string(i) + "," + std::to_string(k) +
+                    ") never zeroed";
+        return r;
+      }
+  return {};
+}
+
+void check_valid(const EliminationList& list, int mt, int nt) {
+  ValidationResult r = validate_elimination_list(list, mt, nt);
+  HQR_CHECK(r.ok, "" << r.message);
+}
+
+}  // namespace hqr

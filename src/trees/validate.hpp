@@ -1,0 +1,34 @@
+// Ground-truth validity checking of elimination lists (paper §II).
+//
+// A list is valid iff (scanning in order):
+//  * every elimination references existing tiles: 0 <= k < min(mt,nt),
+//    k < row < mt, k <= piv < mt, piv != row;
+//  * both rows are "ready": tiles (row, k') and (piv, k') are already zeroed
+//    for every k' < k;
+//  * the killer is a potential annihilator: tile (piv, k) not yet zeroed;
+//  * the victim tile (row, k) not yet zeroed;
+//  * TS eliminations have a square victim: row has not previously appeared
+//    in panel k (as a killer it would have been triangularized);
+//  * at the end, every tile (i, k) with i > k is zeroed exactly once.
+#pragma once
+
+#include <string>
+
+#include "trees/elimination.hpp"
+
+namespace hqr {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string message;  // first violation, empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+ValidationResult validate_elimination_list(const EliminationList& list, int mt,
+                                           int nt);
+
+// Throws hqr::Error with the violation message unless valid.
+void check_valid(const EliminationList& list, int mt, int nt);
+
+}  // namespace hqr

@@ -1,0 +1,79 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+Cli make(std::vector<std::string> args,
+         std::map<std::string, std::string> spec) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep c_str() alive
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(const_cast<char*>(s.c_str()));
+  return Cli(static_cast<int>(argv.size()), argv.data(), std::move(spec));
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli c = make({}, {{"m", "100"}, {"tree", "greedy"}});
+  EXPECT_EQ(c.integer("m"), 100);
+  EXPECT_EQ(c.str("tree"), "greedy");
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli c = make({"--m=7"}, {{"m", "1"}});
+  EXPECT_EQ(c.integer("m"), 7);
+}
+
+TEST(Cli, SpaceSyntax) {
+  Cli c = make({"--m", "9"}, {{"m", "1"}});
+  EXPECT_EQ(c.integer("m"), 9);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  Cli c = make({"--domino"}, {{"domino", "false"}});
+  EXPECT_TRUE(c.flag("domino"));
+}
+
+TEST(Cli, BooleanFlagExplicitValue) {
+  Cli c = make({"--domino=false"}, {{"domino", "true"}});
+  EXPECT_FALSE(c.flag("domino"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  EXPECT_THROW(make({"--nope=1"}, {{"m", "1"}}), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  EXPECT_THROW(make({"--m"}, {{"m", "1"}}), Error);
+}
+
+TEST(Cli, NonIntegerThrows) {
+  Cli c = make({"--m=abc"}, {{"m", "1"}});
+  EXPECT_THROW(c.integer("m"), Error);
+}
+
+TEST(Cli, RealParsing) {
+  Cli c = make({"--alpha=2.5e-6"}, {{"alpha", "1.0"}});
+  EXPECT_DOUBLE_EQ(c.real("alpha"), 2.5e-6);
+}
+
+TEST(Cli, PositionalCollected) {
+  Cli c = make({"file1", "--m=2", "file2"}, {{"m", "1"}});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "file1");
+  EXPECT_EQ(c.positional()[1], "file2");
+}
+
+TEST(Cli, UsageListsFlags) {
+  Cli c = make({}, {{"m", "1"}});
+  EXPECT_NE(c.usage("prog").find("--m=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hqr

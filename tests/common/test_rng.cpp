@@ -1,0 +1,92 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hqr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng r(5);
+  const int n = 200000;
+  double mean = 0.0, m2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    mean += g;
+    m2 += g * g;
+  }
+  mean /= n;
+  m2 /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng base(9);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  Rng s1again = base.split(1);
+  int equal12 = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = s1();
+    EXPECT_EQ(a, s1again());
+    equal12 += (a == s2());
+  }
+  EXPECT_LT(equal12, 4);
+}
+
+}  // namespace
+}  // namespace hqr

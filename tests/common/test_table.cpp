@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+TEST(TextTable, BuildsAndRenders) {
+  TextTable t({"name", "value"});
+  t.row().add("alpha").add(1);
+  t.row().add("beta").add(2.5, 3);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "alpha");
+  EXPECT_EQ(t.cell(1, 1), "2.5");
+
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.row().add(1).add(2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvQuotesCommas) {
+  TextTable t({"a"});
+  t.row().add("x,y");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"x,y\"\n");
+}
+
+TEST(TextTable, RejectsOverflowingRow) {
+  TextTable t({"only"});
+  t.row().add(1);
+  EXPECT_THROW(t.add(2), Error);
+}
+
+TEST(TextTable, RejectsAddBeforeRow) {
+  TextTable t({"only"});
+  EXPECT_THROW(t.add(1), Error);
+}
+
+TEST(TextTable, RejectsIncompleteRowOnNewRow) {
+  TextTable t({"a", "b"});
+  t.row().add(1);
+  EXPECT_THROW(t.row(), Error);
+}
+
+TEST(TextTable, CellRangeChecked) {
+  TextTable t({"a"});
+  t.row().add(1);
+  EXPECT_THROW(t.cell(1, 0), Error);
+  EXPECT_THROW(t.cell(0, 1), Error);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,67 @@
+#include "core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hqr {
+namespace {
+
+SimOptions opts_for_test() {
+  SimOptions o;
+  o.platform = Platform::edel();
+  o.b = 64;
+  return o;
+}
+
+TEST(Autotune, BestIsFirstAndSorted) {
+  auto r = autotune_hqr(32, 4, 32 * 64, 4 * 64, 6, opts_for_test());
+  ASSERT_FALSE(r.explored.empty());
+  for (std::size_t i = 1; i < r.explored.size(); ++i)
+    EXPECT_GE(r.explored[i - 1].result.gflops, r.explored[i].result.gflops);
+  EXPECT_DOUBLE_EQ(r.best.result.gflops, r.explored.front().result.gflops);
+}
+
+TEST(Autotune, GridFactorizationsRespectNodeCount) {
+  auto r = autotune_hqr(24, 6, 24 * 64, 6 * 64, 6, opts_for_test());
+  for (const auto& c : r.explored)
+    EXPECT_EQ(c.config.p * c.grid_q, 6);
+}
+
+TEST(Autotune, BestBeatsDefaultConfigByConstruction) {
+  // The default-ish (p = nodes, a = 1, greedy/fibonacci...) configuration is
+  // in the candidate set whenever feasible, so the winner is at least as
+  // good as it.
+  SimOptions o = opts_for_test();
+  const int mt = 64, nt = 4, nodes = 6;
+  auto r = autotune_hqr(mt, nt, mt * 64, nt * 64, nodes, o);
+  HqrConfig manual{nodes, 1, TreeKind::Greedy, TreeKind::Flat, true};
+  SimResult manual_res =
+      simulate_algorithm(make_hqr_run(mt, nt, manual, 1), mt * 64, nt * 64, o);
+  EXPECT_GE(r.best.result.gflops, manual_res.gflops - 1e-9);
+}
+
+TEST(Autotune, TallSkinnyPrefersDominoOrParallelTrees) {
+  // On a very tall-skinny problem the winner should not be the fully
+  // sequential configuration (flat low tree, no domino, a = 8).
+  auto r = autotune_hqr(96, 2, 96 * 64, 2 * 64, 6, opts_for_test());
+  const auto& cfg = r.best.config;
+  const bool fully_serial =
+      cfg.low == TreeKind::Flat && !cfg.domino && cfg.p == 1;
+  EXPECT_FALSE(fully_serial);
+}
+
+TEST(Autotune, InfeasibleTsDomainsSkipped) {
+  // mt = 4 with p = 2 leaves no room for a = 8 domains: candidates with
+  // a * p > mt are not explored.
+  auto r = autotune_hqr(4, 2, 4 * 64, 2 * 64, 2, opts_for_test());
+  for (const auto& c : r.explored)
+    EXPECT_LE(static_cast<long long>(c.config.a) * c.config.p, 4 * 8);
+}
+
+TEST(Autotune, SingleNodeStillWorks) {
+  auto r = autotune_hqr(16, 4, 16 * 64, 4 * 64, 1, opts_for_test());
+  EXPECT_EQ(r.best.config.p, 1);
+  EXPECT_GT(r.best.result.gflops, 0.0);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,147 @@
+#include "core/incremental_tsqr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/ref_qr.hpp"
+
+namespace hqr {
+namespace {
+
+// |R| must match the reference R of the stacked matrix (R is unique up to
+// column signs for full-rank inputs).
+void expect_r_matches(const Matrix& stacked, const Matrix& r, double tol) {
+  RefQR ref = ref_qr_blocked(stacked, 8);
+  Matrix rref = ref_extract_r(ref);
+  ASSERT_EQ(r.rows(), rref.rows());
+  ASSERT_EQ(r.cols(), rref.cols());
+  for (int j = 0; j < r.cols(); ++j)
+    for (int i = 0; i <= std::min(j, r.rows() - 1); ++i)
+      EXPECT_NEAR(std::abs(r(i, j)), std::abs(rref(i, j)), tol)
+          << "(" << i << "," << j << ")";
+}
+
+TEST(IncrementalTsqr, SingleBlockMatchesReference) {
+  Rng rng(1);
+  Matrix a = random_gaussian(40, 12, rng);
+  IncrementalTSQR tsqr(12, 4);
+  tsqr.add_rows(a);
+  expect_r_matches(a, tsqr.r(), 1e-11);
+}
+
+TEST(IncrementalTsqr, ManyBlocksMatchStackedReference) {
+  Rng rng(2);
+  const int n = 10, b = 4;
+  IncrementalTSQR tsqr(n, b);
+  Matrix stacked(0, n);
+  std::vector<Matrix> blocks;
+  int total = 0;
+  for (int rep = 0; rep < 6; ++rep) {
+    const int rows = 3 + static_cast<int>(rng.below(20));
+    blocks.push_back(random_gaussian(rows, n, rng));
+    tsqr.add_rows(blocks.back());
+    total += rows;
+  }
+  EXPECT_EQ(tsqr.rows_seen(), total);
+  Matrix all(total, n);
+  int at = 0;
+  for (const auto& blk : blocks) {
+    copy(blk.view(), all.block(at, 0, blk.rows(), n));
+    at += blk.rows();
+  }
+  expect_r_matches(all, tsqr.r(), 1e-10);
+}
+
+TEST(IncrementalTsqr, FrobeniusNormPreserved) {
+  // Orthogonal reductions preserve ||.||_F: ||R|| == ||A||.
+  Rng rng(3);
+  const int n = 8;
+  IncrementalTSQR tsqr(n, 4);
+  double ssq = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    Matrix blk = random_gaussian(15, n, rng);
+    const double f = frobenius_norm(blk.view());
+    ssq += f * f;
+    tsqr.add_rows(blk);
+  }
+  Matrix r = tsqr.r();
+  EXPECT_NEAR(frobenius_norm(r.view()), std::sqrt(ssq), 1e-9);
+}
+
+TEST(IncrementalTsqr, FewerRowsThanColumnsGivesTrapezoid) {
+  Rng rng(4);
+  Matrix a = random_gaussian(3, 8, rng);
+  IncrementalTSQR tsqr(8, 4);
+  tsqr.add_rows(a);
+  Matrix r = tsqr.r();
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_EQ(r.cols(), 8);
+  expect_r_matches(a, r, 1e-11);
+}
+
+TEST(IncrementalTsqr, BlockSmallerThanTile) {
+  Rng rng(5);
+  IncrementalTSQR tsqr(6, 8);  // b > n: single ragged tile column
+  Matrix a1 = random_gaussian(2, 6, rng);
+  Matrix a2 = random_gaussian(9, 6, rng);
+  tsqr.add_rows(a1);
+  tsqr.add_rows(a2);
+  Matrix all(11, 6);
+  copy(a1.view(), all.block(0, 0, 2, 6));
+  copy(a2.view(), all.block(2, 0, 9, 6));
+  expect_r_matches(all, tsqr.r(), 1e-11);
+}
+
+TEST(IncrementalTsqr, OrderOfBlocksDoesNotChangeRMagnitudes) {
+  Rng rng(6);
+  const int n = 6;
+  Matrix b1 = random_gaussian(12, n, rng);
+  Matrix b2 = random_gaussian(7, n, rng);
+  IncrementalTSQR t12(n, 3), t21(n, 3);
+  t12.add_rows(b1);
+  t12.add_rows(b2);
+  t21.add_rows(b2);
+  t21.add_rows(b1);
+  Matrix r12 = t12.r();
+  Matrix r21 = t21.r();
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i)
+      EXPECT_NEAR(std::abs(r12(i, j)), std::abs(r21(i, j)), 1e-10);
+}
+
+TEST(IncrementalTsqr, RejectsWrongColumnCount) {
+  IncrementalTSQR tsqr(5, 4);
+  Matrix bad(3, 4);
+  EXPECT_THROW(tsqr.add_rows(bad), Error);
+}
+
+TEST(IncrementalTsqr, RejectsEmptyBlock) {
+  IncrementalTSQR tsqr(5, 4);
+  Matrix empty(0, 5);
+  EXPECT_THROW(tsqr.add_rows(empty), Error);
+}
+
+TEST(IncrementalTsqr, BadConstructionThrows) {
+  EXPECT_THROW(IncrementalTSQR(0, 4), Error);
+  EXPECT_THROW(IncrementalTSQR(4, 0), Error);
+}
+
+TEST(IncrementalTsqr, ManySmallSingleRowBlocks) {
+  Rng rng(7);
+  const int n = 5;
+  IncrementalTSQR tsqr(n, 2);
+  Matrix all(30, n);
+  for (int i = 0; i < 30; ++i) {
+    Matrix row = random_gaussian(1, n, rng);
+    copy(row.view(), all.block(i, 0, 1, n));
+    tsqr.add_rows(row);
+  }
+  expect_r_matches(all, tsqr.r(), 1e-10);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,151 @@
+// Backward-stability battery: Householder-based tile QR is unconditionally
+// backward stable, so every tree, tile size and kernel variant must keep
+// the orthogonality and residual at O(eps) even on ill-conditioned,
+// graded and adversarial inputs — not just on friendly Gaussian matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/factorization.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/ref_qr.hpp"
+#include "trees/hqr_tree.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+EliminationList list_for(const std::string& algo, int mt, int nt) {
+  if (algo == "flat_ts") return flat_ts_list(mt, nt);
+  if (algo == "greedy") return greedy_global_list(mt, nt).list;
+  HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Fibonacci, true};
+  return hqr_elimination_list(mt, nt, cfg);
+}
+
+void expect_stable(const Matrix& a0, const QRFactors& f, double tol) {
+  Matrix q = build_q(f);
+  EXPECT_LT(orthogonality_error(q.view()), tol);
+  const int k = std::min(f.m(), f.n());
+  Matrix qs = materialize(q.block(0, 0, a0.rows(), k));
+  Matrix r = extract_r(f);
+  EXPECT_LT(factorization_residual(a0.view(), qs.view(), r.view()), tol);
+}
+
+// (algo, ib)
+class Stability
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(Stability, GradedMatrixTenDecades) {
+  auto [algo, ib] = GetParam();
+  Rng rng(31);
+  Matrix a0 = random_graded(36, 12, 10.0, rng);
+  TiledMatrix probe = TiledMatrix::from_matrix(a0, 4);
+  QRFactors f = qr_factorize_sequential(
+      a0, 4, list_for(algo, probe.mt(), probe.nt()), ib);
+  expect_stable(a0, f, 1e-12);
+}
+
+TEST_P(Stability, NearRankDeficient) {
+  auto [algo, ib] = GetParam();
+  Rng rng(32);
+  Matrix a0 = random_near_rank_deficient(36, 12, 4, 1e-13, rng);
+  TiledMatrix probe = TiledMatrix::from_matrix(a0, 4);
+  QRFactors f = qr_factorize_sequential(
+      a0, 4, list_for(algo, probe.mt(), probe.nt()), ib);
+  expect_stable(a0, f, 1e-12);
+}
+
+TEST_P(Stability, HugeAndTinyScales) {
+  // Entries spanning 10^+150 ... the scaled norms must not overflow.
+  auto [algo, ib] = GetParam();
+  Rng rng(33);
+  Matrix a0 = random_gaussian(24, 8, rng);
+  for (int j = 0; j < 8; ++j)
+    for (int i = 0; i < 24; ++i) a0(i, j) *= (j % 2 ? 1e150 : 1e-150);
+  TiledMatrix probe = TiledMatrix::from_matrix(a0, 4);
+  QRFactors f = qr_factorize_sequential(
+      a0, 4, list_for(algo, probe.mt(), probe.nt()), ib);
+  Matrix r = extract_r(f);
+  for (int j = 0; j < r.cols(); ++j)
+    for (int i = 0; i < r.rows(); ++i) EXPECT_TRUE(std::isfinite(r(i, j)));
+  expect_stable(a0, f, 1e-12);
+}
+
+TEST_P(Stability, FrobeniusNormPreservedInR) {
+  auto [algo, ib] = GetParam();
+  Rng rng(34);
+  Matrix a0 = random_gaussian(32, 12, rng);
+  TiledMatrix probe = TiledMatrix::from_matrix(a0, 4);
+  QRFactors f = qr_factorize_sequential(
+      a0, 4, list_for(algo, probe.mt(), probe.nt()), ib);
+  Matrix r = extract_r(f);
+  EXPECT_NEAR(frobenius_norm(r.view()) / frobenius_norm(a0.view()), 1.0,
+              1e-13);
+}
+
+TEST_P(Stability, OrthonormalInputGivesUnitDiagonalR) {
+  auto [algo, ib] = GetParam();
+  Rng rng(35);
+  Matrix g = random_gaussian(32, 12, rng);
+  RefQR ref = ref_qr_blocked(g, 4);
+  Matrix a0 = ref_form_q(ref);  // 32 x 12 orthonormal columns
+  TiledMatrix probe = TiledMatrix::from_matrix(a0, 4);
+  QRFactors f = qr_factorize_sequential(
+      a0, 4, list_for(algo, probe.mt(), probe.nt()), ib);
+  Matrix r = extract_r(f);
+  for (int i = 0; i < 12; ++i) EXPECT_NEAR(std::abs(r(i, i)), 1.0, 1e-13);
+  for (int j = 0; j < 12; ++j)
+    for (int i = 0; i < j; ++i) EXPECT_NEAR(r(i, j), 0.0, 1e-13);
+}
+
+TEST_P(Stability, NoElementGrowthBeyondColumnNorms) {
+  // |r_ij| <= ||a_j||_2: each column of R is an orthogonal image of the
+  // corresponding column of A.
+  auto [algo, ib] = GetParam();
+  Rng rng(36);
+  Matrix a0 = random_gaussian(40, 10, rng);
+  TiledMatrix probe = TiledMatrix::from_matrix(a0, 5);
+  QRFactors f = qr_factorize_sequential(
+      a0, 5, list_for(algo, probe.mt(), probe.nt()), ib);
+  Matrix r = extract_r(f);
+  for (int j = 0; j < 10; ++j) {
+    const double colnorm = nrm2(a0.block(0, j, 40, 1));
+    for (int i = 0; i <= j; ++i)
+      EXPECT_LE(std::abs(r(i, j)), colnorm * (1.0 + 1e-12));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndIb, Stability,
+    ::testing::Combine(::testing::Values("flat_ts", "greedy", "hqr"),
+                       ::testing::Values(0, 2)));
+
+TEST(StabilityMisc, IdentityInputIsFixedPoint) {
+  Matrix a0 = Matrix::identity(16);
+  QRFactors f = qr_factorize_sequential(a0, 4, flat_ts_list(4, 4));
+  Matrix r = extract_r(f);
+  for (int j = 0; j < 16; ++j)
+    for (int i = 0; i <= j; ++i)
+      EXPECT_NEAR(std::abs(r(i, j)), i == j ? 1.0 : 0.0, 1e-14);
+}
+
+TEST(StabilityMisc, DuplicatedColumnsGiveZeroDiagonal) {
+  Rng rng(37);
+  Matrix a0(24, 8);
+  Matrix col = random_gaussian(24, 1, rng);
+  for (int j = 0; j < 8; ++j)
+    for (int i = 0; i < 24; ++i) a0(i, j) = col(i, 0);
+  QRFactors f = qr_factorize_sequential(a0, 4, flat_ts_list(6, 2));
+  Matrix r = extract_r(f);
+  // Rank 1: only the first row of R is nonzero.
+  for (int j = 0; j < 8; ++j)
+    for (int i = 1; i <= std::min(j, 7); ++i)
+      EXPECT_NEAR(r(i, j), 0.0, 1e-12 * frobenius_norm(a0.view()));
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,130 @@
+// Property-based fuzzing of the elimination-list abstraction (paper §II):
+// ANY valid elimination list — including randomly generated ones no human
+// would design — must produce an exact QR factorization, and the validity
+// checker must accept exactly the lists the random generator constructs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/factorization.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "trees/validate.hpp"
+
+namespace hqr {
+namespace {
+
+// Generates a random valid elimination list: panels in order; within each
+// panel, repeatedly pick a random alive non-diagonal row as victim and a
+// random alive row above... any alive row with smaller index as killer
+// would bias to triangles; the killer may be ANY alive row of the panel
+// except the victim, as long as it is not yet zeroed. Kernel type: TS if
+// the victim is pristine in this panel and a coin flip says so.
+EliminationList random_valid_list(int mt, int nt, Rng& rng) {
+  EliminationList out;
+  const int kmax = std::min(mt, nt);
+  for (int k = 0; k < kmax; ++k) {
+    std::vector<int> alive;
+    for (int i = k; i < mt; ++i) alive.push_back(i);
+    std::vector<char> touched(static_cast<std::size_t>(mt), 0);
+    // The diagonal row k must survive: eliminate until only it remains.
+    while (alive.size() > 1) {
+      // Pick a victim among alive rows other than the diagonal.
+      const std::size_t vi =
+          1 + static_cast<std::size_t>(rng.below(alive.size() - 1));
+      const int victim = alive[vi];
+      // Pick any other alive row as the killer. Killers above the victim
+      // keep the reduction tree shape conventional; allow any index to
+      // stress the checker's generality — but the paper's model requires
+      // killer != victim and both alive, nothing more.
+      std::size_t ki;
+      do {
+        ki = static_cast<std::size_t>(rng.below(alive.size()));
+      } while (ki == vi);
+      const int killer = alive[ki];
+      const bool ts = !touched[victim] && rng.below(2) == 0;
+      out.push_back({victim, killer, k, ts});
+      touched[victim] = 1;
+      touched[killer] = 1;
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(vi));
+    }
+  }
+  return out;
+}
+
+class RandomTrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTrees, RandomValidListsPassTheChecker) {
+  Rng rng(1000 + GetParam());
+  for (int rep = 0; rep < 20; ++rep) {
+    const int mt = 2 + static_cast<int>(rng.below(12));
+    const int nt = 1 + static_cast<int>(rng.below(12));
+    auto list = random_valid_list(mt, nt, rng);
+    auto r = validate_elimination_list(list, mt, nt);
+    ASSERT_TRUE(r.ok) << "mt=" << mt << " nt=" << nt << ": " << r.message;
+  }
+}
+
+TEST_P(RandomTrees, RandomValidListsFactorExactly) {
+  Rng rng(2000 + GetParam());
+  const int mt = 3 + static_cast<int>(rng.below(6));
+  const int nt = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(mt)));
+  const int b = 3;
+  auto list = random_valid_list(mt, nt, rng);
+  check_valid(list, mt, nt);
+
+  Matrix a0 = random_gaussian(mt * b, nt * b, rng);
+  QRFactors f = qr_factorize_sequential(a0, b, list);
+  Matrix q = build_q(f);
+  EXPECT_LT(orthogonality_error(q.view()), 1e-11);
+  const int kcols = std::min(f.m(), f.n());
+  Matrix qs = materialize(q.block(0, 0, a0.rows(), kcols));
+  Matrix r = extract_r(f);
+  EXPECT_LT(factorization_residual(a0.view(), qs.view(), r.view()), 1e-11)
+      << "mt=" << mt << " nt=" << nt;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTrees, ::testing::Range(0, 25));
+
+TEST(RandomTrees, MutatedListsAreRejected) {
+  // Fuzz the checker the other way: random single-field mutations of a
+  // valid list are (almost always) detected; when they happen to still be
+  // valid, the factorization must still be exact.
+  Rng rng(77);
+  const int mt = 8, nt = 4, b = 3;
+  auto base = random_valid_list(mt, nt, rng);
+  Matrix a0 = random_gaussian(mt * b, nt * b, rng);
+  int rejected = 0, accepted = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    EliminationList list = base;
+    auto& e = list[rng.below(list.size())];
+    switch (rng.below(3)) {
+      case 0:
+        e.row = static_cast<int>(rng.below(static_cast<std::uint64_t>(mt)));
+        break;
+      case 1:
+        e.piv = static_cast<int>(rng.below(static_cast<std::uint64_t>(mt)));
+        break;
+      default:
+        e.k = static_cast<int>(rng.below(static_cast<std::uint64_t>(nt)));
+        break;
+    }
+    if (validate_elimination_list(list, mt, nt)) {
+      ++accepted;
+      QRFactors f = qr_factorize_sequential(a0, b, list);
+      Matrix q = build_q(f);
+      Matrix qs = materialize(q.block(0, 0, a0.rows(), f.n()));
+      Matrix r = extract_r(f);
+      ASSERT_LT(factorization_residual(a0.view(), qs.view(), r.view()), 1e-11);
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected + accepted, 200);
+  EXPECT_GT(rejected, 150);  // most random mutations break validity
+}
+
+}  // namespace
+}  // namespace hqr

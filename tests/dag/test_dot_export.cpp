@@ -1,0 +1,94 @@
+#include "dag/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+TaskGraph small_graph() {
+  auto kernels = expand_to_kernels(flat_ts_list(3, 2), 3, 2);
+  return TaskGraph(kernels, 3, 2);
+}
+
+TEST(DotExport, EmitsValidDigraphSkeleton) {
+  std::ostringstream os;
+  write_dot(os, small_graph());
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("digraph tile_qr {", 0), 0u);
+  EXPECT_NE(s.find("}\n"), std::string::npos);
+  EXPECT_NE(s.find("GEQRT(0,0)"), std::string::npos);
+  EXPECT_NE(s.find("TSQRT(1,0,0)"), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+TEST(DotExport, NodeCountMatchesGraph) {
+  TaskGraph g = small_graph();
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string s = os.str();
+  int nodes = 0;
+  for (std::size_t p = s.find("[label="); p != std::string::npos;
+       p = s.find("[label=", p + 1))
+    ++nodes;
+  EXPECT_EQ(nodes, g.size());
+}
+
+TEST(DotExport, EdgeCountMatchesGraph) {
+  TaskGraph g = small_graph();
+  std::ostringstream os;
+  write_dot(os, g);
+  const std::string s = os.str();
+  long long arrows = 0;
+  for (std::size_t p = s.find("->"); p != std::string::npos;
+       p = s.find("->", p + 2))
+    ++arrows;
+  EXPECT_EQ(arrows, g.num_edges());
+}
+
+TEST(DotExport, FactorOnlySkeletonContractsUpdates) {
+  TaskGraph g = small_graph();
+  DotOptions opts;
+  opts.include_updates = false;
+  std::ostringstream os;
+  write_dot(os, g, opts);
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("UNMQR"), std::string::npos);
+  EXPECT_EQ(s.find("TSMQR"), std::string::npos);
+  EXPECT_NE(s.find("GEQRT"), std::string::npos);
+  // The contracted skeleton still chains the factor kernels.
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+TEST(DotExport, PanelClustersPresent) {
+  std::ostringstream os;
+  write_dot(os, small_graph());
+  const std::string s = os.str();
+  EXPECT_NE(s.find("cluster_panel0"), std::string::npos);
+  EXPECT_NE(s.find("cluster_panel1"), std::string::npos);
+}
+
+TEST(DotExport, NoClustersWhenDisabled) {
+  DotOptions opts;
+  opts.cluster_by_panel = false;
+  std::ostringstream os;
+  write_dot(os, small_graph(), opts);
+  EXPECT_EQ(os.str().find("subgraph"), std::string::npos);
+}
+
+TEST(DotExport, SaveDotWritesFile) {
+  const std::string path = ::testing::TempDir() + "/graph.dot";
+  save_dot(path, small_graph());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "digraph tile_qr {");
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,117 @@
+#include "dist/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hqr {
+namespace {
+
+TEST(Distribution, BlockCyclic2DOwnerFormula) {
+  auto d = Distribution::block_cyclic_2d(3, 2);
+  EXPECT_EQ(d.nodes(), 6);
+  EXPECT_EQ(d.owner(0, 0), 0);
+  EXPECT_EQ(d.owner(0, 1), 1);
+  EXPECT_EQ(d.owner(1, 0), 2);
+  EXPECT_EQ(d.owner(2, 1), 5);
+  EXPECT_EQ(d.owner(3, 2), 0);  // wraps both dimensions
+}
+
+TEST(Distribution, BlockCyclic2DCoversAllNodes) {
+  auto d = Distribution::block_cyclic_2d(15, 4);
+  std::set<int> seen;
+  for (int i = 0; i < 15; ++i)
+    for (int j = 0; j < 4; ++j) seen.insert(d.owner(i, j));
+  EXPECT_EQ(seen.size(), 60u);
+}
+
+TEST(Distribution, Block1DContiguousChunks) {
+  auto d = Distribution::block_1d(3, 12);  // chunks of 4 rows
+  EXPECT_EQ(d.owner(0, 0), 0);
+  EXPECT_EQ(d.owner(3, 5), 0);
+  EXPECT_EQ(d.owner(4, 0), 1);
+  EXPECT_EQ(d.owner(11, 2), 2);
+}
+
+TEST(Distribution, Block1DClampsLastChunk) {
+  auto d = Distribution::block_1d(4, 10);  // chunk 3: rows 0-2,3-5,6-8,9
+  EXPECT_EQ(d.owner(9, 0), 3);
+  // Rows past mt (padding) still map to a valid node.
+  EXPECT_EQ(d.owner(20, 0), 3);
+}
+
+TEST(Distribution, Cyclic1DRoundRobin) {
+  auto d = Distribution::cyclic_1d(4);
+  for (int i = 0; i < 12; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(d.owner(i, j), i % 4);
+}
+
+TEST(Distribution, DescribeNamesKind) {
+  EXPECT_NE(Distribution::block_cyclic_2d(2, 3).describe().find("block-cyclic"),
+            std::string::npos);
+  EXPECT_NE(Distribution::block_1d(4, 16).describe().find("1D block"),
+            std::string::npos);
+}
+
+TEST(Distribution, BadParametersThrow) {
+  EXPECT_THROW(Distribution::block_cyclic_2d(0, 1), Error);
+  EXPECT_THROW(Distribution::block_1d(0, 4), Error);
+  EXPECT_THROW(Distribution::cyclic_1d(0), Error);
+}
+
+TEST(LoadStatsTest, CyclicIsBalancedOnSquare) {
+  // §III-C: the cyclic distribution is perfectly balanced up to lower-order
+  // terms, even for square matrices.
+  auto d = Distribution::cyclic_1d(4);
+  auto s = qr_load_stats(64, 64, d);
+  EXPECT_LT(s.imbalance, 0.08);
+}
+
+TEST(LoadStatsTest, BlockIsImbalancedOnSquare) {
+  // The first chunk of a 1D block distribution goes idle as the
+  // factorization progresses: large imbalance on square matrices.
+  auto d = Distribution::block_1d(4, 64);
+  auto s = qr_load_stats(64, 64, d);
+  EXPECT_GT(s.imbalance, 0.3);
+}
+
+TEST(LoadStatsTest, BlockIsFineOnTallSkinny) {
+  auto d = Distribution::block_1d(4, 256);
+  auto s = qr_load_stats(256, 8, d);
+  EXPECT_LT(s.imbalance, 0.1);
+}
+
+TEST(LoadStatsTest, SharesSumToOne) {
+  auto d = Distribution::block_cyclic_2d(3, 2);
+  auto s = qr_load_stats(24, 12, d);
+  double sum = 0;
+  for (double w : s.node_weight) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LoadStatsTest, ParallelFractionMatchesImbalance) {
+  auto d = Distribution::block_1d(4, 32);
+  auto s = qr_load_stats(32, 32, d);
+  EXPECT_NEAR(s.parallel_fraction * (1.0 + s.imbalance), 1.0, 1e-12);
+}
+
+TEST(SpeedupBound, PaperFormulaValues) {
+  // §III-C: speedup of block distribution bounded by p(1 - n/3m); the paper
+  // quotes 2/3 of p for square (n = m) and 5/6 for n = m/2.
+  EXPECT_NEAR(block_distribution_speedup_bound(1.0, 1.0, 3) / 3.0, 2.0 / 3.0,
+              1e-12);
+  EXPECT_NEAR(block_distribution_speedup_bound(2.0, 1.0, 6) / 6.0, 5.0 / 6.0,
+              1e-12);
+}
+
+TEST(LoadStatsTest, BlockImbalanceApproachesPaperBound) {
+  // Measured parallel fraction for 1D block on a square matrix should be in
+  // the vicinity of the 2/3 analytic bound (finite-size effects allowed).
+  auto d = Distribution::block_1d(6, 240);
+  auto s = qr_load_stats(240, 240, d);
+  const double bound = block_distribution_speedup_bound(240, 240, 6) / 6.0;
+  EXPECT_NEAR(s.parallel_fraction, bound, 0.12);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,52 @@
+#include "kernels/weights.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hqr {
+namespace {
+
+TEST(KernelWeights, PaperValues) {
+  EXPECT_EQ(kernel_weight(KernelType::GEQRT), 4);
+  EXPECT_EQ(kernel_weight(KernelType::UNMQR), 6);
+  EXPECT_EQ(kernel_weight(KernelType::TSQRT), 6);
+  EXPECT_EQ(kernel_weight(KernelType::TSMQR), 12);
+  EXPECT_EQ(kernel_weight(KernelType::TTQRT), 2);
+  EXPECT_EQ(kernel_weight(KernelType::TTMQR), 6);
+}
+
+TEST(KernelWeights, TsEliminationEqualsGeqrtPlusTtElimination) {
+  // The paper's §II observation: TSQRT == GEQRT + TTQRT in flops,
+  // TSMQR == UNMQR + TTMQR.
+  EXPECT_EQ(kernel_weight(KernelType::TSQRT),
+            kernel_weight(KernelType::GEQRT) + kernel_weight(KernelType::TTQRT));
+  EXPECT_EQ(kernel_weight(KernelType::TSMQR),
+            kernel_weight(KernelType::UNMQR) + kernel_weight(KernelType::TTMQR));
+}
+
+TEST(KernelWeights, FlopsScaleCubically) {
+  EXPECT_DOUBLE_EQ(kernel_flops(KernelType::GEQRT, 3), 4 * 27.0 / 3);
+  EXPECT_DOUBLE_EQ(kernel_flops(KernelType::TSMQR, 10), 12 * 1000.0 / 3);
+}
+
+TEST(KernelWeights, FactorKernelClassification) {
+  EXPECT_TRUE(is_factor_kernel(KernelType::GEQRT));
+  EXPECT_TRUE(is_factor_kernel(KernelType::TSQRT));
+  EXPECT_TRUE(is_factor_kernel(KernelType::TTQRT));
+  EXPECT_FALSE(is_factor_kernel(KernelType::UNMQR));
+  EXPECT_FALSE(is_factor_kernel(KernelType::TSMQR));
+  EXPECT_FALSE(is_factor_kernel(KernelType::TTMQR));
+}
+
+TEST(KernelWeights, Names) {
+  EXPECT_EQ(kernel_name(KernelType::GEQRT), "GEQRT");
+  EXPECT_EQ(kernel_name(KernelType::TTMQR), "TTMQR");
+}
+
+TEST(KernelWeights, TotalWeightFormula) {
+  // 6 m n^2 - 2 n^3 (paper §II); e.g. m=4, n=2: 96 - 16 = 80.
+  EXPECT_EQ(total_factorization_weight(4, 2), 80);
+  EXPECT_EQ(total_factorization_weight(1, 1), 4);  // single GEQRT
+}
+
+}  // namespace
+}  // namespace hqr

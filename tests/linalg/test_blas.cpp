@@ -1,0 +1,194 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace hqr {
+namespace {
+
+// Naive reference product for validation.
+Matrix ref_mul(Trans ta, Trans tb, const Matrix& a, const Matrix& b) {
+  const int m = ta == Trans::No ? a.rows() : a.cols();
+  const int k = ta == Trans::No ? a.cols() : a.rows();
+  const int n = tb == Trans::No ? b.cols() : b.rows();
+  Matrix c(m, n);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double s = 0;
+      for (int l = 0; l < k; ++l) {
+        const double av = ta == Trans::No ? a(i, l) : a(l, i);
+        const double bv = tb == Trans::No ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = s;
+    }
+  return c;
+}
+
+class GemmTransCase : public ::testing::TestWithParam<std::pair<Trans, Trans>> {};
+
+TEST_P(GemmTransCase, MatchesNaiveProduct) {
+  auto [ta, tb] = GetParam();
+  Rng rng(17);
+  const int m = 5, k = 4, n = 6;
+  Matrix a = ta == Trans::No ? random_uniform(m, k, rng)
+                             : random_uniform(k, m, rng);
+  Matrix b = tb == Trans::No ? random_uniform(k, n, rng)
+                             : random_uniform(n, k, rng);
+  Matrix c(m, n);
+  gemm(ta, tb, 1.0, a.view(), b.view(), 0.0, c.view());
+  Matrix expect = ref_mul(ta, tb, a, b);
+  EXPECT_LT(max_abs_diff(c.view(), expect.view()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransCombos, GemmTransCase,
+    ::testing::Values(std::pair{Trans::No, Trans::No},
+                      std::pair{Trans::No, Trans::Yes},
+                      std::pair{Trans::Yes, Trans::No},
+                      std::pair{Trans::Yes, Trans::Yes}));
+
+TEST(Gemm, AlphaBetaCombine) {
+  Rng rng(3);
+  Matrix a = random_uniform(3, 3, rng);
+  Matrix b = random_uniform(3, 3, rng);
+  Matrix c = random_uniform(3, 3, rng);
+  Matrix c0 = c;
+  gemm(Trans::No, Trans::No, 2.0, a.view(), b.view(), -1.0, c.view());
+  Matrix ab = ref_mul(Trans::No, Trans::No, a, b);
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i)
+      EXPECT_NEAR(c(i, j), 2.0 * ab(i, j) - c0(i, j), 1e-13);
+}
+
+TEST(Gemm, BetaZeroOverwritesNaNFreeOfInputGarbage) {
+  Matrix a(2, 2), b(2, 2), c(2, 2);
+  c(0, 0) = std::nan("");
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_EQ(c(0, 0), 0.0);
+}
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2), c(2, 2);
+  EXPECT_THROW(gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c.view()),
+               Error);
+}
+
+TEST(Gemm, StridedViews) {
+  Rng rng(5);
+  Matrix big = random_uniform(8, 8, rng);
+  Matrix a = materialize(big.block(1, 1, 3, 3));
+  Matrix b = materialize(big.block(4, 4, 3, 3));
+  Matrix c1(3, 3), c2(3, 3);
+  gemm(Trans::No, Trans::No, 1.0, big.block(1, 1, 3, 3), big.block(4, 4, 3, 3),
+       0.0, c1.view());
+  gemm(Trans::No, Trans::No, 1.0, a.view(), b.view(), 0.0, c2.view());
+  EXPECT_LT(max_abs_diff(c1.view(), c2.view()), 1e-15);
+}
+
+class TrmmCase
+    : public ::testing::TestWithParam<std::tuple<UpLo, Trans, Diag>> {};
+
+TEST_P(TrmmCase, MatchesDenseProduct) {
+  auto [uplo, ta, diag] = GetParam();
+  Rng rng(23);
+  const int n = 6, nc = 4;
+  Matrix a = random_uniform(n, n, rng);
+  // Build the dense triangular equivalent.
+  Matrix tri(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      const bool keep = uplo == UpLo::Upper ? i <= j : i >= j;
+      if (keep) tri(i, j) = a(i, j);
+    }
+  if (diag == Diag::Unit)
+    for (int i = 0; i < n; ++i) tri(i, i) = 1.0;
+
+  Matrix b = random_uniform(n, nc, rng);
+  Matrix expect = ref_mul(ta, Trans::No, tri, b);
+  trmm_left(uplo, ta, diag, a.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), expect.view()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrmmCase,
+    ::testing::Combine(::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+class TrsmCase
+    : public ::testing::TestWithParam<std::tuple<UpLo, Trans, Diag>> {};
+
+TEST_P(TrsmCase, InvertsTrmm) {
+  auto [uplo, ta, diag] = GetParam();
+  Rng rng(31);
+  const int n = 6, nc = 3;
+  Matrix a = random_uniform(n, n, rng);
+  for (int i = 0; i < n; ++i) a(i, i) += 4.0;  // well-conditioned
+  Matrix b = random_uniform(n, nc, rng);
+  Matrix x = b;
+  trsm_left(uplo, ta, diag, a.view(), x.view());
+  trmm_left(uplo, ta, diag, a.view(), x.view());
+  EXPECT_LT(max_abs_diff(x.view(), b.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmCase,
+    ::testing::Combine(::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Nrm2, MatchesDefinition) {
+  Matrix x(3, 1);
+  x(0, 0) = 3;
+  x(1, 0) = 4;
+  x(2, 0) = 0;
+  EXPECT_DOUBLE_EQ(nrm2(x.view()), 5.0);
+}
+
+TEST(Nrm2, OverflowSafe) {
+  Matrix x(2, 1);
+  x(0, 0) = 1e200;
+  x(1, 0) = 1e200;
+  EXPECT_NEAR(nrm2(x.view()) / (std::sqrt(2.0) * 1e200), 1.0, 1e-14);
+}
+
+TEST(Nrm2, ZeroVector) {
+  Matrix x(4, 1);
+  EXPECT_EQ(nrm2(x.view()), 0.0);
+}
+
+TEST(Dot, MatchesDefinition) {
+  Matrix x(2, 1), y(2, 1);
+  x(0, 0) = 2;
+  x(1, 0) = -1;
+  y(0, 0) = 3;
+  y(1, 0) = 5;
+  EXPECT_DOUBLE_EQ(dot(x.view(), y.view()), 1.0);
+}
+
+TEST(Scal, ScalesInPlace) {
+  Matrix x(2, 1);
+  x(0, 0) = 2;
+  x(1, 0) = -4;
+  scal(0.5, x.view());
+  EXPECT_DOUBLE_EQ(x(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), -2.0);
+}
+
+TEST(Gemv, MatchesGemm) {
+  Rng rng(41);
+  Matrix a = random_uniform(4, 3, rng);
+  Matrix x = random_uniform(3, 1, rng);
+  Matrix y(4, 1);
+  gemv(Trans::No, 1.0, a.view(), x.view(), 0.0, y.view());
+  Matrix expect = ref_mul(Trans::No, Trans::No, a, x);
+  EXPECT_LT(max_abs_diff(y.view(), expect.view()), 1e-14);
+}
+
+}  // namespace
+}  // namespace hqr

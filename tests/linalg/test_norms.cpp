@@ -1,0 +1,100 @@
+#include "linalg/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/ref_qr.hpp"
+
+namespace hqr {
+namespace {
+
+TEST(Norms, FrobeniusSimple) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(frobenius_norm(a.view()), 5.0);
+}
+
+TEST(Norms, FrobeniusOverflowSafe) {
+  Matrix a(1, 2);
+  a(0, 0) = 1e200;
+  a(0, 1) = 1e200;
+  EXPECT_NEAR(frobenius_norm(a.view()) / (std::sqrt(2.0) * 1e200), 1.0, 1e-14);
+}
+
+TEST(Norms, OneNormIsMaxColumnSum) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 0) = -2;
+  a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(one_norm(a.view()), 4.0);
+}
+
+TEST(Norms, InfNormIsMaxRowSum) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = -2;
+  a(1, 0) = 2;
+  EXPECT_DOUBLE_EQ(inf_norm(a.view()), 3.0);
+}
+
+TEST(Norms, MaxNorm) {
+  Matrix a(2, 2);
+  a(1, 0) = -7;
+  EXPECT_DOUBLE_EQ(max_norm(a.view()), 7.0);
+}
+
+TEST(Norms, OneAndInfDualUnderTranspose) {
+  Rng rng(2);
+  Matrix a = random_uniform(4, 6, rng);
+  Matrix at(6, 4);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 4; ++i) at(j, i) = a(i, j);
+  EXPECT_DOUBLE_EQ(one_norm(a.view()), inf_norm(at.view()));
+}
+
+TEST(Norms, OrthogonalityErrorZeroForIdentity) {
+  Matrix q = Matrix::identity(5);
+  EXPECT_LT(orthogonality_error(q.view()), 1e-15);
+}
+
+TEST(Norms, OrthogonalityErrorDetectsScaling) {
+  Matrix q = Matrix::identity(3);
+  q(0, 0) = 2.0;
+  EXPECT_NEAR(orthogonality_error(q.view()), 3.0, 1e-15);
+}
+
+TEST(Norms, ResidualZeroForExactFactorization) {
+  Rng rng(11);
+  Matrix a = random_gaussian(8, 5, rng);
+  RefQR qr = ref_qr_unblocked(a);
+  Matrix q = ref_form_q(qr);
+  EXPECT_LT(factorization_residual(a.view(), q.view(), ref_extract_r(qr).view()), 1e-14);
+}
+
+TEST(Norms, ResidualDetectsPerturbation) {
+  Rng rng(13);
+  Matrix a = random_gaussian(6, 4, rng);
+  RefQR qr = ref_qr_unblocked(a);
+  Matrix q = ref_form_q(qr);
+  Matrix r = ref_extract_r(qr);
+  r(0, 0) += 0.5;
+  EXPECT_GT(factorization_residual(a.view(), q.view(), r.view()), 1e-3);
+}
+
+TEST(Norms, ResidualIgnoresBelowDiagonalGarbageInR) {
+  Rng rng(17);
+  Matrix a = random_gaussian(6, 4, rng);
+  RefQR qr = ref_qr_unblocked(a);
+  Matrix q = ref_form_q(qr);
+  // qr.a's lower part holds Householder vectors: the residual helper must
+  // only read the upper triangle.
+  EXPECT_LT(factorization_residual(a.view(), q.view(), ref_extract_r(qr).view()), 1e-14);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,65 @@
+#include "linalg/random_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/norms.hpp"
+#include "linalg/ref_qr.hpp"
+
+namespace hqr {
+namespace {
+
+TEST(RandomMatrix, UniformBounds) {
+  Rng rng(1);
+  Matrix a = random_uniform(20, 20, rng);
+  EXPECT_LE(max_norm(a.view()), 1.0);
+  EXPECT_GT(frobenius_norm(a.view()), 0.0);
+}
+
+TEST(RandomMatrix, Deterministic) {
+  Rng r1(9), r2(9);
+  Matrix a = random_uniform(5, 5, r1);
+  Matrix b = random_uniform(5, 5, r2);
+  EXPECT_EQ(max_abs_diff(a.view(), b.view()), 0.0);
+}
+
+TEST(RandomMatrix, GaussianRoughlyStandard) {
+  Rng rng(3);
+  Matrix a = random_gaussian(200, 200, rng);
+  double sum = 0, sq = 0;
+  for (int j = 0; j < 200; ++j)
+    for (int i = 0; i < 200; ++i) {
+      sum += a(i, j);
+      sq += a(i, j) * a(i, j);
+    }
+  const double n = 200.0 * 200.0;
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RandomMatrix, GradedColumnScales) {
+  Rng rng(4);
+  Matrix a = random_graded(100, 5, 4.0, rng);
+  Matrix first = materialize(a.block(0, 0, 100, 1));
+  Matrix last = materialize(a.block(0, 4, 100, 1));
+  // Last column is scaled by 1e-4 relative to the first.
+  EXPECT_GT(frobenius_norm(first.view()),
+            frobenius_norm(last.view()) * 1e2);
+}
+
+TEST(RandomMatrix, NearRankDeficientHasSmallTrailingR) {
+  Rng rng(5);
+  Matrix a = random_near_rank_deficient(30, 10, 4, 0.0, rng);
+  RefQR qr = ref_qr_unblocked(a);
+  // Beyond the true rank, R's diagonal collapses.
+  EXPECT_LT(std::abs(qr.a(9, 9)), 1e-10 * std::abs(qr.a(0, 0)));
+}
+
+TEST(RandomMatrix, RankArgumentValidated) {
+  Rng rng(6);
+  EXPECT_THROW(random_near_rank_deficient(10, 5, 7, 0.0, rng), Error);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,141 @@
+#include "linalg/ref_qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+
+namespace hqr {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// (rows, cols, blocked-nb or 0 for unblocked)
+class RefQrShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RefQrShapes, FactorizationIsExactAndOrthogonal) {
+  auto [m, n, nb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m) * 1000 + n * 10 + nb);
+  Matrix a = random_gaussian(m, n, rng);
+  RefQR qr = nb == 0 ? ref_qr_unblocked(a) : ref_qr_blocked(a, nb);
+  Matrix q = ref_form_q(qr);
+  EXPECT_LT(orthogonality_error(q.view()), kTol);
+  EXPECT_LT(factorization_residual(a.view(), q.view(), ref_extract_r(qr).view()),
+            kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, RefQrShapes,
+    ::testing::Values(std::tuple{1, 1, 0}, std::tuple{4, 4, 0},
+                      std::tuple{8, 5, 0}, std::tuple{5, 8, 0},
+                      std::tuple{20, 20, 0}, std::tuple{37, 11, 0},
+                      std::tuple{8, 8, 3}, std::tuple{16, 16, 4},
+                      std::tuple{25, 10, 4}, std::tuple{10, 25, 4},
+                      std::tuple{40, 40, 8}, std::tuple{33, 17, 5},
+                      std::tuple{64, 64, 16}, std::tuple{7, 7, 7},
+                      std::tuple{7, 7, 13}));
+
+TEST(RefQr, BlockedMatchesUnblockedR) {
+  Rng rng(101);
+  Matrix a = random_gaussian(12, 9, rng);
+  RefQR u = ref_qr_unblocked(a);
+  RefQR b = ref_qr_blocked(a, 4);
+  // R is unique up to column signs; compare |R|.
+  Matrix ru = ref_extract_r(u);
+  Matrix rb = ref_extract_r(b);
+  for (int j = 0; j < 9; ++j)
+    for (int i = 0; i <= j; ++i)
+      EXPECT_NEAR(std::abs(ru(i, j)), std::abs(rb(i, j)), 1e-12);
+}
+
+TEST(RefQr, RDiagonalMagnitudesDecreaseForGradedMatrix) {
+  Rng rng(7);
+  Matrix a = random_graded(30, 10, 6.0, rng);
+  RefQR qr = ref_qr_blocked(a, 4);
+  // Column scaling by 10^-6 across the matrix must show up in R's diagonal.
+  EXPECT_GT(std::abs(qr.a(0, 0)), std::abs(qr.a(9, 9)) * 1e3);
+}
+
+TEST(RefQr, ApplyQTransposeGivesR) {
+  Rng rng(55);
+  Matrix a = random_gaussian(10, 6, rng);
+  RefQR qr = ref_qr_blocked(a, 3);
+  Matrix c = a;
+  ref_apply_q(qr, Trans::Yes, c.view());
+  // Q^T A == R (top block), ~0 below.
+  Matrix r = ref_extract_r(qr);
+  for (int j = 0; j < 6; ++j) {
+    for (int i = 0; i < 10; ++i) {
+      const double expect = i <= j ? r(i, j) : 0.0;
+      EXPECT_NEAR(c(i, j), expect, 1e-12);
+    }
+  }
+}
+
+TEST(RefQr, ApplyQThenQTransposeRoundTrips) {
+  Rng rng(56);
+  Matrix a = random_gaussian(9, 9, rng);
+  RefQR qr = ref_qr_blocked(a, 4);
+  Matrix c0 = random_gaussian(9, 3, rng);
+  Matrix c = c0;
+  ref_apply_q(qr, Trans::No, c.view());
+  ref_apply_q(qr, Trans::Yes, c.view());
+  EXPECT_LT(max_abs_diff(c.view(), c0.view()), 1e-12);
+}
+
+TEST(RefQr, LeastSquaresRecoversPlantedSolution) {
+  Rng rng(77);
+  const int m = 40, n = 7;
+  Matrix a = random_gaussian(m, n, rng);
+  Matrix x_true = random_gaussian(n, 2, rng);
+  Matrix b(m, 2);
+  gemm(Trans::No, Trans::No, 1.0, a.view(), x_true.view(), 0.0, b.view());
+  Matrix x = least_squares(a, b);
+  EXPECT_LT(max_abs_diff(x.view(), x_true.view()), 1e-10);
+}
+
+TEST(RefQr, LeastSquaresResidualOrthogonalToRange) {
+  Rng rng(78);
+  const int m = 30, n = 5;
+  Matrix a = random_gaussian(m, n, rng);
+  Matrix b = random_gaussian(m, 1, rng);
+  Matrix x = least_squares(a, b);
+  Matrix r = b;
+  gemm(Trans::No, Trans::No, -1.0, a.view(), x.view(), 1.0, r.view());
+  Matrix atr(n, 1);
+  gemm(Trans::Yes, Trans::No, 1.0, a.view(), r.view(), 0.0, atr.view());
+  EXPECT_LT(max_norm(atr.view()), 1e-10);
+}
+
+TEST(RefQr, LeastSquaresRejectsWideMatrix) {
+  Matrix a(3, 5), b(3, 1);
+  EXPECT_THROW(least_squares(a, b), Error);
+}
+
+TEST(RefQr, NearRankDeficientStillFactorsExactly) {
+  Rng rng(90);
+  Matrix a = random_near_rank_deficient(20, 8, 3, 1e-10, rng);
+  RefQR qr = ref_qr_blocked(a, 4);
+  Matrix q = ref_form_q(qr);
+  EXPECT_LT(orthogonality_error(q.view()), kTol);
+  EXPECT_LT(factorization_residual(a.view(), q.view(), ref_extract_r(qr).view()),
+            kTol);
+}
+
+TEST(RefQr, ZeroMatrixFactorsWithZeroTaus) {
+  Matrix a(6, 4);
+  RefQR qr = ref_qr_unblocked(a);
+  for (double t : qr.tau) EXPECT_EQ(t, 0.0);
+  Matrix q = ref_form_q(qr);
+  // Q is the identity pattern when all taus vanish.
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(q(i, j), i == j ? 1.0 : 0.0);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,107 @@
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/random_matrix.hpp"
+#include "trees/hqr_tree.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+void expect_exact(const Matrix& a0, const QRFactors& f) {
+  Matrix q = build_q(f);
+  EXPECT_LT(orthogonality_error(q.view()), kTol);
+  Matrix qs = materialize(q.block(0, 0, a0.rows(), f.n()));
+  EXPECT_LT(factorization_residual(a0.view(), qs.view(), extract_r(f).view()),
+            kTol);
+}
+
+// (threads, priority, data_reuse)
+class ExecutorConfigs
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool>> {};
+
+TEST_P(ExecutorConfigs, ParallelFactorizationIsExact) {
+  auto [threads, priority, reuse] = GetParam();
+  Rng rng(42 + threads);
+  Matrix a0 = random_gaussian(36, 20, rng);
+  HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Fibonacci, true};
+  ExecutorOptions opts{threads, priority, reuse};
+  RunStats stats;
+  QRFactors f = qr_factorize_parallel(
+      a0, 4, hqr_elimination_list(9, 5, cfg), opts, &stats);
+  expect_exact(a0, f);
+  EXPECT_EQ(stats.threads, threads);
+  long long total = 0;
+  for (long long t : stats.tasks_per_thread) total += t;
+  EXPECT_EQ(total, stats.total_tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndPolicies, ExecutorConfigs,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Bool(),   // priority scheduling
+                       ::testing::Bool())); // data reuse
+
+TEST(Executor, MatchesSequentialResultBitwiseSingleThread) {
+  // One worker with priority ordering executes a deterministic schedule;
+  // R must match the sequential driver exactly (same kernels, same order up
+  // to commutativity of disjoint tiles -> identical floating point).
+  Rng rng(7);
+  Matrix a0 = random_gaussian(24, 12, rng);
+  auto list = greedy_global_list(6, 3).list;
+  QRFactors seq = qr_factorize_sequential(a0, 4, list);
+  ExecutorOptions opts{1, true, true};
+  QRFactors par = qr_factorize_parallel(a0, 4, list, opts);
+  Matrix rs = extract_r(seq);
+  Matrix rp = extract_r(par);
+  EXPECT_EQ(max_abs_diff(rs.view(), rp.view()), 0.0);
+}
+
+TEST(Executor, ManyThreadsMoreThanTasks) {
+  Rng rng(9);
+  Matrix a0 = random_gaussian(4, 4, rng);
+  ExecutorOptions opts{16, true, true};
+  QRFactors f = qr_factorize_parallel(a0, 4, flat_ts_list(1, 1), opts);
+  expect_exact(a0, f);
+}
+
+TEST(Executor, RepeatedRunsAreNumericallyIdentical) {
+  // The DAG fixes the computation regardless of interleaving: every run
+  // must produce the same R (kernels on disjoint tiles commute exactly).
+  Rng rng(11);
+  Matrix a0 = random_gaussian(32, 16, rng);
+  HqrConfig cfg{2, 2, TreeKind::Binary, TreeKind::Flat, true};
+  auto list = hqr_elimination_list(8, 4, cfg);
+  ExecutorOptions opts{4, true, true};
+  Matrix r_first = extract_r(qr_factorize_parallel(a0, 4, list, opts));
+  for (int rep = 0; rep < 5; ++rep) {
+    Matrix r = extract_r(qr_factorize_parallel(a0, 4, list, opts));
+    EXPECT_EQ(max_abs_diff(r_first.view(), r.view()), 0.0) << "rep " << rep;
+  }
+}
+
+TEST(Executor, InvalidThreadCountThrows) {
+  Rng rng(13);
+  Matrix a0 = random_gaussian(8, 8, rng);
+  ExecutorOptions opts{0, true, true};
+  EXPECT_THROW(qr_factorize_parallel(a0, 4, flat_ts_list(2, 2), opts), Error);
+}
+
+TEST(Executor, StressManySmallTilesManyThreads) {
+  Rng rng(17);
+  Matrix a0 = random_gaussian(60, 30, rng);
+  ExecutorOptions opts{8, true, true};
+  QRFactors f = qr_factorize_parallel(
+      a0, 2, greedy_global_list(30, 15).list, opts);
+  expect_exact(a0, f);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,54 @@
+#include "simcluster/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hqr {
+namespace {
+
+TEST(PlatformTest, EdelMatchesPaperNumbers) {
+  // §V-A: 9.08 GFlop/s per core, 72.64 per node, 4.3584 TFlop/s total.
+  Platform p = Platform::edel();
+  EXPECT_EQ(p.nodes, 60);
+  EXPECT_EQ(p.cores_per_node, 8);
+  EXPECT_NEAR(p.peak_per_core_gflops * p.cores_per_node, 72.64, 1e-9);
+  EXPECT_NEAR(p.theoretical_peak_gflops(), 4358.4, 1e-6);
+}
+
+TEST(PlatformTest, MeasuredKernelRatesFromPaper) {
+  Platform p = Platform::edel();
+  EXPECT_NEAR(p.rates.tsmqr, 7.21, 1e-9);  // 79.4% of peak
+  EXPECT_NEAR(p.rates.ttmqr, 6.28, 1e-9);  // 69.2% of peak
+  EXPECT_NEAR(p.rates.tsmqr / p.peak_per_core_gflops, 0.794, 0.001);
+  EXPECT_NEAR(p.rates.ttmqr / p.peak_per_core_gflops, 0.692, 0.001);
+}
+
+TEST(PlatformTest, KernelSecondsScaleWithWeight) {
+  Platform p = Platform::edel();
+  // TSMQR does 12/6 = 2x the flops of TSQRT.
+  const double ratio =
+      p.kernel_seconds(KernelType::TSMQR, 280) /
+      p.kernel_seconds(KernelType::TSQRT, 280);
+  EXPECT_NEAR(ratio, 2.0 * p.rates.tsqrt / p.rates.tsmqr, 1e-9);
+}
+
+TEST(PlatformTest, TransferTimeHasLatencyFloor) {
+  Platform p = Platform::edel();
+  EXPECT_GE(p.transfer_seconds(0), p.latency);
+  EXPECT_GT(p.transfer_seconds(1e9), 0.5);  // 1 GB at 1.8 GB/s
+}
+
+TEST(PlatformTest, TsKernelsFasterThanTt) {
+  // The ~10% sequential TS advantage the paper measures (§II, §V-B).
+  Platform p = Platform::edel();
+  EXPECT_GT(p.rates.tsmqr, p.rates.ttmqr);
+  EXPECT_NEAR(p.rates.tsmqr / p.rates.ttmqr, 1.15, 0.1);
+}
+
+TEST(PlatformTest, DescribeIsInformative) {
+  const std::string d = Platform::edel().describe();
+  EXPECT_NE(d.find("60 nodes"), std::string::npos);
+  EXPECT_NE(d.find("8 cores"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hqr

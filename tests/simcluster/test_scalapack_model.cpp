@@ -1,0 +1,70 @@
+#include "baselines/scalapack_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hqr {
+namespace {
+
+ScalapackOptions paper_opts() {
+  ScalapackOptions o;
+  o.platform = Platform::edel();
+  return o;
+}
+
+TEST(ScalapackModel, SquareMatrixLandsNearPaperFraction) {
+  // §V-C: ScaLAPACK reaches 44.2% of peak on the 67200 x 67200 matrix.
+  auto r = simulate_scalapack(67200, 67200, paper_opts());
+  EXPECT_GT(r.peak_fraction, 0.30);
+  EXPECT_LT(r.peak_fraction, 0.60);
+}
+
+TEST(ScalapackModel, TallSkinnyIsLatencyAndPanelBound) {
+  // §V-C: at best 277 GFlop/s (6.4% of peak) on M x 4480.
+  auto r = simulate_scalapack(286720, 4480, paper_opts());
+  EXPECT_LT(r.peak_fraction, 0.15);
+  EXPECT_GT(r.peak_fraction, 0.01);
+}
+
+TEST(ScalapackModel, TallSkinnyMuchWorseThanSquare) {
+  auto ts = simulate_scalapack(286720, 4480, paper_opts());
+  auto sq = simulate_scalapack(67200, 67200, paper_opts());
+  EXPECT_GT(sq.peak_fraction, 3.0 * ts.peak_fraction);
+}
+
+TEST(ScalapackModel, PerformanceBuildsWithM) {
+  // Figure 9 behavior: ScaLAPACK builds performance as N grows to square.
+  auto o = paper_opts();
+  auto small = simulate_scalapack(67200, 4480, o);
+  auto large = simulate_scalapack(67200, 67200, o);
+  EXPECT_GT(large.gflops, small.gflops);
+}
+
+TEST(ScalapackModel, LatencyTermScalesWithColumns) {
+  // One reduction pair per matrix column: message count carries the factor
+  // b (= nb here) compared to a tile algorithm (§V-C).
+  auto o = paper_opts();
+  auto r1 = simulate_scalapack(20000, 2000, o);
+  auto r2 = simulate_scalapack(20000, 4000, o);
+  EXPECT_NEAR(static_cast<double>(r2.messages) / r1.messages, 2.0, 0.2);
+}
+
+TEST(ScalapackModel, HigherLatencyHurtsTallSkinny) {
+  auto o = paper_opts();
+  auto base = simulate_scalapack(286720, 4480, o);
+  o.platform.latency *= 100;
+  auto slow = simulate_scalapack(286720, 4480, o);
+  EXPECT_GT(slow.seconds, base.seconds);
+}
+
+TEST(ScalapackModel, RejectsWideMatrices) {
+  EXPECT_THROW(simulate_scalapack(100, 200, paper_opts()), Error);
+}
+
+TEST(ScalapackModel, SmallMatrixStillFinite) {
+  auto r = simulate_scalapack(64, 64, paper_opts());
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,127 @@
+#include "trees/elimination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "trees/hqr_tree.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+TEST(ExpandToKernels, FlatTsSmallCaseExactSequence) {
+  // 2x2 tiles, flat TS: GEQRT(0,0), UNMQR(0,0,1), TSQRT(1,0,0),
+  // TSMQR(1,0,0,1), GEQRT(1,1).
+  auto kernels = expand_to_kernels(flat_ts_list(2, 2), 2, 2);
+  ASSERT_EQ(kernels.size(), 5u);
+  EXPECT_EQ(kernels[0], (KernelOp{KernelType::GEQRT, 0, 0, 0, -1}));
+  EXPECT_EQ(kernels[1], (KernelOp{KernelType::UNMQR, 0, 0, 0, 1}));
+  EXPECT_EQ(kernels[2], (KernelOp{KernelType::TSQRT, 1, 0, 0, -1}));
+  EXPECT_EQ(kernels[3], (KernelOp{KernelType::TSMQR, 1, 0, 0, 1}));
+  EXPECT_EQ(kernels[4], (KernelOp{KernelType::GEQRT, 1, 1, 1, -1}));
+}
+
+TEST(ExpandToKernels, TtEliminationTriangularizesBothSides) {
+  EliminationList list = {{1, 0, 0, false}};
+  auto kernels = expand_to_kernels(list, 2, 1);
+  ASSERT_EQ(kernels.size(), 3u);
+  EXPECT_EQ(kernels[0].type, KernelType::GEQRT);
+  EXPECT_EQ(kernels[0].row, 0);
+  EXPECT_EQ(kernels[1].type, KernelType::GEQRT);
+  EXPECT_EQ(kernels[1].row, 1);
+  EXPECT_EQ(kernels[2].type, KernelType::TTQRT);
+}
+
+TEST(ExpandToKernels, GeqrtEmittedOnce) {
+  // Killer reused for several kills: only one GEQRT.
+  EliminationList list = {{1, 0, 0, false}, {2, 0, 0, false}};
+  auto kernels = expand_to_kernels(list, 3, 1);
+  int geqrt0 = 0;
+  for (const auto& op : kernels)
+    if (op.type == KernelType::GEQRT && op.row == 0) ++geqrt0;
+  EXPECT_EQ(geqrt0, 1);
+}
+
+TEST(ExpandToKernels, SquareMatrixLastPanelGetsGeqrt) {
+  auto kernels = expand_to_kernels(flat_ts_list(3, 3), 3, 3);
+  bool found = false;
+  for (const auto& op : kernels)
+    if (op.type == KernelType::GEQRT && op.row == 2 && op.k == 2) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(ExpandToKernels, TsVictimNeverGeqrted) {
+  auto kernels = expand_to_kernels(flat_ts_list(4, 2), 4, 2);
+  for (const auto& op : kernels) {
+    if (op.type != KernelType::GEQRT) continue;
+    // In flat TS only diagonal tiles are triangularized.
+    EXPECT_EQ(op.row, op.k);
+  }
+}
+
+TEST(ExpandToKernels, UpdatesCoverAllTrailingColumns) {
+  auto kernels = expand_to_kernels(flat_ts_list(3, 4), 3, 4);
+  std::map<std::tuple<int, int, int>, int> tsmqr_cols;  // (row,piv,k) -> count
+  for (const auto& op : kernels)
+    if (op.type == KernelType::TSMQR)
+      tsmqr_cols[{op.row, op.piv, op.k}]++;
+  EXPECT_EQ((tsmqr_cols[{1, 0, 0}]), 3);  // columns 1, 2, 3
+  EXPECT_EQ((tsmqr_cols[{2, 1, 1}]), 2);
+}
+
+TEST(ExpandToKernels, MalformedEliminationThrows) {
+  EliminationList bad = {{0, 1, 0, true}};  // victim on the diagonal
+  EXPECT_THROW(expand_to_kernels(bad, 2, 2), Error);
+}
+
+// §II invariant: total weight is 6 m n^2 - 2 n^3 regardless of the
+// elimination list or kernel mix, for m >= n.
+class WeightInvariant
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WeightInvariant, HoldsForEveryAlgorithm) {
+  auto [mt, nt] = GetParam();
+  const long long expect = total_factorization_weight(mt, nt);
+
+  EXPECT_EQ(total_weight(expand_to_kernels(flat_ts_list(mt, nt), mt, nt)),
+            expect);
+  for (TreeKind k : {TreeKind::Binary, TreeKind::Greedy, TreeKind::Fibonacci})
+    EXPECT_EQ(total_weight(expand_to_kernels(per_panel_tree_list(k, mt, nt),
+                                             mt, nt)),
+              expect)
+        << tree_name(k);
+  EXPECT_EQ(
+      total_weight(expand_to_kernels(greedy_global_list(mt, nt).list, mt, nt)),
+      expect);
+
+  HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Fibonacci, true};
+  EXPECT_EQ(total_weight(
+                expand_to_kernels(hqr_elimination_list(mt, nt, cfg), mt, nt)),
+            expect);
+  cfg.domino = false;
+  cfg.a = 4;
+  EXPECT_EQ(total_weight(
+                expand_to_kernels(hqr_elimination_list(mt, nt, cfg), mt, nt)),
+            expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeightInvariant,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 2},
+                                           std::pair{6, 3}, std::pair{8, 8},
+                                           std::pair{24, 10},
+                                           std::pair{40, 5}));
+
+TEST(FactorKernelsOnly, FiltersUpdates) {
+  auto kernels = expand_to_kernels(flat_ts_list(3, 3), 3, 3);
+  auto factors = factor_kernels_only(kernels);
+  for (const auto& op : factors) EXPECT_TRUE(is_factor_kernel(op.type));
+  EXPECT_LT(factors.size(), kernels.size());
+  // 3 GEQRT + 3 TSQRT (2 + 1 eliminations).
+  EXPECT_EQ(factors.size(), 6u);
+}
+
+}  // namespace
+}  // namespace hqr

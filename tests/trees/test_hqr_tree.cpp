@@ -1,0 +1,207 @@
+#include "trees/hqr_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "trees/validate.hpp"
+
+namespace hqr {
+namespace {
+
+// Exhaustive validity sweep over the full configuration space: every grid
+// shape x p x a x low-tree x high-tree x domino must produce a valid
+// elimination list. This is the ground-truth test of the hierarchical
+// generator (paper §IV).
+class HqrSweep
+    : public ::testing::TestWithParam<std::tuple<std::pair<int, int>, int, int,
+                                                 TreeKind, TreeKind, bool>> {};
+
+TEST_P(HqrSweep, ProducesValidEliminationList) {
+  auto [shape, p, a, low, high, domino] = GetParam();
+  auto [mt, nt] = shape;
+  HqrConfig cfg{p, a, low, high, domino};
+  auto list = hqr_elimination_list(mt, nt, cfg);
+  auto r = validate_elimination_list(list, mt, nt);
+  ASSERT_TRUE(r.ok) << cfg.describe() << " mt=" << mt << " nt=" << nt << ": "
+                    << r.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, HqrSweep,
+    ::testing::Combine(
+        ::testing::Values(std::pair{1, 1}, std::pair{4, 4}, std::pair{7, 3},
+                          std::pair{12, 5}, std::pair{24, 10},
+                          std::pair{13, 13}, std::pair{40, 6},
+                          std::pair{5, 9}),
+        ::testing::Values(1, 2, 3, 5),            // p
+        ::testing::Values(1, 2, 4, 100),          // a (100 = full TS domain)
+        ::testing::Values(TreeKind::Flat, TreeKind::Binary, TreeKind::Greedy,
+                          TreeKind::Fibonacci),   // low
+        ::testing::Values(TreeKind::Flat, TreeKind::Fibonacci),  // high
+        ::testing::Bool()));                      // domino
+
+TEST(HqrTree, EliminationCountIsExact) {
+  const int mt = 24, nt = 10;
+  HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Binary, true};
+  auto list = hqr_elimination_list(mt, nt, cfg);
+  std::size_t expect = 0;
+  for (int k = 0; k < nt; ++k) expect += static_cast<std::size_t>(mt - 1 - k);
+  EXPECT_EQ(list.size(), expect);
+}
+
+TEST(HqrTree, TsEliminationsOnlyWithinDomains) {
+  const int mt = 24, nt = 10;
+  HqrConfig cfg{3, 2, TreeKind::Flat, TreeKind::Flat, true};
+  auto list = hqr_elimination_list(mt, nt, cfg);
+  for (const auto& e : list) {
+    if (!e.ts) continue;
+    // TS victim and killer live in the same node and same domain.
+    EXPECT_EQ(e.row % cfg.p, e.piv % cfg.p);
+    EXPECT_EQ((e.row / cfg.p) / cfg.a, (e.piv / cfg.p) / cfg.a);
+  }
+}
+
+TEST(HqrTree, AEquals1MeansNoTsKernels) {
+  HqrConfig cfg{3, 1, TreeKind::Greedy, TreeKind::Greedy, true};
+  auto list = hqr_elimination_list(20, 8, cfg);
+  for (const auto& e : list) EXPECT_FALSE(e.ts) << "a=1 must use TT only";
+}
+
+TEST(HqrTree, InterNodeEliminationsOnlyInHighTree) {
+  // Count eliminations crossing nodes: must equal (active nodes - 1) per
+  // panel — the communication-avoiding property (paper §IV-A).
+  const int mt = 24, nt = 10, p = 3;
+  HqrConfig cfg{p, 2, TreeKind::Greedy, TreeKind::Binary, true};
+  auto list = hqr_elimination_list(mt, nt, cfg);
+  std::map<int, int> cross_per_panel;
+  for (const auto& e : list)
+    if (e.row % p != e.piv % p) cross_per_panel[e.k]++;
+  for (int k = 0; k < nt; ++k) {
+    // Active nodes in panel k: nodes owning at least one row >= k.
+    int active = 0;
+    for (int r = 0; r < p; ++r) {
+      int first = r;
+      while (first < k) first += p;
+      if (first < mt) ++active;
+    }
+    EXPECT_EQ(cross_per_panel[k], active - 1) << "panel " << k;
+  }
+}
+
+TEST(HqrTree, DominoOffStillValid) {
+  HqrConfig cfg{4, 2, TreeKind::Flat, TreeKind::Greedy, false};
+  auto list = hqr_elimination_list(30, 12, cfg);
+  check_valid(list, 30, 12);
+}
+
+TEST(HqrTree, DominoChainKillsLevel2TilesWithRowAbove) {
+  const int mt = 24, nt = 10, p = 3;
+  HqrConfig cfg{p, 2, TreeKind::Flat, TreeKind::Flat, true};
+  auto list = hqr_elimination_list(mt, nt, cfg);
+  for (const auto& e : list) {
+    const int lvl = tile_level(e.row, e.k, mt, cfg);
+    if (lvl == 2) {
+      // Level-2 tiles are killed intra-node by the local row directly above.
+      EXPECT_EQ(e.piv, e.row - p) << "row " << e.row << " panel " << e.k;
+    }
+  }
+}
+
+TEST(HqrTree, PaperFigure5LevelMap) {
+  // Figure 5: m = 24, n = 10 tiles, p = 3, a = 2. Spot-check the levels the
+  // paper describes in §IV-B.
+  const int mt = 24;
+  HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Greedy, true};
+
+  // Panel 0: the three top tiles are rows 0, 1, 2 (level 3); everything
+  // below the local diagonal with even local row is a head (level 1).
+  EXPECT_EQ(tile_level(0, 0, mt, cfg), 3);
+  EXPECT_EQ(tile_level(1, 0, mt, cfg), 3);
+  EXPECT_EQ(tile_level(2, 0, mt, cfg), 3);
+  // Local row 1 of each node is below the local diagonal (dloc = 0): rows
+  // 3, 4, 5 have lm = 1, odd -> level 0 (TS-killed by their domain head).
+  EXPECT_EQ(tile_level(3, 0, mt, cfg), 0);
+  // lm = 2 (rows 6, 7, 8): even -> domain heads, level 1.
+  EXPECT_EQ(tile_level(6, 0, mt, cfg), 1);
+  EXPECT_EQ(tile_level(7, 0, mt, cfg), 1);
+
+  // Panel 2 on cluster P0: §IV-B names tile (6, 2) the local diagonal tile
+  // of P0 (local row 2 == k): level 2, and the top tile of P0 is row 3
+  // (lm = 1)... the first row >= 2 congruent to 0 mod 3 is 3. Level 3.
+  EXPECT_EQ(tile_level(3, 2, mt, cfg), 3);
+  EXPECT_EQ(tile_level(6, 2, mt, cfg), 2);
+
+  // Panel 1: tile (4, 1) is the first level-2 tile (paper §IV-B d).
+  EXPECT_EQ(tile_level(4, 1, mt, cfg), 2);
+  EXPECT_EQ(tile_level(1, 1, mt, cfg), 3);  // top tile of P1
+
+  // Above the diagonal: no level.
+  EXPECT_EQ(tile_level(0, 1, mt, cfg), -1);
+}
+
+TEST(HqrTree, LevelHistogramMatchesGeometry) {
+  // For a tall-skinny matrix the proportion of level-0 tiles approaches
+  // (a-1)/a = 1/2 for a = 2 (paper §IV-B a).
+  const int mt = 240, nt = 4;
+  HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Greedy, true};
+  std::map<int, int> hist;
+  for (int k = 0; k < nt; ++k)
+    for (int i = k; i < mt; ++i) hist[tile_level(i, k, mt, cfg)]++;
+  const double total = hist[0] + hist[1] + hist[2] + hist[3];
+  EXPECT_NEAR(hist[0] / total, 0.5, 0.05);
+  EXPECT_EQ(hist[3], 3 * nt);  // p top tiles per panel
+}
+
+TEST(HqrTree, PEquals1IsDomainTreeAlgorithm) {
+  // p = 1: no high-tree eliminations (single top tile).
+  HqrConfig cfg{1, 3, TreeKind::Binary, TreeKind::Binary, true};
+  auto list = hqr_elimination_list(20, 5, cfg);
+  check_valid(list, 20, 5);
+  // With p = 1 every elimination is intra-node trivially; the diagonal row
+  // k is the root of each panel.
+  std::map<int, int> diag_kills;
+  for (const auto& e : list)
+    if (e.piv == e.k) diag_kills[e.k]++;
+  EXPECT_GT(diag_kills[0], 0);
+}
+
+TEST(HqrTree, Slhd10ConfigMatchesPaperParameters) {
+  // §V-A: [SLHD10] = p=1, a = m/r, low-level binary tree.
+  HqrConfig cfg = slhd10_config(60, 4);
+  EXPECT_EQ(cfg.p, 1);
+  EXPECT_EQ(cfg.a, 15);
+  EXPECT_EQ(cfg.low, TreeKind::Binary);
+  auto list = hqr_elimination_list(60, 8, cfg);
+  check_valid(list, 60, 8);
+}
+
+TEST(HqrTree, PGreaterThanRowsStillValid) {
+  HqrConfig cfg{8, 2, TreeKind::Greedy, TreeKind::Binary, true};
+  auto list = hqr_elimination_list(3, 3, cfg);
+  check_valid(list, 3, 3);
+}
+
+TEST(HqrTree, BadParametersThrow) {
+  HqrConfig cfg;
+  cfg.p = 0;
+  EXPECT_THROW(hqr_elimination_list(4, 4, cfg), Error);
+  cfg.p = 1;
+  cfg.a = 0;
+  EXPECT_THROW(hqr_elimination_list(4, 4, cfg), Error);
+}
+
+TEST(HqrTree, DescribeMentionsAllParameters) {
+  HqrConfig cfg{2, 4, TreeKind::Flat, TreeKind::Greedy, false};
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("p=2"), std::string::npos);
+  EXPECT_NE(d.find("a=4"), std::string::npos);
+  EXPECT_NE(d.find("flat"), std::string::npos);
+  EXPECT_NE(d.find("greedy"), std::string::npos);
+  EXPECT_NE(d.find("domino=off"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hqr

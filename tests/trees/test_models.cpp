@@ -1,0 +1,97 @@
+#include "trees/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "trees/hqr_tree.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+// Property: the closed-form depth matches the generator's deepest round for
+// every subset size up to 300 and every tree kind.
+class DepthModel : public ::testing::TestWithParam<TreeKind> {};
+
+TEST_P(DepthModel, MatchesGeneratorForAllSizes) {
+  const TreeKind kind = GetParam();
+  for (int n = 1; n <= 300; ++n) {
+    std::vector<int> rows(static_cast<std::size_t>(n));
+    std::iota(rows.begin(), rows.end(), 0);
+    int measured = 0;
+    for (const auto& p : reduce_subset(kind, rows))
+      measured = std::max(measured, p.round);
+    ASSERT_EQ(panel_tree_depth(kind, n), measured) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DepthModel,
+                         ::testing::Values(TreeKind::Flat, TreeKind::Binary,
+                                           TreeKind::Greedy,
+                                           TreeKind::Fibonacci),
+                         [](const auto& info) { return tree_name(info.param); });
+
+TEST(DepthModel, KnownValues) {
+  EXPECT_EQ(panel_tree_depth(TreeKind::Flat, 12), 11);
+  EXPECT_EQ(panel_tree_depth(TreeKind::Binary, 12), 4);
+  EXPECT_EQ(panel_tree_depth(TreeKind::Greedy, 12), 4);
+  EXPECT_EQ(panel_tree_depth(TreeKind::Fibonacci, 13), 7);
+  for (TreeKind k : {TreeKind::Flat, TreeKind::Binary, TreeKind::Greedy,
+                     TreeKind::Fibonacci})
+    EXPECT_EQ(panel_tree_depth(k, 1), 0);
+}
+
+TEST(DepthModel, GreedyNeverDeeperThanBinaryNeverDeeperThanFibonacci) {
+  for (int n = 2; n <= 300; ++n) {
+    EXPECT_LE(panel_tree_depth(TreeKind::Greedy, n),
+              panel_tree_depth(TreeKind::Binary, n));
+    EXPECT_LE(panel_tree_depth(TreeKind::Binary, n),
+              panel_tree_depth(TreeKind::Fibonacci, n) + 1);
+    EXPECT_LE(panel_tree_depth(TreeKind::Fibonacci, n),
+              panel_tree_depth(TreeKind::Flat, n));
+  }
+}
+
+TEST(ColumnCpModel, PaperRatioOn68x16) {
+  // §V-B: (68 + 2*16) / (log2(68) + 2*16) ~ 2.6.
+  const double ratio = column_cp_flat(68, 16) / column_cp_greedy(68, 16);
+  EXPECT_NEAR(ratio, 2.6, 0.1);
+}
+
+TEST(ColumnCpModel, FlatAlwaysAboveGreedy) {
+  for (int m : {2, 10, 100, 1000})
+    for (int n : {1, 16, 64})
+      EXPECT_GT(column_cp_flat(m, n), column_cp_greedy(m, n));
+}
+
+// geqrt_count closed form vs the expanded kernel lists.
+TEST(GeqrtCountModel, MatchesExpandedLists) {
+  for (auto [mt, nt] : {std::pair{6, 3}, std::pair{12, 12}, std::pair{24, 10},
+                        std::pair{40, 5}}) {
+    struct Case {
+      EliminationList list;
+    };
+    HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Fibonacci, true};
+    for (const auto& list :
+         {flat_ts_list(mt, nt), per_panel_tree_list(TreeKind::Binary, mt, nt),
+          greedy_global_list(mt, nt).list,
+          hqr_elimination_list(mt, nt, cfg)}) {
+      long long tt = 0;
+      for (const auto& e : list) tt += e.ts ? 0 : 1;
+      long long measured = 0;
+      for (const auto& op : expand_to_kernels(list, mt, nt))
+        measured += op.type == KernelType::GEQRT ? 1 : 0;
+      EXPECT_EQ(measured, geqrt_count(mt, nt, tt))
+          << "mt=" << mt << " nt=" << nt;
+    }
+  }
+}
+
+TEST(GeqrtCountModel, PureTsIsMinimal) {
+  // Flat TS has zero TT kills: exactly min(mt, nt) GEQRTs.
+  EXPECT_EQ(geqrt_count(20, 8, 0), 8);
+}
+
+}  // namespace
+}  // namespace hqr

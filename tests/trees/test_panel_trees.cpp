@@ -1,0 +1,185 @@
+#include "trees/panel_trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace hqr {
+namespace {
+
+std::vector<int> iota_rows(int n, int start = 0) {
+  std::vector<int> rows(static_cast<std::size_t>(n));
+  std::iota(rows.begin(), rows.end(), start);
+  return rows;
+}
+
+// Every subset reduction must: kill each non-root exactly once, never kill
+// the root, and never use a killer after its own death (list order).
+void expect_valid_reduction(const std::vector<ReductionPair>& pairs,
+                            const std::vector<int>& rows) {
+  std::set<int> alive(rows.begin(), rows.end());
+  int last_round = 0;
+  for (const ReductionPair& pr : pairs) {
+    EXPECT_TRUE(alive.count(pr.victim)) << "victim " << pr.victim << " dead";
+    EXPECT_TRUE(alive.count(pr.killer)) << "killer " << pr.killer << " dead";
+    EXPECT_NE(pr.victim, rows[0]) << "root killed";
+    EXPECT_LT(pr.killer, pr.victim) << "killer must be above victim";
+    EXPECT_GE(pr.round, last_round) << "rounds must be non-decreasing";
+    last_round = pr.round;
+    alive.erase(pr.victim);
+  }
+  EXPECT_EQ(alive.size(), 1u);
+  EXPECT_TRUE(alive.count(rows[0]));
+}
+
+class AllKinds : public ::testing::TestWithParam<TreeKind> {};
+
+TEST_P(AllKinds, ValidForManySizes) {
+  for (int n : {1, 2, 3, 4, 5, 7, 8, 12, 13, 16, 31, 32, 33, 100}) {
+    auto rows = iota_rows(n);
+    auto pairs = reduce_subset(GetParam(), rows);
+    EXPECT_EQ(pairs.size(), static_cast<std::size_t>(n - 1));
+    expect_valid_reduction(pairs, rows);
+  }
+}
+
+TEST_P(AllKinds, WorksOnNonContiguousRows) {
+  std::vector<int> rows = {3, 7, 10, 21, 22, 40, 41};
+  auto pairs = reduce_subset(GetParam(), rows);
+  expect_valid_reduction(pairs, rows);
+}
+
+TEST_P(AllKinds, SingletonProducesNothing) {
+  auto pairs = reduce_subset(GetParam(), {5});
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST_P(AllKinds, RejectsUnsortedRows) {
+  EXPECT_THROW(reduce_subset(GetParam(), {3, 1, 2}), Error);
+}
+
+TEST_P(AllKinds, RejectsDuplicateRows) {
+  EXPECT_THROW(reduce_subset(GetParam(), {1, 2, 2}), Error);
+}
+
+TEST_P(AllKinds, RejectsEmpty) {
+  EXPECT_THROW(reduce_subset(GetParam(), {}), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllKinds,
+                         ::testing::Values(TreeKind::Flat, TreeKind::Binary,
+                                           TreeKind::Greedy,
+                                           TreeKind::Fibonacci),
+                         [](const auto& info) { return tree_name(info.param); });
+
+TEST(FlatTree, RootKillsEverythingSequentially) {
+  auto pairs = reduce_subset(TreeKind::Flat, iota_rows(5));
+  ASSERT_EQ(pairs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pairs[i].killer, 0);
+    EXPECT_EQ(pairs[i].victim, i + 1);
+    EXPECT_EQ(pairs[i].round, i + 1);  // fully serial
+  }
+}
+
+TEST(BinaryTree, MatchesPaperFigure2) {
+  // Paper Fig. 2, m = 12: round 1 pairs (0,1),(2,3),...,(10,11); round 2
+  // pairs (0,2),(4,6),(8,10); round 3 (0,4),(8,?); round 4 (0,8).
+  auto pairs = reduce_subset(TreeKind::Binary, iota_rows(12));
+  ASSERT_EQ(pairs.size(), 11u);
+  auto at = [&](int victim) {
+    for (const auto& p : pairs)
+      if (p.victim == victim) return p;
+    ADD_FAILURE() << "victim " << victim << " missing";
+    return ReductionPair{-1, -1, -1};
+  };
+  for (int v : {1, 3, 5, 7, 9, 11}) {
+    EXPECT_EQ(at(v).killer, v - 1);
+    EXPECT_EQ(at(v).round, 1);
+  }
+  for (int v : {2, 6, 10}) {
+    EXPECT_EQ(at(v).killer, v - 2);
+    EXPECT_EQ(at(v).round, 2);
+  }
+  EXPECT_EQ(at(4).killer, 0);
+  EXPECT_EQ(at(4).round, 3);
+  EXPECT_EQ(at(8).killer, 0);
+  EXPECT_EQ(at(8).round, 4);
+}
+
+TEST(BinaryTree, LogarithmicDepth) {
+  for (int n : {2, 4, 8, 16, 64, 100, 128}) {
+    auto pairs = reduce_subset(TreeKind::Binary, iota_rows(n));
+    int depth = 0;
+    for (const auto& p : pairs) depth = std::max(depth, p.round);
+    int expect = 0;
+    while ((1 << expect) < n) ++expect;
+    EXPECT_EQ(depth, expect) << "n=" << n;
+  }
+}
+
+TEST(GreedyTree, HalvesEveryRound) {
+  // n = 12: rounds kill 6, 3, 1, 1 (the paper's per-column greedy wave).
+  auto pairs = reduce_subset(TreeKind::Greedy, iota_rows(12));
+  std::map<int, int> per_round;
+  for (const auto& p : pairs) per_round[p.round]++;
+  EXPECT_EQ(per_round[1], 6);
+  EXPECT_EQ(per_round[2], 3);
+  EXPECT_EQ(per_round[3], 1);
+  EXPECT_EQ(per_round[4], 1);
+}
+
+TEST(GreedyTree, FirstWaveMatchesPaperPairing) {
+  // Paper §III-B: bottom six of 12 killed by the six rows above, paired in
+  // natural order.
+  auto pairs = reduce_subset(TreeKind::Greedy, iota_rows(12));
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(pairs[t].victim, 6 + t);
+    EXPECT_EQ(pairs[t].killer, t);
+    EXPECT_EQ(pairs[t].round, 1);
+  }
+}
+
+TEST(FibonacciTree, WaveSizesFollowFibonacci) {
+  // n = 13: waves of 1, 1, 2, 3, then the clamped remainder.
+  auto pairs = reduce_subset(TreeKind::Fibonacci, iota_rows(13));
+  std::map<int, int> per_round;
+  for (const auto& p : pairs) per_round[p.round]++;
+  EXPECT_EQ(per_round[1], 1);
+  EXPECT_EQ(per_round[2], 1);
+  EXPECT_EQ(per_round[3], 2);
+  EXPECT_EQ(per_round[4], 3);
+  // 13 rows: after 1+1+2+3 = 7 kills, 6 alive -> wave min(5, 3) = 3,
+  // then 3 alive -> min(8, 1) = 1, then 2 alive -> 1.
+  EXPECT_EQ(per_round[5], 3);
+  EXPECT_EQ(per_round[6], 1);
+  EXPECT_EQ(per_round[7], 1);
+}
+
+TEST(FibonacciTree, ShallowerThanFlatDeeperThanGreedy) {
+  auto depth = [](TreeKind k, int n) {
+    auto pairs = reduce_subset(k, iota_rows(n));
+    int d = 0;
+    for (const auto& p : pairs) d = std::max(d, p.round);
+    return d;
+  };
+  for (int n : {16, 50, 100, 200}) {
+    EXPECT_LT(depth(TreeKind::Fibonacci, n), depth(TreeKind::Flat, n));
+    EXPECT_GE(depth(TreeKind::Fibonacci, n), depth(TreeKind::Greedy, n));
+  }
+}
+
+TEST(TreeNames, RoundTrip) {
+  for (TreeKind k : {TreeKind::Flat, TreeKind::Binary, TreeKind::Greedy,
+                     TreeKind::Fibonacci})
+    EXPECT_EQ(tree_from_name(tree_name(k)), k);
+  EXPECT_THROW(tree_from_name("bogus"), Error);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,103 @@
+#include "trees/single_level.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "trees/validate.hpp"
+
+namespace hqr {
+namespace {
+
+class GridShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GridShapes, FlatTsIsValid) {
+  auto [mt, nt] = GetParam();
+  check_valid(flat_ts_list(mt, nt), mt, nt);
+}
+
+TEST_P(GridShapes, PerPanelTreesAreValid) {
+  auto [mt, nt] = GetParam();
+  for (TreeKind k : {TreeKind::Flat, TreeKind::Binary, TreeKind::Greedy,
+                     TreeKind::Fibonacci})
+    check_valid(per_panel_tree_list(k, mt, nt), mt, nt);
+}
+
+TEST_P(GridShapes, GreedyGlobalIsValid) {
+  auto [mt, nt] = GetParam();
+  auto sl = greedy_global_list(mt, nt);
+  check_valid(sl.list, mt, nt);
+  ASSERT_EQ(sl.step.size(), sl.list.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridShapes,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{2, 2},
+                      std::pair{3, 3}, std::pair{5, 2}, std::pair{8, 8},
+                      std::pair{12, 3}, std::pair{17, 5}, std::pair{24, 10},
+                      std::pair{40, 40}, std::pair{64, 4}, std::pair{7, 13}));
+
+TEST(FlatTs, AllEliminationsUseDiagonalKillerAndTsKernels) {
+  auto list = flat_ts_list(6, 3);
+  for (const auto& e : list) {
+    EXPECT_EQ(e.piv, e.k);
+    EXPECT_TRUE(e.ts);
+  }
+  EXPECT_EQ(list.size(), 5u + 4u + 3u);
+}
+
+TEST(PerPanelTree, AllTtKernels) {
+  auto list = per_panel_tree_list(TreeKind::Greedy, 9, 4);
+  for (const auto& e : list) EXPECT_FALSE(e.ts);
+}
+
+TEST(PerPanelTree, EliminationCountIsExact) {
+  // Sum over panels of (mt - 1 - k).
+  const int mt = 11, nt = 7;
+  auto list = per_panel_tree_list(TreeKind::Binary, mt, nt);
+  std::size_t expect = 0;
+  for (int k = 0; k < nt; ++k) expect += static_cast<std::size_t>(mt - 1 - k);
+  EXPECT_EQ(list.size(), expect);
+}
+
+TEST(GreedyGlobal, StepsAreNondecreasingInList) {
+  auto sl = greedy_global_list(20, 6);
+  for (std::size_t i = 1; i < sl.step.size(); ++i)
+    EXPECT_LE(sl.step[i - 1], sl.step[i]);
+}
+
+TEST(GreedyGlobal, NoRowDoesDoubleDutyWithinAStep) {
+  auto sl = greedy_global_list(30, 8);
+  // Group by step and check each row appears at most once.
+  std::map<int, std::set<int>> used;
+  for (std::size_t i = 0; i < sl.list.size(); ++i) {
+    const auto& e = sl.list[i];
+    const int s = sl.step[i];
+    EXPECT_TRUE(used[s].insert(e.row).second)
+        << "row " << e.row << " twice at step " << s;
+    EXPECT_TRUE(used[s].insert(e.piv).second)
+        << "row " << e.piv << " twice at step " << s;
+  }
+}
+
+TEST(GreedyGlobal, WideMatrixClampsPanels) {
+  auto sl = greedy_global_list(3, 9);  // only 3 panels possible
+  for (const auto& e : sl.list) EXPECT_LT(e.k, 3);
+  check_valid(sl.list, 3, 9);
+}
+
+TEST(GreedyGlobal, SinglePanelMatchesSubsetGreedyShape) {
+  // One panel: global greedy = wave halving.
+  auto sl = greedy_global_list(16, 1);
+  std::map<int, int> per_step;
+  for (std::size_t i = 0; i < sl.list.size(); ++i) per_step[sl.step[i]]++;
+  EXPECT_EQ(per_step[1], 8);
+  EXPECT_EQ(per_step[2], 4);
+  EXPECT_EQ(per_step[3], 2);
+  EXPECT_EQ(per_step[4], 1);
+}
+
+}  // namespace
+}  // namespace hqr

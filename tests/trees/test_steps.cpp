@@ -1,0 +1,89 @@
+#include "trees/steps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trees/hqr_tree.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+TEST(AsapSteps, FlatSinglePanelIsSerial) {
+  auto list = flat_ts_list(8, 1);
+  auto steps = asap_steps(list, 8, 1);
+  for (std::size_t i = 0; i < steps.size(); ++i)
+    EXPECT_EQ(steps[i], static_cast<int>(i) + 1);
+}
+
+TEST(AsapSteps, BinarySinglePanelIsLogDepth) {
+  auto list = per_panel_tree_list(TreeKind::Binary, 16, 1);
+  auto steps = asap_steps(list, 16, 1);
+  EXPECT_EQ(coarse_makespan(steps), 4);
+}
+
+TEST(AsapSteps, KillerSerializationEnforced) {
+  // Two kills by the same killer in one panel serialize.
+  EliminationList list = {{1, 0, 0, false}, {2, 0, 0, false}};
+  auto steps = asap_steps(list, 3, 1);
+  EXPECT_EQ(steps[0], 1);
+  EXPECT_EQ(steps[1], 2);
+}
+
+TEST(AsapSteps, PanelReadinessEnforced) {
+  // elim(2,1,1) waits for both rows to finish panel 0.
+  EliminationList list = {{1, 0, 0, false}, {2, 0, 0, false}, {2, 1, 1, false}};
+  auto steps = asap_steps(list, 3, 2);
+  EXPECT_EQ(steps[2], 1 + std::max(steps[0], steps[1]));
+}
+
+TEST(AsapSteps, ThrowsOnOutOfOrderList) {
+  // Panel 1 before the rows were zeroed in panel 0.
+  EliminationList list = {{2, 1, 1, false}};
+  EXPECT_THROW(asap_steps(list, 3, 2), Error);
+}
+
+TEST(AsapSteps, HqrListsHaveFiniteSchedule) {
+  HqrConfig cfg{3, 2, TreeKind::Greedy, TreeKind::Fibonacci, true};
+  auto list = hqr_elimination_list(24, 10, cfg);
+  auto steps = asap_steps(list, 24, 10);
+  EXPECT_EQ(steps.size(), list.size());
+  EXPECT_GT(coarse_makespan(steps), 0);
+}
+
+TEST(KillerStepTableTest, PopulatesOnlyEliminatedCells) {
+  auto list = flat_ts_list(4, 2);
+  auto steps = asap_steps(list, 4, 2);
+  auto t = killer_step_table(list, steps, 4, 2);
+  EXPECT_EQ(t.killer_of(0, 0), -1);
+  EXPECT_EQ(t.killer_of(1, 1), -1);  // diagonal of panel 1
+  EXPECT_EQ(t.killer_of(1, 0), 0);
+  EXPECT_EQ(t.killer_of(2, 1), 1);
+  EXPECT_GT(t.step_of(3, 1), t.step_of(3, 0));
+}
+
+TEST(KillerStepTableTest, SizeMismatchThrows) {
+  auto list = flat_ts_list(4, 2);
+  std::vector<int> steps(list.size() + 1, 1);
+  EXPECT_THROW(killer_step_table(list, steps, 4, 2), Error);
+}
+
+TEST(CoarseMakespan, EmptyIsZero) {
+  EXPECT_EQ(coarse_makespan({}), 0);
+}
+
+// Coarse-model property: the HQR makespan is never worse than flat TS on
+// tall-skinny shapes when using parallel trees.
+TEST(AsapSteps, HqrBeatsFlatOnTallSkinny) {
+  const int mt = 64, nt = 4;
+  auto flat = flat_ts_list(mt, nt);
+  HqrConfig cfg{4, 1, TreeKind::Greedy, TreeKind::Greedy, true};
+  auto hqr = hqr_elimination_list(mt, nt, cfg);
+  EXPECT_LT(coarse_makespan(asap_steps(hqr, mt, nt)),
+            coarse_makespan(asap_steps(flat, mt, nt)));
+}
+
+}  // namespace
+}  // namespace hqr

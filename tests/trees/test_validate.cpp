@@ -1,0 +1,120 @@
+#include "trees/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+TEST(Validate, AcceptsFlatTs) {
+  auto list = flat_ts_list(6, 4);
+  EXPECT_TRUE(validate_elimination_list(list, 6, 4));
+}
+
+TEST(Validate, RejectsEmptyListWithPendingTiles) {
+  EliminationList list;
+  auto r = validate_elimination_list(list, 3, 3);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("never zeroed"), std::string::npos);
+}
+
+TEST(Validate, AcceptsTrivialSingleTile) {
+  EliminationList list;  // 1x1: nothing to eliminate
+  EXPECT_TRUE(validate_elimination_list(list, 1, 1));
+}
+
+TEST(Validate, RejectsVictimOnDiagonal) {
+  EliminationList list = {{0, 1, 0, true}};
+  auto r = validate_elimination_list(list, 2, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("victim out of range"), std::string::npos);
+}
+
+TEST(Validate, RejectsKillerAbovePanel) {
+  // killer row 0 for panel 1 would use a tile in the R region.
+  EliminationList list = flat_ts_list(4, 2);
+  for (auto& e : list)
+    if (e.k == 1) e.piv = 0;
+  auto r = validate_elimination_list(list, 4, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("killer out of range"), std::string::npos);
+}
+
+TEST(Validate, RejectsSelfKill) {
+  EliminationList list = {{1, 1, 0, true}};
+  auto r = validate_elimination_list(list, 2, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("killer equals victim"), std::string::npos);
+}
+
+TEST(Validate, RejectsDoubleKill) {
+  EliminationList list = {{1, 0, 0, true}, {1, 0, 0, true}};
+  auto r = validate_elimination_list(list, 2, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("victim already zeroed"), std::string::npos);
+}
+
+TEST(Validate, RejectsDeadKiller) {
+  // Row 1 is killed, then used as a killer.
+  EliminationList list = {{1, 0, 0, false}, {2, 1, 0, false}};
+  auto r = validate_elimination_list(list, 3, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("killer already zeroed"), std::string::npos);
+}
+
+TEST(Validate, RejectsNotReadyVictim) {
+  // Panel 1 elimination before row 2 finished panel 0.
+  EliminationList list = {{1, 0, 0, false}, {2, 1, 1, false},
+                          {2, 0, 0, false}, {3, 0, 0, false},
+                          {3, 1, 1, false}, {3, 2, 2, false}};
+  auto r = validate_elimination_list(list, 4, 4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("not ready"), std::string::npos);
+}
+
+TEST(Validate, RejectsNotReadyKiller) {
+  // elim(3,2,1) before killer row 2 finished panel 0.
+  EliminationList list = {{1, 0, 0, false}, {3, 0, 0, false},
+                          {3, 2, 1, false}};
+  auto r = validate_elimination_list(list, 4, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("killer row not ready"), std::string::npos);
+}
+
+TEST(Validate, RejectsTsVictimThatAlreadyKilled) {
+  // Row 1 kills row 2 (TT), then is TS-killed: but row 1 is a triangle now.
+  EliminationList list = {{2, 1, 0, false}, {1, 0, 0, true}};
+  auto r = validate_elimination_list(list, 3, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("TS victim is not square"), std::string::npos);
+}
+
+TEST(Validate, AcceptsTtVictimThatAlreadyKilled) {
+  EliminationList list = {{2, 1, 0, false}, {1, 0, 0, false}};
+  EXPECT_TRUE(validate_elimination_list(list, 3, 1));
+}
+
+TEST(Validate, AllowsInterleavedPanelsWhenReady) {
+  // Rows 2 and 3 finish panel 0 early and proceed in panel 1 while panel 0
+  // continues elsewhere (pipelining across panels).
+  EliminationList list = {{3, 2, 0, false},
+                          {2, 1, 0, false},
+                          {3, 2, 1, false},
+                          {1, 0, 0, false},
+                          {2, 1, 1, false}};
+  EXPECT_TRUE(validate_elimination_list(list, 4, 2));
+}
+
+TEST(Validate, CheckValidThrowsOnBadList) {
+  EliminationList list = {{1, 1, 0, true}};
+  EXPECT_THROW(check_valid(list, 2, 1), Error);
+}
+
+TEST(Validate, CheckValidPassesGoodList) {
+  EXPECT_NO_THROW(check_valid(flat_ts_list(5, 5), 5, 5));
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ib.dir/bench_ablation_ib.cpp.o"
+  "CMakeFiles/bench_ablation_ib.dir/bench_ablation_ib.cpp.o.d"
+  "bench_ablation_ib"
+  "bench_ablation_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

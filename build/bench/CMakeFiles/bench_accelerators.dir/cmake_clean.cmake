@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accelerators.dir/bench_accelerators.cpp.o"
+  "CMakeFiles/bench_accelerators.dir/bench_accelerators.cpp.o.d"
+  "bench_accelerators"
+  "bench_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

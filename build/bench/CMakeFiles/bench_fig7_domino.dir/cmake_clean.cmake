@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_domino.dir/bench_fig7_domino.cpp.o"
+  "CMakeFiles/bench_fig7_domino.dir/bench_fig7_domino.cpp.o.d"
+  "bench_fig7_domino"
+  "bench_fig7_domino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_domino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_tall_skinny.cpp" "bench/CMakeFiles/bench_fig8_tall_skinny.dir/bench_fig8_tall_skinny.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_tall_skinny.dir/bench_fig8_tall_skinny.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hqr_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hqr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hqr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/hqr_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hqr_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/hqr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/hqr_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/hqr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hqr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tall_skinny.dir/bench_fig8_tall_skinny.cpp.o"
+  "CMakeFiles/bench_fig8_tall_skinny.dir/bench_fig8_tall_skinny.cpp.o.d"
+  "bench_fig8_tall_skinny"
+  "bench_fig8_tall_skinny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tall_skinny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

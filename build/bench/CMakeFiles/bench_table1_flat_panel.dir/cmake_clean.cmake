@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_flat_panel.dir/bench_table1_flat_panel.cpp.o"
+  "CMakeFiles/bench_table1_flat_panel.dir/bench_table1_flat_panel.cpp.o.d"
+  "bench_table1_flat_panel"
+  "bench_table1_flat_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_flat_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables2_4_pipelining.dir/bench_tables2_4_pipelining.cpp.o"
+  "CMakeFiles/bench_tables2_4_pipelining.dir/bench_tables2_4_pipelining.cpp.o.d"
+  "bench_tables2_4_pipelining"
+  "bench_tables2_4_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables2_4_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

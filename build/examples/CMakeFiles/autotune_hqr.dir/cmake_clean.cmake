@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_hqr.dir/autotune_hqr.cpp.o"
+  "CMakeFiles/autotune_hqr.dir/autotune_hqr.cpp.o.d"
+  "autotune_hqr"
+  "autotune_hqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_hqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/least_squares_fitting.dir/least_squares_fitting.cpp.o"
+  "CMakeFiles/least_squares_fitting.dir/least_squares_fitting.cpp.o.d"
+  "least_squares_fitting"
+  "least_squares_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/least_squares_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

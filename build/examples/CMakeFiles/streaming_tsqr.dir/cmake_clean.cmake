@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_tsqr.dir/streaming_tsqr.cpp.o"
+  "CMakeFiles/streaming_tsqr.dir/streaming_tsqr.cpp.o.d"
+  "streaming_tsqr"
+  "streaming_tsqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_tsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_baselines.dir/scalapack_model.cpp.o"
+  "CMakeFiles/hqr_baselines.dir/scalapack_model.cpp.o.d"
+  "libhqr_baselines.a"
+  "libhqr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

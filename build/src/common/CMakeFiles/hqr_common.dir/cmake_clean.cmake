@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_common.dir/cli.cpp.o"
+  "CMakeFiles/hqr_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hqr_common.dir/rng.cpp.o"
+  "CMakeFiles/hqr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hqr_common.dir/table.cpp.o"
+  "CMakeFiles/hqr_common.dir/table.cpp.o.d"
+  "libhqr_common.a"
+  "libhqr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_algorithms.dir/algorithms.cpp.o"
+  "CMakeFiles/hqr_algorithms.dir/algorithms.cpp.o.d"
+  "CMakeFiles/hqr_algorithms.dir/autotune.cpp.o"
+  "CMakeFiles/hqr_algorithms.dir/autotune.cpp.o.d"
+  "libhqr_algorithms.a"
+  "libhqr_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_core.dir/factorization.cpp.o"
+  "CMakeFiles/hqr_core.dir/factorization.cpp.o.d"
+  "CMakeFiles/hqr_core.dir/incremental_tsqr.cpp.o"
+  "CMakeFiles/hqr_core.dir/incremental_tsqr.cpp.o.d"
+  "libhqr_core.a"
+  "libhqr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_dag.dir/dot_export.cpp.o"
+  "CMakeFiles/hqr_dag.dir/dot_export.cpp.o.d"
+  "CMakeFiles/hqr_dag.dir/task_graph.cpp.o"
+  "CMakeFiles/hqr_dag.dir/task_graph.cpp.o.d"
+  "libhqr_dag.a"
+  "libhqr_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

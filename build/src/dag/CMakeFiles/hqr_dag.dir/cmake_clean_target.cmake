@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhqr_dag.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_dist.dir/distribution.cpp.o"
+  "CMakeFiles/hqr_dist.dir/distribution.cpp.o.d"
+  "libhqr_dist.a"
+  "libhqr_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

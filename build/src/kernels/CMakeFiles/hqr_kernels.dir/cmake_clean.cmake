@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_kernels.dir/geqrt.cpp.o"
+  "CMakeFiles/hqr_kernels.dir/geqrt.cpp.o.d"
+  "CMakeFiles/hqr_kernels.dir/ib_kernels.cpp.o"
+  "CMakeFiles/hqr_kernels.dir/ib_kernels.cpp.o.d"
+  "CMakeFiles/hqr_kernels.dir/tsqrt.cpp.o"
+  "CMakeFiles/hqr_kernels.dir/tsqrt.cpp.o.d"
+  "CMakeFiles/hqr_kernels.dir/ttqrt.cpp.o"
+  "CMakeFiles/hqr_kernels.dir/ttqrt.cpp.o.d"
+  "libhqr_kernels.a"
+  "libhqr_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

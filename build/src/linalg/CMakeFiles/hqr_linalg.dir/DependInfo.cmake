@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/hqr_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/hqr_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/householder.cpp" "src/linalg/CMakeFiles/hqr_linalg.dir/householder.cpp.o" "gcc" "src/linalg/CMakeFiles/hqr_linalg.dir/householder.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/hqr_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/hqr_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/norms.cpp" "src/linalg/CMakeFiles/hqr_linalg.dir/norms.cpp.o" "gcc" "src/linalg/CMakeFiles/hqr_linalg.dir/norms.cpp.o.d"
+  "/root/repo/src/linalg/random_matrix.cpp" "src/linalg/CMakeFiles/hqr_linalg.dir/random_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/hqr_linalg.dir/random_matrix.cpp.o.d"
+  "/root/repo/src/linalg/ref_qr.cpp" "src/linalg/CMakeFiles/hqr_linalg.dir/ref_qr.cpp.o" "gcc" "src/linalg/CMakeFiles/hqr_linalg.dir/ref_qr.cpp.o.d"
+  "/root/repo/src/linalg/tiled_matrix.cpp" "src/linalg/CMakeFiles/hqr_linalg.dir/tiled_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/hqr_linalg.dir/tiled_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

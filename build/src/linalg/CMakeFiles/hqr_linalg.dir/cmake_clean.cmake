@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_linalg.dir/blas.cpp.o"
+  "CMakeFiles/hqr_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/hqr_linalg.dir/householder.cpp.o"
+  "CMakeFiles/hqr_linalg.dir/householder.cpp.o.d"
+  "CMakeFiles/hqr_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/hqr_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/hqr_linalg.dir/norms.cpp.o"
+  "CMakeFiles/hqr_linalg.dir/norms.cpp.o.d"
+  "CMakeFiles/hqr_linalg.dir/random_matrix.cpp.o"
+  "CMakeFiles/hqr_linalg.dir/random_matrix.cpp.o.d"
+  "CMakeFiles/hqr_linalg.dir/ref_qr.cpp.o"
+  "CMakeFiles/hqr_linalg.dir/ref_qr.cpp.o.d"
+  "CMakeFiles/hqr_linalg.dir/tiled_matrix.cpp.o"
+  "CMakeFiles/hqr_linalg.dir/tiled_matrix.cpp.o.d"
+  "libhqr_linalg.a"
+  "libhqr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_runtime.dir/executor.cpp.o"
+  "CMakeFiles/hqr_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/hqr_runtime.dir/qr.cpp.o"
+  "CMakeFiles/hqr_runtime.dir/qr.cpp.o.d"
+  "libhqr_runtime.a"
+  "libhqr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_simcluster.dir/platform.cpp.o"
+  "CMakeFiles/hqr_simcluster.dir/platform.cpp.o.d"
+  "CMakeFiles/hqr_simcluster.dir/simulator.cpp.o"
+  "CMakeFiles/hqr_simcluster.dir/simulator.cpp.o.d"
+  "libhqr_simcluster.a"
+  "libhqr_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

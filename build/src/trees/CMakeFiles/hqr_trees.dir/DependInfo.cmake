@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/elimination.cpp" "src/trees/CMakeFiles/hqr_trees.dir/elimination.cpp.o" "gcc" "src/trees/CMakeFiles/hqr_trees.dir/elimination.cpp.o.d"
+  "/root/repo/src/trees/hqr_tree.cpp" "src/trees/CMakeFiles/hqr_trees.dir/hqr_tree.cpp.o" "gcc" "src/trees/CMakeFiles/hqr_trees.dir/hqr_tree.cpp.o.d"
+  "/root/repo/src/trees/models.cpp" "src/trees/CMakeFiles/hqr_trees.dir/models.cpp.o" "gcc" "src/trees/CMakeFiles/hqr_trees.dir/models.cpp.o.d"
+  "/root/repo/src/trees/panel_trees.cpp" "src/trees/CMakeFiles/hqr_trees.dir/panel_trees.cpp.o" "gcc" "src/trees/CMakeFiles/hqr_trees.dir/panel_trees.cpp.o.d"
+  "/root/repo/src/trees/single_level.cpp" "src/trees/CMakeFiles/hqr_trees.dir/single_level.cpp.o" "gcc" "src/trees/CMakeFiles/hqr_trees.dir/single_level.cpp.o.d"
+  "/root/repo/src/trees/steps.cpp" "src/trees/CMakeFiles/hqr_trees.dir/steps.cpp.o" "gcc" "src/trees/CMakeFiles/hqr_trees.dir/steps.cpp.o.d"
+  "/root/repo/src/trees/validate.cpp" "src/trees/CMakeFiles/hqr_trees.dir/validate.cpp.o" "gcc" "src/trees/CMakeFiles/hqr_trees.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/hqr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hqr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hqr_trees.dir/elimination.cpp.o"
+  "CMakeFiles/hqr_trees.dir/elimination.cpp.o.d"
+  "CMakeFiles/hqr_trees.dir/hqr_tree.cpp.o"
+  "CMakeFiles/hqr_trees.dir/hqr_tree.cpp.o.d"
+  "CMakeFiles/hqr_trees.dir/models.cpp.o"
+  "CMakeFiles/hqr_trees.dir/models.cpp.o.d"
+  "CMakeFiles/hqr_trees.dir/panel_trees.cpp.o"
+  "CMakeFiles/hqr_trees.dir/panel_trees.cpp.o.d"
+  "CMakeFiles/hqr_trees.dir/single_level.cpp.o"
+  "CMakeFiles/hqr_trees.dir/single_level.cpp.o.d"
+  "CMakeFiles/hqr_trees.dir/steps.cpp.o"
+  "CMakeFiles/hqr_trees.dir/steps.cpp.o.d"
+  "CMakeFiles/hqr_trees.dir/validate.cpp.o"
+  "CMakeFiles/hqr_trees.dir/validate.cpp.o.d"
+  "libhqr_trees.a"
+  "libhqr_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hqr_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

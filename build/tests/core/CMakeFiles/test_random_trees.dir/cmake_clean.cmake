@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_trees.dir/test_random_trees.cpp.o"
+  "CMakeFiles/test_random_trees.dir/test_random_trees.cpp.o.d"
+  "test_random_trees"
+  "test_random_trees.pdb"
+  "test_random_trees[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

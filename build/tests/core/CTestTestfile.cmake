@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_factorization[1]_include.cmake")
+include("/root/repo/build/tests/core/test_random_trees[1]_include.cmake")
+include("/root/repo/build/tests/core/test_incremental_tsqr[1]_include.cmake")
+include("/root/repo/build/tests/core/test_autotune[1]_include.cmake")
+include("/root/repo/build/tests/core/test_ib_factorization[1]_include.cmake")
+include("/root/repo/build/tests/core/test_numerical_stability[1]_include.cmake")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dag
+# Build directory: /root/repo/build/tests/dag
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dag/test_task_graph[1]_include.cmake")
+include("/root/repo/build/tests/dag/test_dot_export[1]_include.cmake")

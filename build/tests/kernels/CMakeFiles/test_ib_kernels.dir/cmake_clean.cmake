@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ib_kernels.dir/test_ib_kernels.cpp.o"
+  "CMakeFiles/test_ib_kernels.dir/test_ib_kernels.cpp.o.d"
+  "test_ib_kernels"
+  "test_ib_kernels.pdb"
+  "test_ib_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ib_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

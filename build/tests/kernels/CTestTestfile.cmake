@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/kernels
+# Build directory: /root/repo/build/tests/kernels
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kernels/test_tile_kernels[1]_include.cmake")
+include("/root/repo/build/tests/kernels/test_kernel_weights[1]_include.cmake")
+include("/root/repo/build/tests/kernels/test_ib_kernels[1]_include.cmake")

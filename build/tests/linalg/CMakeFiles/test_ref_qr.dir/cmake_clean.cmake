@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_qr.dir/test_ref_qr.cpp.o"
+  "CMakeFiles/test_ref_qr.dir/test_ref_qr.cpp.o.d"
+  "test_ref_qr"
+  "test_ref_qr.pdb"
+  "test_ref_qr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

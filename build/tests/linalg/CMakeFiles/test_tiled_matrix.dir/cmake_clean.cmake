@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled_matrix.dir/test_tiled_matrix.cpp.o"
+  "CMakeFiles/test_tiled_matrix.dir/test_tiled_matrix.cpp.o.d"
+  "test_tiled_matrix"
+  "test_tiled_matrix.pdb"
+  "test_tiled_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/linalg
+# Build directory: /root/repo/build/tests/linalg
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/linalg/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_norms[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_householder[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_ref_qr[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_tiled_matrix[1]_include.cmake")
+include("/root/repo/build/tests/linalg/test_random_matrix[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_q.dir/test_parallel_q.cpp.o"
+  "CMakeFiles/test_parallel_q.dir/test_parallel_q.cpp.o.d"
+  "test_parallel_q"
+  "test_parallel_q.pdb"
+  "test_parallel_q[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qr_api.dir/test_qr_api.cpp.o"
+  "CMakeFiles/test_qr_api.dir/test_qr_api.cpp.o.d"
+  "test_qr_api"
+  "test_qr_api.pdb"
+  "test_qr_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qr_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

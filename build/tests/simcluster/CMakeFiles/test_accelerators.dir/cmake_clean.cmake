@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerators.dir/test_accelerators.cpp.o"
+  "CMakeFiles/test_accelerators.dir/test_accelerators.cpp.o.d"
+  "test_accelerators"
+  "test_accelerators.pdb"
+  "test_accelerators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalapack_model.dir/test_scalapack_model.cpp.o"
+  "CMakeFiles/test_scalapack_model.dir/test_scalapack_model.cpp.o.d"
+  "test_scalapack_model"
+  "test_scalapack_model.pdb"
+  "test_scalapack_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalapack_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simcluster
+# Build directory: /root/repo/build/tests/simcluster
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simcluster/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/simcluster/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/simcluster/test_scalapack_model[1]_include.cmake")
+include("/root/repo/build/tests/simcluster/test_accelerators[1]_include.cmake")
+include("/root/repo/build/tests/simcluster/test_paper_figures[1]_include.cmake")

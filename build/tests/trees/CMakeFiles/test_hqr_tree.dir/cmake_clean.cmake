@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hqr_tree.dir/test_hqr_tree.cpp.o"
+  "CMakeFiles/test_hqr_tree.dir/test_hqr_tree.cpp.o.d"
+  "test_hqr_tree"
+  "test_hqr_tree.pdb"
+  "test_hqr_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hqr_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steps.dir/test_steps.cpp.o"
+  "CMakeFiles/test_steps.dir/test_steps.cpp.o.d"
+  "test_steps"
+  "test_steps.pdb"
+  "test_steps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

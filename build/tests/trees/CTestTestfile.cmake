@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/trees
+# Build directory: /root/repo/build/tests/trees
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/trees/test_panel_trees[1]_include.cmake")
+include("/root/repo/build/tests/trees/test_single_level[1]_include.cmake")
+include("/root/repo/build/tests/trees/test_hqr_tree[1]_include.cmake")
+include("/root/repo/build/tests/trees/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/trees/test_steps[1]_include.cmake")
+include("/root/repo/build/tests/trees/test_paper_tables[1]_include.cmake")
+include("/root/repo/build/tests/trees/test_elimination[1]_include.cmake")
+include("/root/repo/build/tests/trees/test_models[1]_include.cmake")

@@ -6,11 +6,12 @@
 
 #include "bench_util.hpp"
 #include "core/algorithms.hpp"
+#include "obs/obs_cli.hpp"
 
 using namespace hqr;
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv, {{"b", "280"}, {"csv", ""}});
+  Cli cli(argc, argv, obs::with_obs_flags({{"b", "280"}, {"csv", ""}}));
   const int b = static_cast<int>(cli.integer("b"));
   const int p = 15, q = 4;
 
@@ -52,5 +53,25 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, cli, "Ablation: scheduler and network model");
+
+  // Observability pass on a scaled-down tall-skinny HQR run (the full-size
+  // sweeps above would produce multi-hundred-MB traces).
+  obs::ObsSession obs(cli);
+  if (obs.any_enabled() || obs.report_requested()) {
+    const int mt = 96, nt = 16;
+    HqrConfig cfg{p, 4, TreeKind::Fibonacci, TreeKind::Fibonacci, true};
+    AlgorithmRun run = make_hqr_run(mt, nt, cfg, q);
+    SimOptions opts;
+    opts.platform = Platform::edel();
+    opts.b = b;
+    opts.trace = obs.trace();
+    opts.metrics = obs.metrics();
+    simulate_algorithm(run, static_cast<long long>(mt) * b,
+                       static_cast<long long>(nt) * b, opts);
+    std::cout << "\nobservability pass (" << run.name << ", " << mt << "x"
+              << nt << " tiles):\n";
+    TaskGraph graph(expand_to_kernels(run.list, mt, nt), mt, nt);
+    obs.finish(&graph);
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "linalg/random_matrix.hpp"
+#include "obs/obs_cli.hpp"
 #include "runtime/executor.hpp"
 #include "simcluster/simulator.hpp"
 #include "trees/hqr_tree.hpp"
@@ -17,7 +18,8 @@ using namespace hqr;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv,
-          {{"m", "768"}, {"n", "512"}, {"b", "64"}, {"csv", ""}});
+          obs::with_obs_flags(
+              {{"m", "768"}, {"n", "512"}, {"b", "64"}, {"csv", ""}}));
   const int m = static_cast<int>(cli.integer("m"));
   const int n = static_cast<int>(cli.integer("n"));
   const int b = static_cast<int>(cli.integer("b"));
@@ -52,5 +54,22 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, cli, "Runtime scaling (real kernels, this host)");
+
+  // Observed rerun of the strongest configuration when --trace/--metrics/
+  // --report were given (the sweep above stays unobserved so its timings
+  // are clean).
+  obs::ObsSession obs(cli);
+  if (obs.any_enabled() || obs.report_requested()) {
+    ExecutorOptions opts{8, true, true};
+    opts.trace = obs.trace();
+    opts.metrics = obs.metrics();
+    TiledMatrix tiled = TiledMatrix::from_matrix(a, b);
+    KernelList kernels = expand_to_kernels(list, probe.mt(), probe.nt());
+    TaskGraph graph(kernels, probe.mt(), probe.nt());
+    QRFactors f(std::move(tiled), std::move(kernels), opts.ib);
+    execute_parallel(f, graph, opts);
+    std::cout << "\nobserved rerun (8 threads, cp-priority, data-reuse):\n";
+    obs.finish(&graph);
+  }
   return 0;
 }

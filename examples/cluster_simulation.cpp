@@ -3,25 +3,26 @@
 // the experiment loop of the paper's §V, on a platform you configure.
 //
 //   ./cluster_simulation [--m=143360] [--n=4480] [--b=280] [--nodes=60]
-//                        [--cores=8] [--p=15]
+//                        [--cores=8] [--p=15] [--trace=out.json]
+//                        [--metrics=metrics.json] [--report]
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/algorithms.hpp"
+#include "obs/obs_cli.hpp"
 
 using namespace hqr;
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv, {{"m", "143360"},
-                       {"n", "4480"},
-                       {"b", "280"},
-                       {"nodes", "60"},
-                       {"cores", "8"},
-                       {"p", "15"},
-                       {"latency_us", "1.5"},
-                       {"bandwidth_gbs", "1.8"},
-                       {"trace", ""}});
+  Cli cli(argc, argv, obs::with_obs_flags({{"m", "143360"},
+                                           {"n", "4480"},
+                                           {"b", "280"},
+                                           {"nodes", "60"},
+                                           {"cores", "8"},
+                                           {"p", "15"},
+                                           {"latency_us", "1.5"},
+                                           {"bandwidth_gbs", "1.8"}}));
   const long long m = cli.integer("m");
   const long long n = cli.integer("n");
   const int b = static_cast<int>(cli.integer("b"));
@@ -69,16 +70,20 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  // Optional Gantt trace of one representative configuration.
-  if (!cli.str("trace").empty()) {
-    SimTrace trace;
+  // Optional observability pass over one representative configuration:
+  // --trace writes a Gantt trace (.json opens in Perfetto, else CSV),
+  // --metrics the simulator counters, --report the bottleneck analysis.
+  obs::ObsSession obs(cli);
+  if (obs.any_enabled() || obs.report_requested()) {
     SimOptions traced = opts;
-    traced.trace = &trace;
+    traced.trace = obs.trace();
+    traced.metrics = obs.metrics();
     HqrConfig cfg{p, 4, TreeKind::Greedy, TreeKind::Fibonacci, true};
-    simulate_algorithm(make_hqr_run(mt, nt, cfg, q), m, n, traced);
-    trace.save_csv(cli.str("trace"));
-    std::cout << "\nGantt trace (" << trace.events.size()
-              << " task records) written to " << cli.str("trace") << "\n";
+    AlgorithmRun run = make_hqr_run(mt, nt, cfg, q);
+    simulate_algorithm(run, m, n, traced);
+    std::cout << "\nobservability pass (" << run.name << "):\n";
+    TaskGraph graph(expand_to_kernels(run.list, mt, nt), mt, nt);
+    obs.finish(&graph);
   }
 
   // Best single recommendation for this shape, echoing §V-C's reasoning.

@@ -5,6 +5,7 @@
 //
 //   ./quickstart [--m=600] [--n=360] [--b=40] [--p=4] [--a=2]
 //                [--low=greedy] [--high=fibonacci] [--threads=4]
+//                [--trace=out.json] [--metrics=metrics.json] [--report]
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -12,6 +13,7 @@
 #include "common/stopwatch.hpp"
 #include "linalg/norms.hpp"
 #include "linalg/random_matrix.hpp"
+#include "obs/obs_cli.hpp"
 #include "runtime/executor.hpp"
 #include "trees/hqr_tree.hpp"
 #include "trees/validate.hpp"
@@ -20,16 +22,16 @@ using namespace hqr;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv,
-          {{"m", "600"},
-           {"n", "360"},
-           {"b", "40"},
-           {"p", "4"},
-           {"a", "2"},
-           {"low", "greedy"},
-           {"high", "fibonacci"},
-           {"domino", "true"},
-           {"threads", "4"},
-           {"seed", "42"}});
+          obs::with_obs_flags({{"m", "600"},
+                               {"n", "360"},
+                               {"b", "40"},
+                               {"p", "4"},
+                               {"a", "2"},
+                               {"low", "greedy"},
+                               {"high", "fibonacci"},
+                               {"domino", "true"},
+                               {"threads", "4"},
+                               {"seed", "42"}}));
   const int m = static_cast<int>(cli.integer("m"));
   const int n = static_cast<int>(cli.integer("n"));
   const int b = static_cast<int>(cli.integer("b"));
@@ -55,14 +57,24 @@ int main(int argc, char** argv) {
             << " x " << probe.nt() << " tiles of " << b << "\n"
             << "eliminations: " << list.size() << "\n";
 
-  // 3. Factor with the parallel runtime.
+  // 3. Factor with the parallel runtime. The graph is built here (rather
+  //    than inside qr_factorize_parallel) so the observability layer can
+  //    trace the run and chase dependencies through it.
+  obs::ObsSession obs(cli);
   ExecutorOptions opts;
   opts.threads = static_cast<int>(cli.integer("threads"));
-  RunStats stats;
+  opts.trace = obs.trace();
+  opts.metrics = obs.metrics();
+  TiledMatrix tiled = TiledMatrix::from_matrix(a, b);
+  KernelList kernels = expand_to_kernels(list, probe.mt(), probe.nt());
+  TaskGraph graph(kernels, probe.mt(), probe.nt());
+  QRFactors f(std::move(tiled), std::move(kernels), opts.ib);
   Stopwatch sw;
-  QRFactors f = qr_factorize_parallel(a, b, list, opts, &stats);
+  RunStats stats = execute_parallel(f, graph, opts);
   std::cout << "factorized in " << sw.seconds() << " s with " << stats.threads
-            << " threads (" << stats.total_tasks << " kernel tasks)\n";
+            << " threads (" << stats.total_tasks << " kernel tasks, "
+            << 100.0 * stats.reuse_hit_rate() << "% data-reuse hits)\n";
+  obs.finish(&graph);
 
   // 4. Verify.
   Matrix q = build_q(f);

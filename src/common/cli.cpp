@@ -7,6 +7,13 @@
 
 namespace hqr {
 
+std::map<std::string, std::string> merge_flags(
+    std::map<std::string, std::string> spec,
+    const std::map<std::string, std::string>& group) {
+  for (const auto& [name, def] : group) spec.emplace(name, def);
+  return spec;
+}
+
 Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
     : values_(std::move(spec)) {
   const std::map<std::string, std::string> defaults = values_;

@@ -10,6 +10,13 @@
 
 namespace hqr {
 
+// Merges a shared flag group (e.g. the observability flags declared by
+// obs::with_obs_flags) into a driver's own spec. Driver-specific defaults
+// win on name collision.
+std::map<std::string, std::string> merge_flags(
+    std::map<std::string, std::string> spec,
+    const std::map<std::string, std::string>& group);
+
 class Cli {
  public:
   // `spec` maps flag name -> default value (as string). A default of "false"

@@ -17,6 +17,14 @@ enum class KernelType : std::uint8_t {
   TTMQR,
 };
 
+// Number of kernel types and a dense index for per-type arrays
+// (RunStats/SimResult breakdowns, metric names).
+inline constexpr int kKernelTypeCount = 6;
+
+constexpr int kernel_type_index(KernelType k) {
+  return static_cast<int>(k);
+}
+
 // Weight in units of b^3/3 floating-point operations (paper §II):
 // GEQRT 4, UNMQR 6, TSQRT 6, TSMQR 12, TTQRT 2, TTMQR 6.
 constexpr int kernel_weight(KernelType k) {

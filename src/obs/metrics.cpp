@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace hqr::obs {
+
+double Histogram::bucket_upper(int i) {
+  return kMinBucket * std::ldexp(1.0, i + 1);
+}
+
+int Histogram::bucket_of(double seconds) {
+  if (!(seconds > kMinBucket)) return 0;
+  const int i = std::ilogb(seconds / kMinBucket);
+  return i >= kBuckets ? kBuckets - 1 : i;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return histograms_[name];
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os.precision(17);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c.value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g.value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << name
+       << "\": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"buckets\": [";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      os << (bfirst ? "" : ", ") << "{\"le\": " << Histogram::bucket_upper(i)
+         << ", \"count\": " << h.bucket_count(i) << '}';
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os.precision(6);
+  for (const auto& [name, c] : counters_) os << name << " " << c.value() << "\n";
+  for (const auto& [name, g] : gauges_) os << name << " " << g.value() << "\n";
+  for (const auto& [name, h] : histograms_)
+    os << name << " count=" << h.count() << " sum=" << h.sum()
+       << " mean=" << h.mean() << "\n";
+}
+
+void MetricsRegistry::save_json(const std::string& path) const {
+  std::ofstream f(path);
+  HQR_CHECK(f.good(), "cannot open " << path << " for writing");
+  write_json(f);
+  f.flush();
+  HQR_CHECK(f.good(), "write to " << path << " failed");
+}
+
+}  // namespace hqr::obs

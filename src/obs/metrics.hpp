@@ -1,0 +1,109 @@
+// Metrics registry: named counters, gauges and fixed-bucket duration
+// histograms, lock-free on the hot path.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and may
+// allocate; do it once before the measured region and keep the returned
+// reference — updates through the reference are wait-free atomics shared by
+// any number of threads. References stay valid for the registry's lifetime
+// (node-based storage).
+//
+// Producers (executor, simulator) accept a nullable MetricsRegistry*; a
+// null pointer means fully disabled, with no clock reads or atomics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hqr::obs {
+
+namespace detail {
+
+// fetch_add for doubles via CAS (libstdc++ 12 lacks lock-free FP fetch_add).
+inline void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(long long d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+// Accumulating double (e.g. busy seconds). `add` is atomic per call.
+class Gauge {
+ public:
+  void add(double d) { detail::atomic_add(v_, d); }
+  void set(double d) { v_.store(d, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Duration histogram with fixed log2-spaced buckets: bucket i counts
+// observations in [0.1µs * 2^i, 0.1µs * 2^(i+1)), clamped at both ends —
+// the span 0.1µs .. ~3.6min covers every kernel and makespan seen here.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+  static constexpr double kMinBucket = 1e-7;  // seconds
+
+  // Upper bound of bucket `i` (inclusive upper edge used in exports).
+  static double bucket_upper(int i);
+  // Bucket index for a duration in seconds.
+  static int bucket_of(double seconds);
+
+  void observe(double seconds) {
+    buckets_[static_cast<std::size_t>(bucket_of(seconds))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sum_, seconds);
+  }
+
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const { return count() > 0 ? sum() / count() : 0.0; }
+  long long bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<long long>, kBuckets> buckets_{};
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Snapshot exports. Safe to call while updates continue (values are
+  // individually-consistent relaxed reads).
+  void write_json(std::ostream& os) const;
+  void write_text(std::ostream& os) const;
+  // Throws hqr::Error when the file cannot be written.
+  void save_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;  // guards registration only
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hqr::obs

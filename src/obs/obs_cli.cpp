@@ -1,0 +1,41 @@
+#include "obs/obs_cli.hpp"
+
+namespace hqr::obs {
+
+std::map<std::string, std::string> obs_flag_spec() {
+  return {{"trace", ""}, {"metrics", ""}, {"report", "false"}};
+}
+
+std::map<std::string, std::string> with_obs_flags(
+    std::map<std::string, std::string> spec) {
+  return merge_flags(std::move(spec), obs_flag_spec());
+}
+
+ObsSession::ObsSession(const Cli& cli)
+    : trace_path_(cli.str("trace")),
+      metrics_path_(cli.str("metrics")),
+      report_(cli.flag("report")) {
+  if (!trace_path_.empty() || report_)
+    trace_ = std::make_unique<TraceRecorder>();
+  if (!metrics_path_.empty()) metrics_ = std::make_unique<MetricsRegistry>();
+}
+
+AnalysisReport ObsSession::finish(const TaskGraph* graph, std::ostream& log) {
+  AnalysisReport rep;
+  if (trace_ && !trace_path_.empty()) {
+    trace_->save(trace_path_);
+    log << "trace (" << trace_->size() << " events) written to "
+        << trace_path_ << "\n";
+  }
+  if (metrics_) {
+    metrics_->save_json(metrics_path_);
+    log << "metrics written to " << metrics_path_ << "\n";
+  }
+  if (trace_ && !trace_->empty()) {
+    rep = analyze_trace(*trace_, graph);
+    if (report_) log << rep.to_text();
+  }
+  return rep;
+}
+
+}  // namespace hqr::obs

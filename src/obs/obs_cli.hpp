@@ -1,0 +1,61 @@
+// Standard observability command-line wiring for examples and benches.
+//
+// Usage:
+//   Cli cli(argc, argv, obs::with_obs_flags({{"m", "600"}, ...}));
+//   obs::ObsSession obs(cli);
+//   opts.trace = obs.trace();      // nullptr when --trace not given
+//   opts.metrics = obs.metrics();  // nullptr when --metrics not given
+//   ... run ...
+//   obs.finish(&graph);            // writes files, prints analyzer report
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/cli.hpp"
+#include "obs/analyzer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hqr::obs {
+
+// The observability flag group:
+//   --trace=<path>    record a per-task trace; ".json" writes Chrome/Perfetto
+//                     trace-event JSON, anything else CSV
+//   --metrics=<path>  write the metrics registry as JSON
+//   --report          print the bottleneck-analyzer report to stdout
+std::map<std::string, std::string> obs_flag_spec();
+
+// Convenience: merge_flags(spec, obs_flag_spec()).
+std::map<std::string, std::string> with_obs_flags(
+    std::map<std::string, std::string> spec);
+
+// Owns the recorder/registry selected by the flags and writes the outputs.
+class ObsSession {
+ public:
+  explicit ObsSession(const Cli& cli);
+
+  TraceRecorder* trace() { return trace_.get(); }
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  bool report_requested() const { return report_; }
+  bool any_enabled() const {
+    return trace_ != nullptr || metrics_ != nullptr;
+  }
+
+  // Writes --trace/--metrics files and, with --report (or implied by
+  // --trace), prints the analyzer summary. Pass the executed graph to get
+  // the realized critical path; returns the report (empty when no trace).
+  AnalysisReport finish(const TaskGraph* graph = nullptr,
+                        std::ostream& log = std::cout);
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool report_ = false;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+}  // namespace hqr::obs

@@ -1,0 +1,150 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hqr::obs {
+namespace {
+
+// Checked open/close so a mistyped --trace path fails loudly instead of
+// silently dropping the trace.
+std::ofstream open_checked(const std::string& path) {
+  std::ofstream f(path);
+  HQR_CHECK(f.good(), "cannot open " << path << " for writing");
+  return f;
+}
+
+void close_checked(std::ofstream& f, const std::string& path) {
+  f.flush();
+  HQR_CHECK(f.good(), "write to " << path << " failed");
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+std::string event_label(const TraceEvent& e) {
+  std::ostringstream os;
+  os << kernel_name(e.type);
+  if (e.row >= 0) {
+    os << '(' << e.row << ',' << e.piv << ',' << e.k;
+    if (e.j >= 0) os << ";j=" << e.j;
+    os << ')';
+  }
+  return os.str();
+}
+
+void TraceRecorder::ensure_lanes(int n) {
+  if (n > lanes()) buffers_.resize(static_cast<std::size_t>(n));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::size_t total = 0;
+  for (const auto& b : buffers_) total += b.size();
+  return total;
+}
+
+double TraceRecorder::makespan() const {
+  double m = 0.0;
+  for (const auto& b : buffers_)
+    for (const TraceEvent& e : b) m = std::max(m, e.end);
+  return m;
+}
+
+std::vector<TraceEvent> TraceRecorder::sorted_events() const {
+  std::vector<TraceEvent> all;
+  all.reserve(size());
+  for (const auto& b : buffers_) all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.lane != b.lane) return a.lane < b.lane;
+              return a.sub < b.sub;
+            });
+  return all;
+}
+
+void TraceRecorder::save_csv(const std::string& path) const {
+  std::ofstream f = open_checked(path);
+  f << "task,lane,sub,kernel,start,end,accel,row,piv,k,j\n";
+  f.precision(17);
+  for (const TraceEvent& e : sorted_events()) {
+    f << e.task << ',' << e.lane << ',' << e.sub << ','
+      << kernel_name(e.type) << ',' << e.start << ',' << e.end << ','
+      << (e.on_accel ? 1 : 0) << ',' << e.row << ',' << e.piv << ',' << e.k
+      << ',' << e.j << '\n';
+  }
+  close_checked(f, path);
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  os.precision(17);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  const std::vector<TraceEvent> events = sorted_events();
+  // Metadata: name each (lane, sub) pair so Perfetto shows "node N" process
+  // rows with "core C" / "accel C" thread tracks (runtime: "worker N").
+  std::set<std::int32_t> seen_lanes;
+  std::set<std::pair<std::int32_t, std::int32_t>> seen_subs;
+  for (const TraceEvent& e : events) {
+    if (seen_lanes.insert(e.lane).second) {
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << e.lane
+         << ",\"args\":{\"name\":\"";
+      json_escape(os, lane_label_);
+      os << ' ' << e.lane << "\"}}";
+      sep();
+      os << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":" << e.lane
+         << ",\"args\":{\"sort_index\":" << e.lane << "}}";
+    }
+    if (seen_subs.insert({e.lane, e.sub}).second) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << e.lane
+         << ",\"tid\":" << e.sub << ",\"args\":{\"name\":\"";
+      json_escape(os, e.on_accel ? "accel" : sub_label_);
+      os << ' ' << e.sub << "\"}}";
+    }
+  }
+  for (const TraceEvent& e : events) {
+    sep();
+    os << "{\"name\":\"";
+    json_escape(os, event_label(e));
+    os << "\",\"cat\":\"" << kernel_name(e.type) << "\",\"ph\":\"X\",\"ts\":"
+       << e.start * 1e6 << ",\"dur\":" << (e.end - e.start) * 1e6
+       << ",\"pid\":" << e.lane << ",\"tid\":" << e.sub
+       << ",\"args\":{\"task\":" << e.task << ",\"row\":" << e.row
+       << ",\"piv\":" << e.piv << ",\"k\":" << e.k << ",\"j\":" << e.j
+       << ",\"accel\":" << (e.on_accel ? "true" : "false") << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::save_chrome_json(const std::string& path) const {
+  std::ofstream f = open_checked(path);
+  write_chrome_json(f);
+  close_checked(f, path);
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0)
+    save_chrome_json(path);
+  else
+    save_csv(path);
+}
+
+}  // namespace hqr::obs

@@ -1,0 +1,97 @@
+// Unified execution tracing for the shared-memory runtime and the cluster
+// simulator — the repository's DAGuE-profiling analogue (paper §V explains
+// every win/loss through task timelines; this layer records them).
+//
+// One TraceEvent per executed task: kernel type, tile coordinates, the lane
+// it ran on (worker thread in the runtime; node/core — or node/accelerator —
+// in the simulator), and start/end times. Dependencies are not duplicated
+// into the trace: `task` indexes the TaskGraph the run executed, which the
+// analyzer (obs/analyzer.hpp) uses to recover them.
+//
+// Recording is near-zero-cost when disabled (producers hold a nullable
+// TraceRecorder*) and lock-free when enabled: each lane appends to its own
+// buffer, so concurrent workers never contend.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "kernels/weights.hpp"
+
+namespace hqr::obs {
+
+struct TraceEvent {
+  std::int32_t task = -1;  // index into the executed TaskGraph (-1: unknown)
+  std::int32_t lane = 0;   // worker thread (runtime) or node (simulator)
+  std::int32_t sub = 0;    // core/accelerator within the lane (0 in runtime)
+  KernelType type = KernelType::GEQRT;
+  bool on_accel = false;
+  // Tile coordinates of the kernel (KernelOp fields); -1 when not recorded.
+  std::int32_t row = -1;
+  std::int32_t piv = -1;
+  std::int32_t k = -1;
+  std::int32_t j = -1;
+  double start = 0.0;  // seconds from run start (wall or simulated)
+  double end = 0.0;
+};
+
+// Human-readable task label, e.g. "TSMQR(3,1,0;j=2)".
+std::string event_label(const TraceEvent& e);
+
+class TraceRecorder {
+ public:
+  TraceRecorder() : buffers_(1) {}
+
+  // Grows the number of lane buffers (never shrinks, never drops events).
+  // Call before handing the recorder to `n` concurrent producers.
+  void ensure_lanes(int n);
+  int lanes() const { return static_cast<int>(buffers_.size()); }
+
+  // Display names for the lane/sub dimensions in exported traces
+  // ("node"/"core" in the simulator, "worker"/"" in the runtime).
+  void set_labels(std::string lane, std::string sub) {
+    lane_label_ = std::move(lane);
+    sub_label_ = std::move(sub);
+  }
+  const std::string& lane_label() const { return lane_label_; }
+  const std::string& sub_label() const { return sub_label_; }
+
+  // Appends an event to lane buffer `lane_buf`. Safe to call concurrently
+  // from different lane buffers; a single buffer must have one producer.
+  void record(int lane_buf, const TraceEvent& e) {
+    buffers_[static_cast<std::size_t>(lane_buf)].push_back(e);
+  }
+  // Single-producer convenience (buffer 0).
+  void add(const TraceEvent& e) { record(0, e); }
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  // Latest event end time (0 when empty).
+  double makespan() const;
+
+  // All events merged across lane buffers, sorted by (start, lane, sub).
+  std::vector<TraceEvent> sorted_events() const;
+
+  // CSV export, header: task,lane,sub,kernel,start,end,accel,row,piv,k,j.
+  // Throws hqr::Error when the file cannot be opened or the write fails.
+  void save_csv(const std::string& path) const;
+
+  // Chrome trace-event JSON (load in Perfetto: https://ui.perfetto.dev or
+  // chrome://tracing). One complete ("ph":"X") event per task; lanes become
+  // processes, cores/accelerators become named threads. Throws hqr::Error
+  // on write failure.
+  void save_chrome_json(const std::string& path) const;
+  void write_chrome_json(std::ostream& os) const;
+
+  // Dispatches on extension: ".json" -> Chrome/Perfetto JSON, else CSV.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<TraceEvent>> buffers_;
+  std::string lane_label_ = "lane";
+  std::string sub_label_ = "unit";
+};
+
+}  // namespace hqr::obs

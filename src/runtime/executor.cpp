@@ -25,13 +25,29 @@ struct ReadyTask {
   }
 };
 
+// Per-worker accumulators, merged into RunStats after the join — workers
+// never contend on shared stats.
+struct WorkerStats {
+  long long executed = 0;
+  long long reuse_hits = 0;
+  long long queue_pops = 0;
+  long long depth_samples_sum = 0;
+  std::array<long long, kKernelTypeCount> tasks_by_kernel{};
+  std::array<double, kKernelTypeCount> seconds_by_kernel{};
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+};
+
 class Scheduler {
  public:
   // Called by a worker to run task `idx` with its private workspace.
   using ExecuteFn = std::function<void(std::int32_t, TileWorkspace&)>;
 
   Scheduler(const TaskGraph& graph, const ExecutorOptions& opts)
-      : graph_(graph), opts_(opts), remaining_(graph.size()) {
+      : graph_(graph),
+        opts_(opts),
+        timed_(opts.trace != nullptr || opts.metrics != nullptr),
+        remaining_(graph.size()) {
     npred_ = std::make_unique<std::atomic<int>[]>(
         static_cast<std::size_t>(graph.size()));
     for (int i = 0; i < graph.size(); ++i)
@@ -44,17 +60,23 @@ class Scheduler {
       for (int i = 0; i < graph.size(); ++i)
         depth_[i] = static_cast<double>(graph.size() - i);
     }
+    if (opts_.trace) opts_.trace->ensure_lanes(opts_.threads);
+    if (opts_.metrics) {
+      for (int t = 0; t < kKernelTypeCount; ++t)
+        kernel_hist_[t] = &opts_.metrics->histogram(
+            "exec.task_seconds." + kernel_name(static_cast<KernelType>(t)));
+    }
     for (std::int32_t r : graph_.roots()) push(r);
   }
 
   void run(int b, const ExecuteFn& execute, int threads,
-           std::vector<long long>& per_thread) {
-    per_thread.assign(static_cast<std::size_t>(threads), 0);
+           std::vector<WorkerStats>& per_thread) {
+    per_thread.assign(static_cast<std::size_t>(threads), {});
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads) - 1);
     for (int t = 1; t < threads; ++t)
-      pool.emplace_back([&, t] { worker(b, execute, per_thread[t]); });
-    worker(b, execute, per_thread[0]);
+      pool.emplace_back([&, t] { worker(b, execute, t, per_thread[t]); });
+    worker(b, execute, 0, per_thread[0]);
     for (auto& th : pool) th.join();
   }
 
@@ -67,8 +89,8 @@ class Scheduler {
     cv_.notify_one();
   }
 
-  // Returns -1 when all tasks are done.
-  std::int32_t pop() {
+  // Returns -1 when all tasks are done; samples the queue depth on success.
+  std::int32_t pop(WorkerStats& ws) {
     std::unique_lock<std::mutex> lk(mu_);
     cv_.wait(lk, [&] {
       return !ready_.empty() || remaining_.load(std::memory_order_acquire) == 0;
@@ -76,18 +98,49 @@ class Scheduler {
     if (ready_.empty()) return -1;
     const std::int32_t idx = ready_.top().idx;
     ready_.pop();
+    ++ws.queue_pops;
+    ws.depth_samples_sum += static_cast<long long>(ready_.size());
     return idx;
   }
 
-  void worker(int b, const ExecuteFn& execute, long long& executed) {
+  void worker(int b, const ExecuteFn& execute, int lane, WorkerStats& stats) {
     TileWorkspace ws(b);
     std::int32_t next = -1;
     for (;;) {
-      const std::int32_t idx = next >= 0 ? next : pop();
+      std::int32_t idx;
+      if (next >= 0) {
+        idx = next;
+        ++stats.reuse_hits;
+      } else if (timed_) {
+        const double wait0 = clock_.seconds();
+        idx = pop(stats);
+        stats.idle_seconds += clock_.seconds() - wait0;
+      } else {
+        idx = pop(stats);
+      }
       next = -1;
       if (idx < 0) return;
-      execute(idx, ws);
-      ++executed;
+
+      const KernelType type = graph_.op(idx).type;
+      if (timed_) {
+        const double t0 = clock_.seconds();
+        execute(idx, ws);
+        const double t1 = clock_.seconds();
+        const double d = t1 - t0;
+        stats.busy_seconds += d;
+        stats.seconds_by_kernel[kernel_type_index(type)] += d;
+        if (opts_.metrics) kernel_hist_[kernel_type_index(type)]->observe(d);
+        if (opts_.trace) {
+          const KernelOp& op = graph_.op(idx);
+          opts_.trace->record(lane, {idx, lane, /*sub=*/0, type,
+                                     /*on_accel=*/false, op.row, op.piv, op.k,
+                                     op.j, t0, t1});
+        }
+      } else {
+        execute(idx, ws);
+      }
+      ++stats.executed;
+      ++stats.tasks_by_kernel[kernel_type_index(type)];
 
       // Release successors; keep the best newly-ready one local.
       std::int32_t keep = -1;
@@ -112,6 +165,9 @@ class Scheduler {
 
   const TaskGraph& graph_;
   const ExecutorOptions& opts_;
+  const bool timed_;
+  Stopwatch clock_;  // shared time base for trace lanes and busy/idle splits
+  std::array<obs::Histogram*, kKernelTypeCount> kernel_hist_{};
   std::unique_ptr<std::atomic<int>[]> npred_;
   std::vector<double> depth_;
   std::priority_queue<ReadyTask> ready_;
@@ -124,13 +180,55 @@ RunStats run_graph(const TaskGraph& graph, int b,
                    const Scheduler::ExecuteFn& execute,
                    const ExecutorOptions& opts) {
   HQR_CHECK(opts.threads >= 1, "need at least one thread");
+  if (opts.trace) opts.trace->set_labels("worker", "thread");
   Stopwatch sw;
   Scheduler sched(graph, opts);
   RunStats stats;
   stats.threads = opts.threads;
-  sched.run(b, execute, opts.threads, stats.tasks_per_thread);
+  std::vector<WorkerStats> per_thread;
+  sched.run(b, execute, opts.threads, per_thread);
   stats.seconds = sw.seconds();
   stats.total_tasks = graph.size();
+
+  const bool timed = opts.trace != nullptr || opts.metrics != nullptr;
+  stats.tasks_per_thread.reserve(per_thread.size());
+  if (timed) {
+    stats.busy_seconds_per_thread.reserve(per_thread.size());
+    stats.idle_seconds_per_thread.reserve(per_thread.size());
+  }
+  long long depth_sum = 0;
+  for (const WorkerStats& w : per_thread) {
+    stats.tasks_per_thread.push_back(w.executed);
+    stats.reuse_hits += w.reuse_hits;
+    stats.queue_pops += w.queue_pops;
+    depth_sum += w.depth_samples_sum;
+    for (int t = 0; t < kKernelTypeCount; ++t) {
+      stats.tasks_by_kernel[t] += w.tasks_by_kernel[t];
+      stats.seconds_by_kernel[t] += w.seconds_by_kernel[t];
+    }
+    if (timed) {
+      stats.busy_seconds_per_thread.push_back(w.busy_seconds);
+      stats.idle_seconds_per_thread.push_back(w.idle_seconds);
+    }
+  }
+  if (stats.queue_pops > 0)
+    stats.avg_ready_depth =
+        static_cast<double>(depth_sum) / static_cast<double>(stats.queue_pops);
+
+  if (opts.metrics) {
+    obs::MetricsRegistry& m = *opts.metrics;
+    m.counter("exec.tasks").add(stats.total_tasks);
+    m.counter("exec.reuse_hits").add(stats.reuse_hits);
+    m.counter("exec.queue_pops").add(stats.queue_pops);
+    m.gauge("exec.seconds").add(stats.seconds);
+    m.gauge("exec.avg_ready_depth").set(stats.avg_ready_depth);
+    for (std::size_t t = 0; t < per_thread.size(); ++t) {
+      m.gauge("exec.worker." + std::to_string(t) + ".busy_seconds")
+          .add(per_thread[t].busy_seconds);
+      m.gauge("exec.worker." + std::to_string(t) + ".idle_seconds")
+          .add(per_thread[t].idle_seconds);
+    }
+  }
   return stats;
 }
 

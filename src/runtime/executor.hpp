@@ -8,10 +8,13 @@
 // back to the shared ready queue.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "core/factorization.hpp"
 #include "dag/task_graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hqr {
 
@@ -20,6 +23,26 @@ struct RunStats {
   int threads = 0;
   std::vector<long long> tasks_per_thread;
   long long total_tasks = 0;
+
+  // Scheduler counters (always collected; no clock reads involved).
+  long long reuse_hits = 0;   // tasks taken via the data-reuse keep
+  long long queue_pops = 0;   // tasks taken from the shared ready queue
+  double avg_ready_depth = 0.0;  // mean ready-queue depth sampled at pops
+  std::array<long long, kKernelTypeCount> tasks_by_kernel{};
+
+  // Fraction of tasks whose input tiles stayed warm in the worker.
+  double reuse_hit_rate() const {
+    return total_tasks > 0
+               ? static_cast<double>(reuse_hits) / static_cast<double>(total_tasks)
+               : 0.0;
+  }
+
+  // Timing breakdowns — populated only when the run was observed (a trace
+  // or metrics sink was attached), so the unobserved hot path never reads
+  // the clock per task.
+  std::array<double, kKernelTypeCount> seconds_by_kernel{};
+  std::vector<double> busy_seconds_per_thread;  // executing kernels
+  std::vector<double> idle_seconds_per_thread;  // waiting for ready work
 };
 
 struct ExecutorOptions {
@@ -31,6 +54,10 @@ struct ExecutorOptions {
   bool data_reuse = true;
   // Inner block size for the kernels (0 = plain full-T kernels).
   int ib = 0;
+  // Observability sinks (obs/). Null = disabled; enabling costs two clock
+  // reads per task plus lock-free per-lane appends / atomic updates.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Executes all kernels of `f` (its kernel list must match `graph`'s ops) in

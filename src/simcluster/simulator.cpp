@@ -1,8 +1,8 @@
 #include "simcluster/simulator.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <queue>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -50,17 +50,6 @@ struct ReadyEntry {
 };
 
 }  // namespace
-
-void SimTrace::save_csv(const std::string& path) const {
-  std::ofstream f(path);
-  HQR_CHECK(f.good(), "cannot open " << path << " for writing");
-  f << "task,node,kernel,start,end\n";
-  for (const TraceEvent& e : events) {
-    f << e.task << ',' << e.node << ',' << kernel_name(e.type) << ','
-      << e.start << ',' << e.end << '\n';
-  }
-  HQR_CHECK(f.good(), "write to " << path << " failed");
-}
 
 double qr_useful_flops(long long m, long long n) {
   const double dm = static_cast<double>(m), dn = static_cast<double>(n);
@@ -126,6 +115,36 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
   // Which resource a running task occupies (0 = core, 1 = accelerator).
   std::vector<char> resource(static_cast<std::size_t>(ntasks), 0);
 
+  // Tracing needs stable (node, core) lanes, so keep a free-id pool per node
+  // (cores: 0..C-1; accelerators: C..C+A-1) and remember each running
+  // task's unit to return it on completion.
+  const int cores = opts.platform.cores_per_node;
+  std::vector<std::vector<std::int32_t>> free_units;
+  std::vector<std::int32_t> unit_of;
+  if (opts.trace != nullptr) {
+    opts.trace->set_labels("node", "core");
+    free_units.resize(static_cast<std::size_t>(nnodes));
+    for (int nd = 0; nd < nnodes; ++nd) {
+      // pop_back yields the lowest id first.
+      for (int c = cores + naccel; c-- > 0;)
+        free_units[nd].push_back(c);
+    }
+    unit_of.assign(static_cast<std::size_t>(ntasks), 0);
+  }
+  auto claim_unit = [&](int nd, bool accel) -> std::int32_t {
+    auto& pool = free_units[static_cast<std::size_t>(nd)];
+    for (std::size_t i = pool.size(); i-- > 0;) {
+      const bool is_accel = pool[i] >= cores;
+      if (is_accel == accel) {
+        const std::int32_t u = pool[i];
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+        return u;
+      }
+    }
+    HQR_CHECK(false, "no free " << (accel ? "accelerator" : "core")
+                                << " on node " << nd);
+  };
+
   SimResult res;
   res.tasks = ntasks;
 
@@ -140,12 +159,27 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
   // Per-node NIC occupancy (one send channel, one receive channel).
   std::vector<double> send_free(static_cast<std::size_t>(nnodes), 0.0);
   std::vector<double> recv_free(static_cast<std::size_t>(nnodes), 0.0);
+  res.nic_send_busy_seconds.assign(static_cast<std::size_t>(nnodes), 0.0);
+  res.nic_recv_busy_seconds.assign(static_cast<std::size_t>(nnodes), 0.0);
   const double wire = tile_bytes / opts.platform.bandwidth;
   // Outstanding communication-thread CPU debt per node (seconds); drained by
   // stretching running kernels, capped at one core's share of node time.
   std::vector<double> comm_debt(static_cast<std::size_t>(nnodes), 0.0);
   const double msg_cpu =
       opts.comm_cpu_per_msg + tile_bytes * opts.comm_cpu_per_byte;
+
+  auto record = [&](std::int32_t t, int nd, double start, double finish,
+                    bool accel) {
+    res.tasks_by_kernel[kernel_type_index(graph.op(t).type)] += 1;
+    res.seconds_by_kernel[kernel_type_index(graph.op(t).type)] +=
+        finish - start;
+    if (opts.trace == nullptr) return;
+    const std::int32_t u = claim_unit(nd, accel);
+    unit_of[t] = u;
+    const KernelOp& op = graph.op(t);
+    opts.trace->add({t, nd, u, op.type, accel, op.row, op.piv, op.k, op.j,
+                     start, finish});
+  };
 
   auto dispatch = [&](int nd) {
     // Accelerators drain the update pool first (they run those faster).
@@ -157,9 +191,7 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       const double d = dur_accel[t];
       const double finish = now + d;
       busy_accel[nd] += d;
-      if (opts.trace)
-        opts.trace->events.push_back(
-            {t, nd, graph.op(t).type, now, finish, /*on_accel=*/true});
+      record(t, nd, now, finish, /*accel=*/true);
       events.push({finish, t, /*is_completion=*/true});
     }
     // Cores take the highest-priority task across both pools.
@@ -181,13 +213,12 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
         const double steal = std::min(
             comm_debt[nd], d / opts.platform.cores_per_node);
         comm_debt[nd] -= steal;
+        res.comm_cpu_stolen_seconds += steal;
         d += steal;
       }
       const double finish = now + d;
       busy[nd] += d;
-      if (opts.trace)
-        opts.trace->events.push_back(
-            {t, nd, graph.op(t).type, now, finish, /*on_accel=*/false});
+      record(t, nd, now, finish, /*accel=*/false);
       events.push({finish, t, /*is_completion=*/true});
     }
   };
@@ -213,6 +244,7 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       ++idle_accel[nd];
     else
       ++idle[nd];
+    if (opts.trace != nullptr) free_units[nd].push_back(unit_of[ev.task]);
     for (std::int32_t s : graph.successors(ev.task)) {
       const int sn = node[s];
       double avail = now;
@@ -230,8 +262,13 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
           touched.push_back(sn);
           ++res.messages;
           res.volume_gbytes += tile_bytes / 1e9;
+          // Wire time occupies both endpoints' NICs whether or not the
+          // contention model serializes it.
+          res.nic_send_busy_seconds[nd] += wire;
+          res.nic_recv_busy_seconds[sn] += wire;
           comm_debt[nd] += msg_cpu;  // sender-side pack + progress
           comm_debt[sn] += msg_cpu;  // receiver-side match + unpack
+          res.comm_cpu_charged_seconds += 2.0 * msg_cpu;
         }
         avail = arrival[sn];
       }
@@ -271,6 +308,28 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
   res.critical_path_seconds = graph.critical_path([&](const KernelOp& op) {
     return opts.platform.kernel_seconds(op.type, opts.b);
   });
+
+  if (opts.metrics != nullptr) {
+    obs::MetricsRegistry& m = *opts.metrics;
+    m.counter("sim.tasks").add(res.tasks);
+    m.counter("sim.messages").add(res.messages);
+    m.counter("sim.bytes").add(
+        static_cast<long long>(res.volume_gbytes * 1e9 + 0.5));
+    m.gauge("sim.makespan_seconds").add(res.seconds);
+    m.gauge("sim.comm_cpu_charged_seconds").add(res.comm_cpu_charged_seconds);
+    m.gauge("sim.comm_cpu_stolen_seconds").add(res.comm_cpu_stolen_seconds);
+    double nic_send = 0.0, nic_recv = 0.0;
+    for (double s : res.nic_send_busy_seconds) nic_send += s;
+    for (double s : res.nic_recv_busy_seconds) nic_recv += s;
+    m.gauge("sim.nic_send_busy_seconds").add(nic_send);
+    m.gauge("sim.nic_recv_busy_seconds").add(nic_recv);
+    for (int t = 0; t < kKernelTypeCount; ++t) {
+      if (res.tasks_by_kernel[t] == 0) continue;
+      const std::string kname = kernel_name(static_cast<KernelType>(t));
+      m.counter("sim.tasks." + kname).add(res.tasks_by_kernel[t]);
+      m.gauge("sim.task_seconds." + kname).add(res.seconds_by_kernel[t]);
+    }
+  }
   return res;
 }
 

@@ -17,32 +17,24 @@
 //    paper's measured dTSMQR/dTTMQR numbers.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "dag/task_graph.hpp"
 #include "dist/distribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simcluster/platform.hpp"
 
 namespace hqr {
 
-// Execution trace of a simulated run (one record per task), exportable for
-// Gantt-style inspection — the DAGuE-profiling analogue.
-struct TraceEvent {
-  std::int32_t task;
-  std::int32_t node;
-  KernelType type;
-  double start;
-  double end;
-  bool on_accel = false;
-};
-
-struct SimTrace {
-  std::vector<TraceEvent> events;
-
-  // CSV with header task,node,kernel,start,end.
-  void save_csv(const std::string& path) const;
-};
+// Execution traces of simulated runs use the unified observability layer
+// (obs/trace.hpp): one TraceEvent per task with lane = node, sub = core (or
+// accelerator, offset past the cores). Export to CSV or Chrome/Perfetto
+// JSON through TraceRecorder; analyze with obs/analyzer.hpp.
+using TraceEvent = obs::TraceEvent;
+using SimTrace = obs::TraceRecorder;
 
 struct SimOptions {
   Platform platform;
@@ -64,6 +56,9 @@ struct SimOptions {
   // When non-null, receives one TraceEvent per executed task (use only for
   // runs small enough to hold the trace).
   SimTrace* trace = nullptr;
+  // When non-null, receives simulator counters/histograms (sim.* names):
+  // messages, bytes, NIC busy, comm-CPU steal, per-kernel task durations.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SimResult {
@@ -78,6 +73,14 @@ struct SimResult {
   double critical_path_seconds = 0.0;  // zero-communication lower bound
   long long tasks = 0;
   std::vector<double> node_busy_fraction;  // per-node busy / makespan*cores
+
+  // Observability breakdowns (always filled; simulated time is free).
+  std::array<long long, kKernelTypeCount> tasks_by_kernel{};
+  std::array<double, kKernelTypeCount> seconds_by_kernel{};
+  std::vector<double> nic_send_busy_seconds;  // per-node send-channel busy
+  std::vector<double> nic_recv_busy_seconds;  // per-node receive-channel busy
+  double comm_cpu_charged_seconds = 0.0;  // comm-thread CPU debt incurred
+  double comm_cpu_stolen_seconds = 0.0;   // debt actually drained from cores
 };
 
 // Simulates the execution of `graph` (built for an mt x nt tile grid) under

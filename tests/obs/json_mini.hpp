@@ -1,0 +1,189 @@
+// Minimal recursive-descent JSON parser for tests: validates that exported
+// traces/metrics are well-formed JSON and gives structured access to them.
+// Test-only — intentionally strict and slow.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hqr::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+
+  const Value& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  ValuePtr object() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      ValuePtr key = string_value();
+      skip_ws();
+      expect(':');
+      v->obj[key->str] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  ValuePtr array() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v->arr.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  ValuePtr string_value() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::String;
+    expect('"');
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        c = peek();
+        ++pos_;
+        if (c == 'n') c = '\n';
+        if (c == 't') c = '\t';
+      }
+      v->str += c;
+    }
+    ++pos_;
+    return v;
+  }
+
+  ValuePtr boolean() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v->b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v->b = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  ValuePtr null() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::Null;
+    return v;
+  }
+
+  ValuePtr number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::Number;
+    v->num = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("bad number: " + tok);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace hqr::testjson

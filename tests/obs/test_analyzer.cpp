@@ -1,0 +1,155 @@
+#include "obs/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/algorithms.hpp"
+#include "json_mini.hpp"
+#include "simcluster/simulator.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+using obs::AnalysisReport;
+using obs::TraceRecorder;
+using obs::analyze_trace;
+
+// A single tile column eliminated by a flat tree is a pure serial chain:
+// GEQRT(0) then TSQRT(1..mt-1), each depending on the previous. With known
+// per-task durations the critical path is exactly their sum.
+TEST(Analyzer, SerialChainRealizedCriticalPathIsExact) {
+  const int mt = 4, nt = 1;
+  TaskGraph g(expand_to_kernels(flat_ts_list(mt, nt), mt, nt), mt, nt);
+  ASSERT_EQ(g.size(), 4);
+
+  TraceRecorder trace;
+  double t = 0.0;
+  for (int i = 0; i < g.size(); ++i) {
+    const KernelOp& op = g.op(i);
+    const double dur = 1.0 + i;  // 1, 2, 3, 4 seconds
+    trace.add({.task = i,
+               .lane = 0,
+               .type = op.type,
+               .row = op.row,
+               .piv = op.piv,
+               .k = op.k,
+               .j = op.j,
+               .start = t,
+               .end = t + dur});
+    t += dur;
+  }
+
+  AnalysisReport rep = analyze_trace(trace, &g);
+  EXPECT_DOUBLE_EQ(rep.makespan, 10.0);
+  EXPECT_EQ(rep.tasks, 4);
+  EXPECT_EQ(rep.lanes, 1);
+  EXPECT_DOUBLE_EQ(rep.busy_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(rep.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(rep.realized_critical_path, 10.0);
+  EXPECT_DOUBLE_EQ(rep.critical_path_fraction, 1.0);
+  ASSERT_EQ(rep.critical_tasks.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rep.critical_tasks[i], i);
+}
+
+TEST(Analyzer, WithoutGraphCriticalPathIsZero) {
+  TraceRecorder trace;
+  trace.add({.task = 0, .end = 1.0});
+  AnalysisReport rep = analyze_trace(trace);
+  EXPECT_DOUBLE_EQ(rep.realized_critical_path, 0.0);
+  EXPECT_TRUE(rep.critical_tasks.empty());
+  EXPECT_DOUBLE_EQ(rep.makespan, 1.0);
+}
+
+TEST(Analyzer, DetectsPipelineStallGaps) {
+  TraceRecorder trace;
+  trace.ensure_lanes(2);
+  // Lane 0: busy [0,1] and [3,4] -> internal gap (1,3).
+  trace.record(0, {.task = 0, .lane = 0, .start = 0.0, .end = 1.0});
+  trace.record(0, {.task = 1, .lane = 0, .start = 3.0, .end = 4.0});
+  // Lane 1: busy [1,2] -> leading gap (0,1) and trailing gap (2,4).
+  trace.record(1, {.task = 2, .lane = 1, .start = 1.0, .end = 2.0});
+  AnalysisReport rep = analyze_trace(trace, nullptr, 10);
+  EXPECT_DOUBLE_EQ(rep.makespan, 4.0);
+  EXPECT_EQ(rep.lanes, 2);
+  ASSERT_FALSE(rep.top_gaps.empty());
+  // Largest gaps first: lane 0's (1,3) and lane 1's (2,4), both length 2.
+  EXPECT_DOUBLE_EQ(rep.top_gaps[0].length(), 2.0);
+  double total_gap = 0.0;
+  for (const auto& gap : rep.top_gaps) total_gap += gap.length();
+  // Busy 3s over 2 lanes * 4s makespan -> 5s of idle in gaps.
+  EXPECT_DOUBLE_EQ(total_gap, 5.0);
+}
+
+TEST(Analyzer, KernelBreakdownSumsToTasks) {
+  const int mt = 8, nt = 4;
+  TaskGraph g(expand_to_kernels(greedy_global_list(mt, nt).list, mt, nt), mt,
+              nt);
+  auto dist = Distribution::cyclic_1d(2);
+  SimOptions o;
+  o.platform = Platform::edel();
+  o.platform.nodes = 2;
+  o.b = 64;
+  SimTrace trace;
+  o.trace = &trace;
+  SimResult r = simulate_qr(g, dist, mt * 64, nt * 64, o);
+  AnalysisReport rep = analyze_trace(trace, &g);
+  long long kernel_tasks = 0;
+  double kernel_seconds = 0.0;
+  for (const auto& ks : rep.kernels) {
+    kernel_tasks += ks.count;
+    kernel_seconds += ks.total_seconds;
+  }
+  EXPECT_EQ(kernel_tasks, r.tasks);
+  EXPECT_NEAR(kernel_seconds, rep.busy_seconds, 1e-9);
+  // Sorted by total time, descending.
+  for (std::size_t i = 1; i < rep.kernels.size(); ++i)
+    EXPECT_GE(rep.kernels[i - 1].total_seconds, rep.kernels[i].total_seconds);
+}
+
+// Acceptance criterion: on a zero-communication platform the realized
+// critical path recovered from the trace matches the simulator's
+// model-level critical-path lower bound.
+TEST(Analyzer, RealizedCriticalPathMatchesSimulatorOnZeroCommPlatform) {
+  const int mt = 12, nt = 6, b = 64;
+  TaskGraph g(expand_to_kernels(greedy_global_list(mt, nt).list, mt, nt), mt,
+              nt);
+  auto dist = Distribution::cyclic_1d(4);
+  SimOptions o;
+  o.platform = Platform::edel();
+  o.platform.nodes = 4;
+  o.platform.latency = 0.0;
+  o.platform.bandwidth = 1e30;
+  o.comm_thread_steal = false;
+  o.nic_contention = false;
+  o.b = b;
+  SimTrace trace;
+  o.trace = &trace;
+  SimResult r = simulate_qr(g, dist, mt * b, nt * b, o);
+
+  AnalysisReport rep = analyze_trace(trace, &g);
+  // The realized chain re-sums (end - start) differences, so agreement is
+  // up to accumulated rounding, not bitwise.
+  EXPECT_NEAR(rep.realized_critical_path, r.critical_path_seconds,
+              1e-6 * r.critical_path_seconds);
+  EXPECT_GE(rep.makespan, rep.realized_critical_path - 1e-12);
+  EXPECT_GT(rep.critical_path_fraction, 0.0);
+  EXPECT_LE(rep.critical_path_fraction, 1.0 + 1e-12);
+}
+
+TEST(Analyzer, ReportExportsParseAndAgree) {
+  TraceRecorder trace;
+  trace.add({.task = 0, .type = KernelType::GEQRT, .start = 0.0, .end = 1.0});
+  trace.add({.task = 1, .type = KernelType::TSQRT, .start = 1.0, .end = 3.0});
+  AnalysisReport rep = analyze_trace(trace);
+  EXPECT_FALSE(rep.to_text().empty());
+  std::ostringstream os;
+  rep.write_json(os);
+  auto root = testjson::parse(os.str());
+  EXPECT_DOUBLE_EQ(root->at("makespan_seconds").num, 3.0);
+  EXPECT_DOUBLE_EQ(root->at("tasks").num, 2.0);
+}
+
+}  // namespace
+}  // namespace hqr

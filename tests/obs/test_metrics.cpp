@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_mini.hpp"
+
+namespace hqr::obs {
+namespace {
+
+TEST(Metrics, CounterConcurrentUpdatesAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(c.value(), static_cast<long long>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, GaugeConcurrentAddsAreExact) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("busy_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(0.5);
+    });
+  for (auto& th : pool) th.join();
+  // CAS-loop adds of the same representable value are associative here.
+  EXPECT_DOUBLE_EQ(g.value(), 0.5 * kThreads * kPerThread);
+}
+
+TEST(Metrics, HistogramConcurrentObservesKeepTotals) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("task_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(1e-6 * (1 + t));  // different buckets per thread
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(h.count(), static_cast<long long>(kThreads) * kPerThread);
+  long long in_buckets = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) in_buckets += h.bucket_count(i);
+  EXPECT_EQ(in_buckets, h.count());
+  EXPECT_NEAR(h.sum(), kPerThread * 1e-6 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8),
+              1e-9);
+}
+
+TEST(Metrics, HistogramBucketsArePowerOfTwoSpaced) {
+  for (int i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper(i + 1),
+                     2.0 * Histogram::bucket_upper(i));
+  }
+  // Observations land in the bucket whose (lower, upper] range holds them.
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(-1.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1e-9), 0);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const double upper = Histogram::bucket_upper(i);
+    EXPECT_EQ(Histogram::bucket_of(upper * 0.75), i) << "bucket " << i;
+  }
+  // Way past the last bucket: clamped.
+  EXPECT_EQ(Histogram::bucket_of(1e9), Histogram::kBuckets - 1);
+}
+
+TEST(Metrics, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+}
+
+TEST(Metrics, JsonExportParsesAndCarriesValues) {
+  MetricsRegistry reg;
+  reg.counter("exec.tasks").add(42);
+  reg.gauge("exec.seconds").add(1.5);
+  reg.histogram("exec.task_seconds.GEQRT").observe(3e-6);
+  reg.histogram("exec.task_seconds.GEQRT").observe(5e-6);
+  std::ostringstream os;
+  reg.write_json(os);
+  auto root = testjson::parse(os.str());
+  EXPECT_DOUBLE_EQ(root->at("counters").at("exec.tasks").num, 42.0);
+  EXPECT_DOUBLE_EQ(root->at("gauges").at("exec.seconds").num, 1.5);
+  const auto& h = root->at("histograms").at("exec.task_seconds.GEQRT");
+  EXPECT_DOUBLE_EQ(h.at("count").num, 2.0);
+  EXPECT_NEAR(h.at("sum").num, 8e-6, 1e-12);
+  long long bucket_total = 0;
+  for (const auto& b : h.at("buckets").arr)
+    bucket_total += static_cast<long long>(b->at("count").num);
+  EXPECT_EQ(bucket_total, 2);
+}
+
+TEST(Metrics, TextExportListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("a").add(1);
+  reg.gauge("b").add(2.0);
+  reg.histogram("c").observe(1e-5);
+  std::ostringstream os;
+  reg.write_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("a 1"), std::string::npos);
+  EXPECT_NE(text.find("b 2"), std::string::npos);
+  EXPECT_NE(text.find("c count=1"), std::string::npos);
+}
+
+TEST(Metrics, SaveJsonReportsUnwritablePath) {
+  MetricsRegistry reg;
+  reg.counter("x").add(1);
+  EXPECT_THROW(reg.save_json("/nonexistent-dir/metrics.json"), Error);
+}
+
+}  // namespace
+}  // namespace hqr::obs

@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/algorithms.hpp"
+#include "json_mini.hpp"
+#include "linalg/random_matrix.hpp"
+#include "runtime/executor.hpp"
+#include "simcluster/simulator.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceRecorder;
+
+struct ChromeSlice {
+  int pid, tid;
+  double ts, dur;
+};
+
+// Parses a Chrome trace-event JSON string and returns its "X" slices,
+// validating the invariants any Perfetto-loadable export must satisfy:
+// well-formed JSON, ts/dur present and non-negative, events within
+// [0, makespan], and no two slices overlapping on the same (pid, tid) lane.
+std::vector<ChromeSlice> validate_chrome_json(const std::string& text,
+                                              double makespan_seconds) {
+  auto root = testjson::parse(text);
+  const auto& events = root->at("traceEvents");
+  EXPECT_EQ(events.kind, testjson::Value::Kind::Array);
+  std::vector<ChromeSlice> slices;
+  const double makespan_us = makespan_seconds * 1e6;
+  for (const auto& ev : events.arr) {
+    const std::string& ph = ev->at("ph").str;
+    if (ph == "M") continue;  // metadata: process/thread names
+    EXPECT_EQ(ph, "X");
+    ChromeSlice s{static_cast<int>(ev->at("pid").num),
+                  static_cast<int>(ev->at("tid").num), ev->at("ts").num,
+                  ev->at("dur").num};
+    EXPECT_GE(s.ts, 0.0);
+    EXPECT_GE(s.dur, 0.0);
+    EXPECT_LE(s.ts + s.dur, makespan_us + 1e-3);
+    slices.push_back(s);
+  }
+  std::map<std::pair<int, int>, std::vector<ChromeSlice>> by_lane;
+  for (const auto& s : slices) by_lane[{s.pid, s.tid}].push_back(s);
+  for (auto& [lane, v] : by_lane) {
+    std::sort(v.begin(), v.end(),
+              [](const ChromeSlice& a, const ChromeSlice& b) {
+                return a.ts < b.ts;
+              });
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      EXPECT_GE(v[i].ts, v[i - 1].ts + v[i - 1].dur - 1e-3)
+          << "overlap on lane (" << lane.first << "," << lane.second << ")";
+    }
+  }
+  return slices;
+}
+
+TEST(Trace, RecorderMergesAndSortsAcrossLaneBuffers) {
+  TraceRecorder rec;
+  rec.ensure_lanes(3);
+  rec.record(2, {.task = 2, .lane = 2, .start = 0.5, .end = 0.9});
+  rec.record(0, {.task = 0, .lane = 0, .start = 0.0, .end = 0.4});
+  rec.record(1, {.task = 1, .lane = 1, .start = 0.2, .end = 0.6});
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_DOUBLE_EQ(rec.makespan(), 0.9);
+  auto events = rec.sorted_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].task, 0);
+  EXPECT_EQ(events[1].task, 1);
+  EXPECT_EQ(events[2].task, 2);
+}
+
+TEST(Trace, EnsureLanesNeverDropsEvents) {
+  TraceRecorder rec;
+  rec.add({.task = 7, .end = 1.0});
+  rec.ensure_lanes(8);
+  EXPECT_EQ(rec.lanes(), 8);
+  EXPECT_EQ(rec.size(), 1u);
+  rec.ensure_lanes(2);  // never shrinks
+  EXPECT_EQ(rec.lanes(), 8);
+}
+
+TEST(Trace, EventLabelNamesKernelAndTiles) {
+  TraceEvent e{.type = KernelType::TSMQR, .row = 3, .piv = 1, .k = 0, .j = 2};
+  EXPECT_EQ(event_label(e), "TSMQR(3,1,0;j=2)");
+}
+
+TEST(Trace, SaveDispatchesOnExtension) {
+  TraceRecorder rec;
+  rec.add({.task = 0, .type = KernelType::GEQRT, .end = 1.0});
+  const std::string dir = ::testing::TempDir();
+  rec.save(dir + "trace_dispatch.json");
+  rec.save(dir + "trace_dispatch.csv");
+  {
+    std::ifstream in(dir + "trace_dispatch.json");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    auto root = testjson::parse(ss.str());
+    EXPECT_TRUE(root->has("traceEvents"));
+  }
+  {
+    std::ifstream in(dir + "trace_dispatch.csv");
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "task,lane,sub,kernel,start,end,accel,row,piv,k,j");
+  }
+}
+
+TEST(Trace, ChromeJsonFromSimulatorIsPerfettoLoadable) {
+  const int mt = 10, nt = 5, b = 64;
+  TaskGraph g(expand_to_kernels(greedy_global_list(mt, nt).list, mt, nt), mt,
+              nt);
+  auto dist = Distribution::cyclic_1d(4);
+  SimOptions o;
+  o.platform = Platform::edel();
+  o.platform.nodes = 4;
+  o.b = b;
+  SimTrace trace;
+  o.trace = &trace;
+  SimResult r = simulate_qr(g, dist, mt * b, nt * b, o);
+  ASSERT_EQ(static_cast<long long>(trace.size()), r.tasks);
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  auto slices = validate_chrome_json(os.str(), trace.makespan());
+  EXPECT_EQ(static_cast<long long>(slices.size()), r.tasks);
+  // Simulator lanes are nodes; all four must appear.
+  std::map<int, int> per_pid;
+  for (const auto& s : slices) ++per_pid[s.pid];
+  EXPECT_EQ(per_pid.size(), 4u);
+}
+
+TEST(Trace, ChromeJsonFromExecutorIsPerfettoLoadable) {
+  Rng rng(21);
+  Matrix a0 = random_gaussian(40, 20, rng);
+  ExecutorOptions opts;
+  opts.threads = 4;
+  TraceRecorder trace;
+  opts.trace = &trace;
+  RunStats stats;
+  qr_factorize_parallel(a0, 4, greedy_global_list(10, 5).list, opts, &stats);
+  EXPECT_EQ(static_cast<long long>(trace.size()), stats.total_tasks);
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  auto slices = validate_chrome_json(os.str(), trace.makespan());
+  EXPECT_EQ(static_cast<long long>(slices.size()), stats.total_tasks);
+  // Executor lanes are worker threads: pids within [0, threads).
+  for (const auto& s : slices) {
+    EXPECT_GE(s.pid, 0);
+    EXPECT_LT(s.pid, opts.threads);
+  }
+}
+
+TEST(Trace, CsvAndJsonAgreeOnEventCount) {
+  TraceRecorder rec;
+  rec.ensure_lanes(2);
+  for (int i = 0; i < 5; ++i)
+    rec.record(i % 2, {.task = i,
+                       .lane = i % 2,
+                       .type = KernelType::TSQRT,
+                       .start = 0.1 * i,
+                       .end = 0.1 * i + 0.05});
+  const std::string dir = ::testing::TempDir();
+  rec.save_csv(dir + "agree.csv");
+  rec.save_chrome_json(dir + "agree.json");
+  std::ifstream csv(dir + "agree.csv");
+  std::string line;
+  int csv_rows = -1;  // skip header
+  while (std::getline(csv, line))
+    if (!line.empty()) ++csv_rows;
+  EXPECT_EQ(csv_rows, 5);
+  std::ifstream js(dir + "agree.json");
+  std::stringstream ss;
+  ss << js.rdbuf();
+  auto slices = validate_chrome_json(ss.str(), rec.makespan());
+  EXPECT_EQ(slices.size(), 5u);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <tuple>
 
 #include "common/rng.hpp"
@@ -92,6 +93,61 @@ TEST(Executor, InvalidThreadCountThrows) {
   Matrix a0 = random_gaussian(8, 8, rng);
   ExecutorOptions opts{0, true, true};
   EXPECT_THROW(qr_factorize_parallel(a0, 4, flat_ts_list(2, 2), opts), Error);
+}
+
+TEST(Executor, StatsTraceAndMetricsAgreeOnTaskCounts) {
+  Rng rng(19);
+  Matrix a0 = random_gaussian(48, 24, rng);
+  ExecutorOptions opts{4, true, true};
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  opts.trace = &trace;
+  opts.metrics = &metrics;
+  RunStats stats;
+  QRFactors f = qr_factorize_parallel(
+      a0, 4, greedy_global_list(12, 6).list, opts, &stats);
+  expect_exact(a0, f);
+
+  // Per-thread counts account for every task...
+  long long per_thread = 0;
+  for (long long t : stats.tasks_per_thread) per_thread += t;
+  EXPECT_EQ(per_thread, stats.total_tasks);
+  // ...as do the per-kernel counts, the trace, and the metrics registry.
+  long long per_kernel = 0;
+  for (long long t : stats.tasks_by_kernel) per_kernel += t;
+  EXPECT_EQ(per_kernel, stats.total_tasks);
+  EXPECT_EQ(static_cast<long long>(trace.size()), stats.total_tasks);
+  EXPECT_EQ(metrics.counter("exec.tasks").value(), stats.total_tasks);
+  EXPECT_EQ(stats.reuse_hits + stats.queue_pops, stats.total_tasks);
+
+  // Observed run fills the timing breakdowns.
+  ASSERT_EQ(stats.busy_seconds_per_thread.size(), 4u);
+  double busy = 0.0;
+  for (double s : stats.busy_seconds_per_thread) busy += s;
+  double by_kernel = 0.0;
+  for (double s : stats.seconds_by_kernel) by_kernel += s;
+  EXPECT_NEAR(busy, by_kernel, 1e-9);
+  EXPECT_GT(busy, 0.0);
+
+  // Trace events never overlap within a worker lane.
+  auto events = trace.sorted_events();
+  std::map<int, double> cursor;
+  for (const auto& e : events) {
+    auto it = cursor.find(e.lane);
+    if (it != cursor.end()) EXPECT_GE(e.start, it->second - 1e-12);
+    cursor[e.lane] = e.end;
+  }
+}
+
+TEST(Executor, UnobservedRunSkipsTimingBreakdowns) {
+  Rng rng(23);
+  Matrix a0 = random_gaussian(16, 8, rng);
+  ExecutorOptions opts{2, true, true};
+  RunStats stats;
+  qr_factorize_parallel(a0, 4, flat_ts_list(4, 2), opts, &stats);
+  EXPECT_TRUE(stats.busy_seconds_per_thread.empty());
+  EXPECT_TRUE(stats.idle_seconds_per_thread.empty());
+  EXPECT_GT(stats.total_tasks, 0);
 }
 
 TEST(Executor, StressManySmallTilesManyThreads) {

@@ -87,7 +87,7 @@ TEST(Accelerators, FactorKernelsNeverRunOnAccelerators) {
   o.trace = &trace;
   simulate_qr(g, dist, mt * 64, nt * 64, o);
   int on_accel = 0;
-  for (const auto& e : trace.events) {
+  for (const auto& e : trace.sorted_events()) {
     if (e.on_accel) {
       ++on_accel;
       EXPECT_FALSE(is_factor_kernel(e.type)) << kernel_name(e.type);

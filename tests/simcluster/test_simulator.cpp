@@ -162,16 +162,17 @@ TEST(Simulator, TraceCoversEveryTaskConsistently) {
   TaskGraph g = graph_for(greedy_global_list(mt, nt).list, mt, nt);
   auto dist = Distribution::cyclic_1d(6);
   SimResult r = simulate_qr(g, dist, mt * o.b, nt * o.b, o);
-  ASSERT_EQ(static_cast<long long>(trace.events.size()), r.tasks);
+  ASSERT_EQ(static_cast<long long>(trace.size()), r.tasks);
   double max_end = 0.0;
-  for (const auto& e : trace.events) {
+  for (const auto& e : trace.sorted_events()) {
     EXPECT_GE(e.start, 0.0);
     EXPECT_GT(e.end, e.start);
-    EXPECT_GE(e.node, 0);
-    EXPECT_LT(e.node, dist.nodes());
+    EXPECT_GE(e.lane, 0);
+    EXPECT_LT(e.lane, dist.nodes());
     max_end = std::max(max_end, e.end);
   }
   EXPECT_NEAR(max_end, r.seconds, 1e-12);
+  EXPECT_NEAR(trace.makespan(), r.seconds, 1e-12);
 }
 
 TEST(Simulator, TraceRespectsCoreCapacity) {
@@ -185,10 +186,11 @@ TEST(Simulator, TraceRespectsCoreCapacity) {
   auto dist = Distribution::cyclic_1d(3);
   simulate_qr(g, dist, mt * o.b, nt * o.b, o);
   // Sweep events per node: overlapping intervals must never exceed 2.
+  const auto events = trace.sorted_events();
   for (int nd = 0; nd < 3; ++nd) {
     std::vector<std::pair<double, int>> sweep;
-    for (const auto& e : trace.events) {
-      if (e.node != nd) continue;
+    for (const auto& e : events) {
+      if (e.lane != nd) continue;
       sweep.push_back({e.start, +1});
       sweep.push_back({e.end, -1});
     }
@@ -224,16 +226,81 @@ TEST(Simulator, NodeBusyFractionsMatchUtilization) {
 
 TEST(Simulator, TraceCsvRoundTrips) {
   SimTrace trace;
-  trace.events.push_back({0, 1, KernelType::GEQRT, 0.0, 1.5});
-  trace.events.push_back({1, 0, KernelType::TSMQR, 1.5, 2.0});
+  trace.add({.task = 0, .lane = 1, .type = KernelType::GEQRT, .end = 1.5});
+  trace.add(
+      {.task = 1, .lane = 0, .type = KernelType::TSMQR, .start = 1.5, .end = 2.0});
   const std::string path = ::testing::TempDir() + "/trace.csv";
   trace.save_csv(path);
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "task,node,kernel,start,end");
+  EXPECT_EQ(line, "task,lane,sub,kernel,start,end,accel,row,piv,k,j");
   std::getline(in, line);
   EXPECT_NE(line.find("GEQRT"), std::string::npos);
+}
+
+TEST(Simulator, TraceSaveReportsUnwritablePath) {
+  SimTrace trace;
+  trace.add({.task = 0, .lane = 0, .type = KernelType::GEQRT, .end = 1.0});
+  EXPECT_THROW(trace.save_csv("/nonexistent-dir/trace.csv"), Error);
+  EXPECT_THROW(trace.save_chrome_json("/nonexistent-dir/trace.json"), Error);
+  EXPECT_THROW(trace.save("/nonexistent-dir/trace.json"), Error);
+}
+
+TEST(Simulator, NicBusyAndCommStealAccounting) {
+  SimOptions o = small_opts();
+  const int mt = 12, nt = 6;
+  TaskGraph g = graph_for(flat_ts_list(mt, nt), mt, nt);
+  SimResult r = simulate_qr(g, Distribution::cyclic_1d(6), mt * o.b,
+                            nt * o.b, o);
+  ASSERT_EQ(r.nic_send_busy_seconds.size(), 6u);
+  ASSERT_EQ(r.nic_recv_busy_seconds.size(), 6u);
+  // Every message occupies exactly `wire` seconds of one send NIC and one
+  // receive NIC.
+  const double wire =
+      static_cast<double>(o.b) * o.b * sizeof(double) / o.platform.bandwidth;
+  double send_total = 0.0, recv_total = 0.0;
+  for (double s : r.nic_send_busy_seconds) send_total += s;
+  for (double s : r.nic_recv_busy_seconds) recv_total += s;
+  EXPECT_NEAR(send_total, r.messages * wire, 1e-9);
+  EXPECT_NEAR(recv_total, r.messages * wire, 1e-9);
+  // Comm-thread CPU: charged on both endpoints, drained at most fully.
+  EXPECT_GT(r.comm_cpu_charged_seconds, 0.0);
+  EXPECT_GE(r.comm_cpu_stolen_seconds, 0.0);
+  EXPECT_LE(r.comm_cpu_stolen_seconds, r.comm_cpu_charged_seconds + 1e-12);
+  // Per-kernel breakdown covers every task.
+  long long by_kernel = 0;
+  for (long long c : r.tasks_by_kernel) by_kernel += c;
+  EXPECT_EQ(by_kernel, r.tasks);
+  // Kernel-seconds include the comm-steal stretch, so they bound the pure
+  // busy time from below only up to that stretch.
+  double kernel_seconds = 0.0;
+  for (double s : r.seconds_by_kernel) kernel_seconds += s;
+  EXPECT_GT(kernel_seconds, 0.0);
+}
+
+TEST(Simulator, ZeroCommRunHasNoNicBusyOrSteal) {
+  SimOptions o = small_opts();
+  o.platform.nodes = 1;
+  TaskGraph g = graph_for(flat_ts_list(8, 4), 8, 4);
+  SimResult r = simulate_qr(g, Distribution::cyclic_1d(1), 8 * o.b, 4 * o.b, o);
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.comm_cpu_charged_seconds, 0.0);
+  EXPECT_EQ(r.comm_cpu_stolen_seconds, 0.0);
+  for (double s : r.nic_send_busy_seconds) EXPECT_EQ(s, 0.0);
+}
+
+TEST(Simulator, MetricsRegistryReceivesSimCounters) {
+  SimOptions o = small_opts();
+  obs::MetricsRegistry metrics;
+  o.metrics = &metrics;
+  const int mt = 12, nt = 6;
+  TaskGraph g = graph_for(flat_ts_list(mt, nt), mt, nt);
+  SimResult r = simulate_qr(g, Distribution::cyclic_1d(6), mt * o.b,
+                            nt * o.b, o);
+  EXPECT_EQ(metrics.counter("sim.tasks").value(), r.tasks);
+  EXPECT_EQ(metrics.counter("sim.messages").value(), r.messages);
+  EXPECT_NEAR(metrics.gauge("sim.makespan_seconds").value(), r.seconds, 1e-12);
 }
 
 TEST(Simulator, CustomRunDecouplesVirtualGridFromDistribution) {

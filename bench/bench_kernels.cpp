@@ -1,10 +1,30 @@
 // Microbenchmarks of the six tile kernels (google-benchmark): the real
-// numeric kernels, across tile sizes, including the paper's b = 280. The
+// numeric kernels, across tile sizes, including the paper's b = 280 and
+// the production inner-blocked variants at b = 200, ib = 32.
+//
+// Every benchmark runs under a selectable GEMM backend (last Args entry:
+// 0 = packed cache-blocked core, 1 = retained naive loops), so the same
+// binary produces the speedup pairs that gate the blocked core. The
 // TS-vs-TT rate gap measured here is the quantity the simulator's
 // calibration (KernelRates) encodes.
+//
+// Pass --json[=PATH] to additionally write machine-readable results
+// (default PATH: BENCH_kernels.json; see DESIGN.md for the schema):
+//   {"kernel": "tsmqr", "b": 200, "ib": 32, "backend": "packed",
+//    "gflops": ...}
+// plus packed-vs-naive speedups for every (kernel, b, ib) measured under
+// both backends.
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "kernels/ib_kernels.hpp"
 #include "kernels/tile_kernels.hpp"
 #include "kernels/weights.hpp"
 #include "linalg/random_matrix.hpp"
@@ -12,19 +32,112 @@
 namespace hqr {
 namespace {
 
+struct BenchResult {
+  std::string kernel;
+  int b = 0;
+  int ib = 0;
+  std::string backend;
+  double gflops = 0.0;
+};
+
+std::vector<BenchResult>& collected() {
+  static std::vector<BenchResult> results;
+  return results;
+}
+
+// Captures each finished run's rate counter for the JSON writer, then
+// defers to the console output.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      BenchResult r;
+      // Names look like "BM_Tsmqr/200/32/0": kernel / b / ib / backend.
+      const std::string name = run.benchmark_name();
+      const std::size_t slash = name.find('/');
+      std::string kernel = name.substr(0, slash);
+      if (kernel.rfind("BM_", 0) == 0) kernel = kernel.substr(3);
+      for (char& c : kernel) c = static_cast<char>(std::tolower(c));
+      r.kernel = kernel;
+      r.b = static_cast<int>(run.counters.at("b"));
+      r.ib = static_cast<int>(run.counters.at("ib"));
+      r.backend = run.counters.at("naive") != 0 ? "naive" : "packed";
+      r.gflops = run.counters.at("GFlop/s");
+      collected().push_back(r);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+void write_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_kernels: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"schema\": \"hqr-bench-kernels-v1\",\n  \"results\": [\n";
+  const std::vector<BenchResult>& rs = collected();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const BenchResult& r = rs[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"b\": " << r.b
+        << ", \"ib\": " << r.ib << ", \"backend\": \"" << r.backend
+        << "\", \"gflops\": " << r.gflops << "}"
+        << (i + 1 < rs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedups\": [\n";
+  // Packed-over-naive ratio for every configuration measured both ways.
+  std::vector<std::string> lines;
+  for (const BenchResult& p : rs) {
+    if (p.backend != "packed") continue;
+    for (const BenchResult& n : rs) {
+      if (n.backend == "naive" && n.kernel == p.kernel && n.b == p.b &&
+          n.ib == p.ib && n.gflops > 0.0) {
+        lines.push_back("    {\"kernel\": \"" + p.kernel +
+                        "\", \"b\": " + std::to_string(p.b) +
+                        ", \"ib\": " + std::to_string(p.ib) +
+                        ", \"speedup\": " + std::to_string(p.gflops / n.gflops) +
+                        "}");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    out << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+  out << "  ]\n}\n";
+  std::cout << "bench_kernels: wrote " << path << "\n";
+}
+
 Matrix random_tile(int b, std::uint64_t seed) {
   Rng rng(seed);
   return random_gaussian(b, b, rng);
 }
 
-void report_rate(benchmark::State& state, KernelType type, int b) {
+// Applies the backend selected by the benchmark's last argument for the
+// duration of one benchmark, restoring the default afterwards.
+class BackendGuard {
+ public:
+  explicit BackendGuard(bool naive) {
+    if (naive) set_gemm_backend(GemmBackend::Naive);
+  }
+  ~BackendGuard() { set_gemm_backend(GemmBackend::Packed); }
+};
+
+// Args are {b, ib, naive}: ib == 0 runs the plain full-T kernel, ib > 0
+// the inner-blocked production variant.
+void report(benchmark::State& state, KernelType type) {
+  const int b = static_cast<int>(state.range(0));
   state.counters["GFlop/s"] = benchmark::Counter(
       kernel_flops(type, b) * static_cast<double>(state.iterations()) / 1e9,
       benchmark::Counter::kIsRate);
+  state.counters["b"] = static_cast<double>(state.range(0));
+  state.counters["ib"] = static_cast<double>(state.range(1));
+  state.counters["naive"] = static_cast<double>(state.range(2));
 }
 
 void BM_Geqrt(benchmark::State& state) {
   const int b = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  BackendGuard guard(state.range(2) != 0);
   Matrix a0 = random_tile(b, 1);
   Matrix t(b, b);
   TileWorkspace ws(b);
@@ -32,28 +145,44 @@ void BM_Geqrt(benchmark::State& state) {
     state.PauseTiming();
     Matrix a = a0;
     state.ResumeTiming();
-    geqrt(a.view(), t.view(), ws);
+    if (ib > 0) {
+      geqrt_ib(a.view(), t.view(), ib, ws);
+    } else {
+      geqrt(a.view(), t.view(), ws);
+    }
     benchmark::DoNotOptimize(a.storage().data());
   }
-  report_rate(state, KernelType::GEQRT, b);
+  report(state, KernelType::GEQRT);
 }
 
 void BM_Unmqr(benchmark::State& state) {
   const int b = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  BackendGuard guard(state.range(2) != 0);
   Matrix v = random_tile(b, 2);
   Matrix t(b, b);
   TileWorkspace ws(b);
-  geqrt(v.view(), t.view(), ws);
+  if (ib > 0) {
+    geqrt_ib(v.view(), t.view(), ib, ws);
+  } else {
+    geqrt(v.view(), t.view(), ws);
+  }
   Matrix c = random_tile(b, 3);
   for (auto _ : state) {
-    unmqr(v.view(), t.view(), Trans::Yes, c.view(), ws);
+    if (ib > 0) {
+      unmqr_ib(v.view(), t.view(), ib, Trans::Yes, c.view(), ws);
+    } else {
+      unmqr(v.view(), t.view(), Trans::Yes, c.view(), ws);
+    }
     benchmark::DoNotOptimize(c.storage().data());
   }
-  report_rate(state, KernelType::UNMQR, b);
+  report(state, KernelType::UNMQR);
 }
 
 void BM_Tsqrt(benchmark::State& state) {
   const int b = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  BackendGuard guard(state.range(2) != 0);
   Matrix a1_0 = random_tile(b, 4);
   Matrix a2_0 = random_tile(b, 5);
   Matrix t(b, b);
@@ -62,28 +191,44 @@ void BM_Tsqrt(benchmark::State& state) {
     state.PauseTiming();
     Matrix a1 = a1_0, a2 = a2_0;
     state.ResumeTiming();
-    tsqrt(a1.view(), a2.view(), t.view(), ws);
+    if (ib > 0) {
+      tsqrt_ib(a1.view(), a2.view(), t.view(), ib, ws);
+    } else {
+      tsqrt(a1.view(), a2.view(), t.view(), ws);
+    }
     benchmark::DoNotOptimize(a2.storage().data());
   }
-  report_rate(state, KernelType::TSQRT, b);
+  report(state, KernelType::TSQRT);
 }
 
 void BM_Tsmqr(benchmark::State& state) {
   const int b = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  BackendGuard guard(state.range(2) != 0);
   Matrix a1 = random_tile(b, 6), a2 = random_tile(b, 7);
   Matrix t(b, b);
   TileWorkspace ws(b);
-  tsqrt(a1.view(), a2.view(), t.view(), ws);
+  if (ib > 0) {
+    tsqrt_ib(a1.view(), a2.view(), t.view(), ib, ws);
+  } else {
+    tsqrt(a1.view(), a2.view(), t.view(), ws);
+  }
   Matrix c1 = random_tile(b, 8), c2 = random_tile(b, 9);
   for (auto _ : state) {
-    tsmqr(c1.view(), c2.view(), a2.view(), t.view(), Trans::Yes, ws);
+    if (ib > 0) {
+      tsmqr_ib(c1.view(), c2.view(), a2.view(), t.view(), ib, Trans::Yes, ws);
+    } else {
+      tsmqr(c1.view(), c2.view(), a2.view(), t.view(), Trans::Yes, ws);
+    }
     benchmark::DoNotOptimize(c2.storage().data());
   }
-  report_rate(state, KernelType::TSMQR, b);
+  report(state, KernelType::TSMQR);
 }
 
 void BM_Ttqrt(benchmark::State& state) {
   const int b = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  BackendGuard guard(state.range(2) != 0);
   Matrix a1_0 = random_tile(b, 10);
   Matrix a2_0 = random_tile(b, 11);
   Matrix t(b, b);
@@ -92,34 +237,82 @@ void BM_Ttqrt(benchmark::State& state) {
     state.PauseTiming();
     Matrix a1 = a1_0, a2 = a2_0;
     state.ResumeTiming();
-    ttqrt(a1.view(), a2.view(), t.view(), ws);
+    if (ib > 0) {
+      ttqrt_ib(a1.view(), a2.view(), t.view(), ib, ws);
+    } else {
+      ttqrt(a1.view(), a2.view(), t.view(), ws);
+    }
     benchmark::DoNotOptimize(a2.storage().data());
   }
-  report_rate(state, KernelType::TTQRT, b);
+  report(state, KernelType::TTQRT);
 }
 
 void BM_Ttmqr(benchmark::State& state) {
   const int b = static_cast<int>(state.range(0));
+  const int ib = static_cast<int>(state.range(1));
+  BackendGuard guard(state.range(2) != 0);
   Matrix a1 = random_tile(b, 12), a2 = random_tile(b, 13);
   Matrix t(b, b);
   TileWorkspace ws(b);
-  ttqrt(a1.view(), a2.view(), t.view(), ws);
+  if (ib > 0) {
+    ttqrt_ib(a1.view(), a2.view(), t.view(), ib, ws);
+  } else {
+    ttqrt(a1.view(), a2.view(), t.view(), ws);
+  }
   Matrix c1 = random_tile(b, 14), c2 = random_tile(b, 15);
   for (auto _ : state) {
-    ttmqr(c1.view(), c2.view(), a2.view(), t.view(), Trans::Yes, ws);
+    if (ib > 0) {
+      ttmqr_ib(c1.view(), c2.view(), a2.view(), t.view(), ib, Trans::Yes, ws);
+    } else {
+      ttmqr(c1.view(), c2.view(), a2.view(), t.view(), Trans::Yes, ws);
+    }
     benchmark::DoNotOptimize(c2.storage().data());
   }
-  report_rate(state, KernelType::TTMQR, b);
+  report(state, KernelType::TTMQR);
 }
 
-BENCHMARK(BM_Geqrt)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Unmqr)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Tsqrt)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Tsmqr)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Ttqrt)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Ttmqr)->Arg(64)->Arg(128)->Arg(280)->Unit(benchmark::kMillisecond);
+// Coverage: packed plain kernels across tile sizes (the historical sweep),
+// the production ib configuration (b = 200, ib = 32) under both backends
+// (the bench-gated speedup pair), and the paper's b = 280 ib-blocked point.
+void configure(benchmark::internal::Benchmark* bench) {
+  bench->Args({64, 0, 0})
+      ->Args({128, 0, 0})
+      ->Args({280, 0, 0})
+      ->Args({200, 32, 0})
+      ->Args({200, 32, 1})
+      ->Args({280, 32, 0})
+      ->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Geqrt)->Apply(configure);
+BENCHMARK(BM_Unmqr)->Apply(configure);
+BENCHMARK(BM_Tsqrt)->Apply(configure);
+BENCHMARK(BM_Tsmqr)->Apply(configure);
+BENCHMARK(BM_Ttqrt)->Apply(configure);
+BENCHMARK(BM_Ttmqr)->Apply(configure);
 
 }  // namespace
 }  // namespace hqr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json[=PATH] before google-benchmark sees the argv.
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_kernels.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hqr::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) hqr::write_json(json_path);
+  return 0;
+}

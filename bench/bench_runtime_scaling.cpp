@@ -18,11 +18,15 @@ using namespace hqr;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv,
-          obs::with_obs_flags(
-              {{"m", "768"}, {"n", "512"}, {"b", "64"}, {"csv", ""}}));
+          obs::with_obs_flags({{"m", "768"},
+                               {"n", "512"},
+                               {"b", "64"},
+                               {"ib", "0"},
+                               {"csv", ""}}));
   const int m = static_cast<int>(cli.integer("m"));
   const int n = static_cast<int>(cli.integer("n"));
   const int b = static_cast<int>(cli.integer("b"));
+  const int ib = static_cast<int>(cli.integer("ib"));
 
   Rng rng(11);
   Matrix a = random_gaussian(m, n, rng);
@@ -37,7 +41,7 @@ int main(int argc, char** argv) {
     for (bool priority : {true, false}) {
       for (bool reuse : {true, false}) {
         if (!priority && reuse) continue;  // reuse needs priorities
-        ExecutorOptions opts{threads, priority, reuse};
+        ExecutorOptions opts{threads, priority, reuse, ib};
         RunStats stats;
         Stopwatch sw;
         QRFactors f = qr_factorize_parallel(a, b, list, opts, &stats);
@@ -60,7 +64,7 @@ int main(int argc, char** argv) {
   // are clean).
   obs::ObsSession obs(cli);
   if (obs.any_enabled() || obs.report_requested()) {
-    ExecutorOptions opts{8, true, true};
+    ExecutorOptions opts{8, true, true, ib};
     opts.trace = obs.trace();
     opts.metrics = obs.metrics();
     TiledMatrix tiled = TiledMatrix::from_matrix(a, b);

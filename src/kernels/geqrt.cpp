@@ -30,7 +30,7 @@ void unmqr(ConstMatrixView v, ConstMatrixView t, Trans trans, MatrixView c,
   HQR_CHECK(v.rows == b && v.cols == b && t.rows == b && t.cols == b &&
                 c.rows == b,
             "unmqr expects b x b tiles");
-  larfb_left(trans, v, t, c, ws.w1());
+  larfb_left(trans, v, t, c, ws.w1(), &ws.gemm_ws());
 }
 
 }  // namespace hqr

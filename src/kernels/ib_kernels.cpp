@@ -45,7 +45,7 @@ void geqrt_ib(MatrixView a, MatrixView t, int ib, TileWorkspace& ws) {
     const int trailing = b - (j0 + w);
     if (trailing > 0) {
       MatrixView c = a.block(j0, j0 + w, b - j0, trailing);
-      larfb_left(Trans::Yes, v, tp, c, ws.w1());
+      larfb_left(Trans::Yes, v, tp, c, ws.w1(), &ws.gemm_ws());
     }
   }
 }
@@ -64,7 +64,7 @@ void unmqr_ib(ConstMatrixView v, ConstMatrixView t, int ib, Trans trans,
     ConstMatrixView vp = v.block(j0, j0, b - j0, w);
     ConstMatrixView tp = t.block(0, j0, w, w);
     MatrixView cc = c.block(j0, 0, b - j0, c.cols);
-    larfb_left(trans, vp, tp, cc, ws.w1());
+    larfb_left(trans, vp, tp, cc, ws.w1(), &ws.gemm_ws());
   }
 }
 
@@ -117,10 +117,10 @@ void tsqrt_ib(MatrixView a1, MatrixView a2, MatrixView t, int ib,
       MatrixView c2p = a2.block(0, j0 + w, b, trailing);
       MatrixView wk = ws.w1().block(0, 0, w, trailing);
       copy(c1p, wk);
-      gemm(Trans::Yes, Trans::No, 1.0, v2p, c2p, 1.0, wk);
+      gemm(Trans::Yes, Trans::No, 1.0, v2p, c2p, 1.0, wk, ws.gemm_ws());
       trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, tp, wk);
       axpy(-1.0, wk, c1p);
-      gemm(Trans::No, Trans::No, -1.0, v2p, wk, 1.0, c2p);
+      gemm(Trans::No, Trans::No, -1.0, v2p, wk, 1.0, c2p, ws.gemm_ws());
     }
   }
 }
@@ -140,10 +140,10 @@ void tsmqr_ib(MatrixView c1, MatrixView c2, ConstMatrixView v2,
     MatrixView c1p = c1.block(j0, 0, w, c1.cols);
     MatrixView wk = ws.w1().block(0, 0, w, c1.cols);
     copy(c1p, wk);
-    gemm(Trans::Yes, Trans::No, 1.0, v2p, c2, 1.0, wk);
+    gemm(Trans::Yes, Trans::No, 1.0, v2p, c2, 1.0, wk, ws.gemm_ws());
     trmm_left(UpLo::Upper, trans, Diag::NonUnit, tp, wk);
     axpy(-1.0, wk, c1p);
-    gemm(Trans::No, Trans::No, -1.0, v2p, wk, 1.0, c2);
+    gemm(Trans::No, Trans::No, -1.0, v2p, wk, 1.0, c2, ws.gemm_ws());
   }
 }
 
@@ -206,10 +206,10 @@ void ttqrt_ib(MatrixView a1, MatrixView a2, MatrixView t, int ib,
       MatrixView c2p = a2.block(0, j0 + w, rows, trailing);
       MatrixView wk = ws.w1().block(0, 0, w, trailing);
       copy(c1p, wk);
-      gemm(Trans::Yes, Trans::No, 1.0, wp, c2p, 1.0, wk);
+      gemm(Trans::Yes, Trans::No, 1.0, wp, c2p, 1.0, wk, ws.gemm_ws());
       trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, tp, wk);
       axpy(-1.0, wk, c1p);
-      gemm(Trans::No, Trans::No, -1.0, wp, wk, 1.0, c2p);
+      gemm(Trans::No, Trans::No, -1.0, wp, wk, 1.0, c2p, ws.gemm_ws());
     }
   }
 }
@@ -232,10 +232,10 @@ void ttmqr_ib(MatrixView c1, MatrixView c2, ConstMatrixView v2,
     MatrixView c2p = c2.block(0, 0, rows, c2.cols);
     MatrixView wk = ws.w1().block(0, 0, w, c1.cols);
     copy(c1p, wk);
-    gemm(Trans::Yes, Trans::No, 1.0, wp, c2p, 1.0, wk);
+    gemm(Trans::Yes, Trans::No, 1.0, wp, c2p, 1.0, wk, ws.gemm_ws());
     trmm_left(UpLo::Upper, trans, Diag::NonUnit, tp, wk);
     axpy(-1.0, wk, c1p);
-    gemm(Trans::No, Trans::No, -1.0, wp, wk, 1.0, c2p);
+    gemm(Trans::No, Trans::No, -1.0, wp, wk, 1.0, c2p, ws.gemm_ws());
   }
 }
 

@@ -26,21 +26,25 @@
 namespace hqr {
 
 // Scratch buffers reused across kernel invocations; one per worker thread.
-// No kernel allocates.
+// No kernel allocates: the GEMM packing buffers are pre-sized here for
+// b x b products, so every task the worker runs reuses the same memory.
 class TileWorkspace {
  public:
   explicit TileWorkspace(int b) : b_(b), w1_(b, b), w2_(b, b), vec_(b, 1) {
     HQR_CHECK(b >= 1, "tile size must be >= 1");
+    gemm_.reserve(b, b, b);
   }
 
   int b() const { return b_; }
   MatrixView w1() { return w1_.view(); }
   MatrixView w2() { return w2_.view(); }
   MatrixView vec() { return vec_.view(); }
+  GemmWorkspace& gemm_ws() { return gemm_; }
 
  private:
   int b_;
   Matrix w1_, w2_, vec_;
+  GemmWorkspace gemm_;
 };
 
 // A <- QR of the b x b tile. R overwrites the upper triangle (incl. diag);

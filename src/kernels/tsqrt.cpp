@@ -58,10 +58,10 @@ void tsmqr(MatrixView c1, MatrixView c2, ConstMatrixView v2, ConstMatrixView t,
   // V = [I; V2]:  W = C1 + V2^T C2;  W = op(T) W;  C1 -= W;  C2 -= V2 W.
   MatrixView w = ws.w1();
   copy(c1, w);
-  gemm(Trans::Yes, Trans::No, 1.0, v2, c2, 1.0, w);
+  gemm(Trans::Yes, Trans::No, 1.0, v2, c2, 1.0, w, ws.gemm_ws());
   trmm_left(UpLo::Upper, trans, Diag::NonUnit, t, w);
   axpy(-1.0, w, c1);
-  gemm(Trans::No, Trans::No, -1.0, v2, w, 1.0, c2);
+  gemm(Trans::No, Trans::No, -1.0, v2, w, 1.0, c2, ws.gemm_ws());
 }
 
 }  // namespace hqr

@@ -5,82 +5,127 @@
 namespace hqr {
 namespace {
 
-int op_rows(Trans t, ConstMatrixView a) { return t == Trans::No ? a.rows : a.cols; }
-int op_cols(Trans t, ConstMatrixView a) { return t == Trans::No ? a.cols : a.rows; }
-
-double op_at(Trans t, ConstMatrixView a, int i, int j) {
-  return t == Trans::No ? a(i, j) : a(j, i);
-}
+#if defined(__GNUC__) || defined(__clang__)
+#define HQR_RESTRICT __restrict__
+#else
+#define HQR_RESTRICT
+#endif
 
 }  // namespace
-
-void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
-          ConstMatrixView b, double beta, MatrixView c) {
-  const int m = op_rows(ta, a);
-  const int k = op_cols(ta, a);
-  const int n = op_cols(tb, b);
-  HQR_CHECK(op_rows(tb, b) == k, "gemm inner dimension mismatch");
-  HQR_CHECK(c.rows == m && c.cols == n, "gemm output shape mismatch");
-
-  for (int j = 0; j < n; ++j) {
-    double* cj = c.data + static_cast<std::size_t>(j) * c.ld;
-    if (beta == 0.0) {
-      for (int i = 0; i < m; ++i) cj[i] = 0.0;
-    } else if (beta != 1.0) {
-      for (int i = 0; i < m; ++i) cj[i] *= beta;
-    }
-    if (alpha == 0.0) continue;
-
-    if (ta == Trans::No) {
-      // c(:,j) += alpha * A * op(B)(:,j): accumulate column-by-column of A.
-      for (int l = 0; l < k; ++l) {
-        const double blj = op_at(tb, b, l, j);
-        if (blj == 0.0) continue;
-        const double f = alpha * blj;
-        const double* al = a.data + static_cast<std::size_t>(l) * a.ld;
-        for (int i = 0; i < m; ++i) cj[i] += f * al[i];
-      }
-    } else {
-      // c(i,j) += alpha * dot(A(:,i), op(B)(:,j)).
-      for (int i = 0; i < m; ++i) {
-        const double* ai = a.data + static_cast<std::size_t>(i) * a.ld;
-        double s = 0.0;
-        for (int l = 0; l < k; ++l) s += ai[l] * op_at(tb, b, l, j);
-        cj[i] += alpha * s;
-      }
-    }
-  }
-}
 
 void gemv(Trans ta, double alpha, ConstMatrixView a, ConstMatrixView x,
           double beta, MatrixView y) {
   HQR_CHECK(x.cols == 1 && y.cols == 1, "gemv expects vectors");
-  gemm(ta, Trans::No, alpha, a, x, beta, y);
+  const int m = ta == Trans::No ? a.rows : a.cols;
+  const int k = ta == Trans::No ? a.cols : a.rows;
+  HQR_CHECK(x.rows == k, "gemv inner dimension mismatch");
+  HQR_CHECK(y.rows == m, "gemv output shape mismatch");
+  double* HQR_RESTRICT yv = y.data;
+  const double* HQR_RESTRICT xv = x.data;
+
+  if (ta == Trans::No) {
+    if (beta == 0.0) {
+      for (int i = 0; i < m; ++i) yv[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = 0; i < m; ++i) yv[i] *= beta;
+    }
+    if (alpha == 0.0) return;
+    // Fused-column accumulation: four columns of A per sweep of y.
+    int l = 0;
+    for (; l + 4 <= k; l += 4) {
+      const double f0 = alpha * xv[l];
+      const double f1 = alpha * xv[l + 1];
+      const double f2 = alpha * xv[l + 2];
+      const double f3 = alpha * xv[l + 3];
+      const double* HQR_RESTRICT a0 =
+          a.data + static_cast<std::size_t>(l) * a.ld;
+      const double* HQR_RESTRICT a1 = a0 + a.ld;
+      const double* HQR_RESTRICT a2 = a1 + a.ld;
+      const double* HQR_RESTRICT a3 = a2 + a.ld;
+      for (int i = 0; i < m; ++i)
+        yv[i] += f0 * a0[i] + f1 * a1[i] + f2 * a2[i] + f3 * a3[i];
+    }
+    for (; l < k; ++l) {
+      const double f = alpha * xv[l];
+      const double* HQR_RESTRICT al =
+          a.data + static_cast<std::size_t>(l) * a.ld;
+      for (int i = 0; i < m; ++i) yv[i] += f * al[i];
+    }
+  } else {
+    // y(j) = beta*y(j) + alpha * dot(A(:, j), x): contiguous column dots.
+    for (int j = 0; j < m; ++j) {
+      const double* HQR_RESTRICT aj =
+          a.data + static_cast<std::size_t>(j) * a.ld;
+      double s = 0.0;
+      for (int l = 0; l < k; ++l) s += aj[l] * xv[l];
+      const double base = beta == 0.0 ? 0.0 : beta * yv[j];
+      yv[j] = base + alpha * s;
+    }
+  }
 }
 
+void ger(double alpha, ConstMatrixView x, ConstMatrixView y, MatrixView a) {
+  HQR_CHECK(x.cols == 1 && y.cols == 1, "ger expects vectors");
+  HQR_CHECK(a.rows == x.rows && a.cols == y.rows, "ger shape mismatch");
+  if (alpha == 0.0) return;
+  const double* HQR_RESTRICT xv = x.data;
+  for (int j = 0; j < a.cols; ++j) {
+    const double f = alpha * y.data[j];
+    if (f == 0.0) continue;
+    double* HQR_RESTRICT aj = a.data + static_cast<std::size_t>(j) * a.ld;
+    for (int i = 0; i < a.rows; ++i) aj[i] += f * xv[i];
+  }
+}
+
+// Both triangular routines resolve (uplo, trans) into one of four
+// column-major loops up front: the trans cases become contiguous column
+// dots, the no-trans cases contiguous column axpy updates. No per-element
+// transpose branch (op_at) in any inner loop.
 void trmm_left(UpLo uplo, Trans ta, Diag diag, ConstMatrixView a, MatrixView b) {
   const int n = a.rows;
   HQR_CHECK(a.cols == n, "trmm expects square triangular A");
   HQR_CHECK(b.rows == n, "trmm shape mismatch");
   const bool unit = diag == Diag::Unit;
-  // Effective triangle after transposition.
-  const bool upper = (uplo == UpLo::Upper) == (ta == Trans::No);
 
   for (int j = 0; j < b.cols; ++j) {
-    double* bj = b.data + static_cast<std::size_t>(j) * b.ld;
-    if (upper) {
-      // Row i of op(A) touches bj[i..n): process top-down so inputs are live.
-      for (int i = 0; i < n; ++i) {
-        double s = unit ? bj[i] : op_at(ta, a, i, i) * bj[i];
-        for (int l = i + 1; l < n; ++l) s += op_at(ta, a, i, l) * bj[l];
-        bj[i] = s;
+    double* HQR_RESTRICT x = b.data + static_cast<std::size_t>(j) * b.ld;
+    if (ta == Trans::No && uplo == UpLo::Upper) {
+      // x = A x, A upper: column l contributes a(0:l, l) * x(l); ascending
+      // l leaves x(l) unread by earlier steps.
+      for (int l = 0; l < n; ++l) {
+        const double* HQR_RESTRICT al =
+            a.data + static_cast<std::size_t>(l) * a.ld;
+        const double xl = x[l];
+        for (int i = 0; i < l; ++i) x[i] += al[i] * xl;
+        if (!unit) x[l] = al[l] * xl;
+      }
+    } else if (ta == Trans::No && uplo == UpLo::Lower) {
+      // x = A x, A lower: descending l.
+      for (int l = n - 1; l >= 0; --l) {
+        const double* HQR_RESTRICT al =
+            a.data + static_cast<std::size_t>(l) * a.ld;
+        const double xl = x[l];
+        for (int i = l + 1; i < n; ++i) x[i] += al[i] * xl;
+        if (!unit) x[l] = al[l] * xl;
+      }
+    } else if (ta == Trans::Yes && uplo == UpLo::Upper) {
+      // x = A^T x, A upper (effective lower): x(i) = dot(a(0:i+1, i),
+      // x(0:i+1)); descending i keeps the inputs live.
+      for (int i = n - 1; i >= 0; --i) {
+        const double* HQR_RESTRICT ai =
+            a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = unit ? x[i] : ai[i] * x[i];
+        for (int l = 0; l < i; ++l) s += ai[l] * x[l];
+        x[i] = s;
       }
     } else {
-      // Lower triangular: process bottom-up.
-      for (int i = n - 1; i >= 0; --i) {
-        double s = unit ? bj[i] : op_at(ta, a, i, i) * bj[i];
-        for (int l = 0; l < i; ++l) s += op_at(ta, a, i, l) * bj[l];
-        bj[i] = s;
+      // x = A^T x, A lower (effective upper): ascending i.
+      for (int i = 0; i < n; ++i) {
+        const double* HQR_RESTRICT ai =
+            a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = unit ? x[i] : ai[i] * x[i];
+        for (int l = i + 1; l < n; ++l) s += ai[l] * x[l];
+        x[i] = s;
       }
     }
   }
@@ -91,21 +136,45 @@ void trsm_left(UpLo uplo, Trans ta, Diag diag, ConstMatrixView a, MatrixView b) 
   HQR_CHECK(a.cols == n, "trsm expects square triangular A");
   HQR_CHECK(b.rows == n, "trsm shape mismatch");
   const bool unit = diag == Diag::Unit;
-  const bool upper = (uplo == UpLo::Upper) == (ta == Trans::No);
 
   for (int j = 0; j < b.cols; ++j) {
-    double* bj = b.data + static_cast<std::size_t>(j) * b.ld;
-    if (upper) {
-      for (int i = n - 1; i >= 0; --i) {
-        double s = bj[i];
-        for (int l = i + 1; l < n; ++l) s -= op_at(ta, a, i, l) * bj[l];
-        bj[i] = unit ? s : s / op_at(ta, a, i, i);
+    double* HQR_RESTRICT x = b.data + static_cast<std::size_t>(j) * b.ld;
+    if (ta == Trans::No && uplo == UpLo::Upper) {
+      // Back substitution, column form: once x(l) is final, eliminate its
+      // contribution from x(0:l) with the contiguous column a(0:l, l).
+      for (int l = n - 1; l >= 0; --l) {
+        const double* HQR_RESTRICT al =
+            a.data + static_cast<std::size_t>(l) * a.ld;
+        const double xl = unit ? x[l] : x[l] / al[l];
+        x[l] = xl;
+        for (int i = 0; i < l; ++i) x[i] -= al[i] * xl;
+      }
+    } else if (ta == Trans::No && uplo == UpLo::Lower) {
+      // Forward substitution, column form.
+      for (int l = 0; l < n; ++l) {
+        const double* HQR_RESTRICT al =
+            a.data + static_cast<std::size_t>(l) * a.ld;
+        const double xl = unit ? x[l] : x[l] / al[l];
+        x[l] = xl;
+        for (int i = l + 1; i < n; ++i) x[i] -= al[i] * xl;
+      }
+    } else if (ta == Trans::Yes && uplo == UpLo::Upper) {
+      // A^T lower: forward substitution via contiguous column dots.
+      for (int i = 0; i < n; ++i) {
+        const double* HQR_RESTRICT ai =
+            a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = x[i];
+        for (int l = 0; l < i; ++l) s -= ai[l] * x[l];
+        x[i] = unit ? s : s / ai[i];
       }
     } else {
-      for (int i = 0; i < n; ++i) {
-        double s = bj[i];
-        for (int l = 0; l < i; ++l) s -= op_at(ta, a, i, l) * bj[l];
-        bj[i] = unit ? s : s / op_at(ta, a, i, i);
+      // A^T upper: back substitution via contiguous column dots.
+      for (int i = n - 1; i >= 0; --i) {
+        const double* HQR_RESTRICT ai =
+            a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = x[i];
+        for (int l = i + 1; l < n; ++l) s -= ai[l] * x[l];
+        x[i] = unit ? s : s / ai[i];
       }
     }
   }

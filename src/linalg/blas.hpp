@@ -1,24 +1,26 @@
 // Level-1/2/3 BLAS-like primitives on views.
 //
-// Built from scratch (no external BLAS in this environment); loops are
-// ordered for column-major access. These are correctness-first kernels —
-// the performance story of the reproduction lives in the simulator's
-// calibrated rates, not in these loops.
+// Built from scratch (no external BLAS in this environment). GEMM lives in
+// linalg/gemm.hpp (cache-blocked packed core + naive oracle); this header
+// holds the triangular, vector and rank-1 primitives. All loops are
+// transpose-resolved up front so the inner loops walk contiguous
+// column-major memory with no per-element branches.
 #pragma once
 
+#include "linalg/gemm.hpp"
 #include "linalg/matrix.hpp"
 
 namespace hqr {
 
-enum class Trans { No, Yes };
-
-// C = alpha * op(A) * op(B) + beta * C.
-void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
-          ConstMatrixView b, double beta, MatrixView c);
-
-// y = alpha * op(A) * x + beta * y   (x, y are n x 1 views).
+// y = alpha * op(A) * x + beta * y   (x, y are n x 1 views). Dedicated
+// fused-column implementation (does not route through gemm): the No-trans
+// path accumulates four columns of A per sweep of y, the trans path is one
+// contiguous dot per column. Used by the Householder kernels.
 void gemv(Trans ta, double alpha, ConstMatrixView a, ConstMatrixView x,
           double beta, MatrixView y);
+
+// Rank-1 update A += alpha * x * y^T (x m-vector, y n-vector).
+void ger(double alpha, ConstMatrixView x, ConstMatrixView y, MatrixView a);
 
 enum class UpLo { Upper, Lower };
 enum class Diag { NonUnit, Unit };

@@ -1,0 +1,397 @@
+#include "linalg/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hqr {
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HQR_RESTRICT __restrict__
+#else
+#define HQR_RESTRICT
+#endif
+
+// Micro-tile shape: kMR x kNR accumulators live in registers across the k
+// loop. 8 x 6 keeps the accumulator file within 16 vector registers on
+// AVX2 (2 ymm per column x 6 columns + operands) and well within AVX-512.
+constexpr int kMR = 8;
+constexpr int kNR = 6;
+constexpr std::size_t kAlign = 64;
+
+// HQR_GEMM_BACKEND=naive drops every binary (benches included) onto the
+// reference loops without a rebuild — the baseline side of the bench-gated
+// speedup tracking.
+GemmBackend initial_backend() {
+  const char* env = std::getenv("HQR_GEMM_BACKEND");
+  if (env != nullptr && std::strcmp(env, "naive") == 0)
+    return GemmBackend::Naive;
+  return GemmBackend::Packed;
+}
+
+GemmBlocking g_blocking{};
+std::atomic<GemmBackend> g_backend{initial_backend()};
+
+constexpr int round_up(int x, int to) { return (x + to - 1) / to * to; }
+
+int op_rows(Trans t, ConstMatrixView a) { return t == Trans::No ? a.rows : a.cols; }
+int op_cols(Trans t, ConstMatrixView a) { return t == Trans::No ? a.cols : a.rows; }
+
+double op_at(Trans t, ConstMatrixView a, int i, int j) {
+  return t == Trans::No ? a(i, j) : a(j, i);
+}
+
+std::size_t a_pack_doubles(int m, int k, const GemmBlocking& bl) {
+  const int mc = std::min(round_up(m, kMR), std::max(round_up(bl.mc, kMR), kMR));
+  const int kc = std::min(k, std::max(bl.kc, 1));
+  return static_cast<std::size_t>(mc) * static_cast<std::size_t>(kc);
+}
+
+std::size_t b_pack_doubles(int n, int k, const GemmBlocking& bl) {
+  const int nc = std::min(round_up(n, kNR), std::max(round_up(bl.nc, kNR), kNR));
+  const int kc = std::min(k, std::max(bl.kc, 1));
+  return static_cast<std::size_t>(nc) * static_cast<std::size_t>(kc);
+}
+
+// C = beta * C, specialized for beta in {0, 1}. Applying beta once up front
+// lets every k-block of the packed core use pure accumulation.
+void scale_c(double beta, MatrixView c) {
+  if (beta == 1.0) return;
+  for (int j = 0; j < c.cols; ++j) {
+    double* HQR_RESTRICT cj = c.data + static_cast<std::size_t>(j) * c.ld;
+    if (beta == 0.0) {
+      for (int i = 0; i < c.rows; ++i) cj[i] = 0.0;
+    } else {
+      for (int i = 0; i < c.rows; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+// Packs op(A)(i0:i0+mc, p0:p0+kc) into kMR-row panels: panel ir holds, for
+// each l, the kMR contiguous entries op(A)(i0+ir .. i0+ir+kMR, p0+l),
+// zero-padded past the fringe. Trans is resolved here, once per block.
+void pack_a(Trans ta, ConstMatrixView a, int i0, int p0, int mc, int kc,
+            double* HQR_RESTRICT ap) {
+  for (int ir = 0; ir < mc; ir += kMR) {
+    const int mr = std::min(kMR, mc - ir);
+    if (ta == Trans::No) {
+      for (int l = 0; l < kc; ++l) {
+        const double* HQR_RESTRICT src =
+            a.data + static_cast<std::size_t>(p0 + l) * a.ld + i0 + ir;
+        double* HQR_RESTRICT dst = ap + static_cast<std::size_t>(l) * kMR;
+        for (int i = 0; i < mr; ++i) dst[i] = src[i];
+        for (int i = mr; i < kMR; ++i) dst[i] = 0.0;
+      }
+    } else {
+      // op(A)(i, l) = a(p0+l, i0+i): column i0+ir+i of `a` is contiguous
+      // in l, so read column-wise and scatter into the panel.
+      for (int i = 0; i < mr; ++i) {
+        const double* HQR_RESTRICT src =
+            a.data + static_cast<std::size_t>(i0 + ir + i) * a.ld + p0;
+        for (int l = 0; l < kc; ++l)
+          ap[static_cast<std::size_t>(l) * kMR + i] = src[l];
+      }
+      for (int i = mr; i < kMR; ++i)
+        for (int l = 0; l < kc; ++l)
+          ap[static_cast<std::size_t>(l) * kMR + i] = 0.0;
+    }
+    ap += static_cast<std::size_t>(kc) * kMR;
+  }
+}
+
+// Packs op(B)(p0:p0+kc, j0:j0+nc) into kNR-column panels: panel jr holds,
+// for each l, the kNR entries op(B)(p0+l, j0+jr .. j0+jr+kNR), zero-padded.
+void pack_b(Trans tb, ConstMatrixView b, int p0, int j0, int kc, int nc,
+            double* HQR_RESTRICT bp) {
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nr = std::min(kNR, nc - jr);
+    if (tb == Trans::No) {
+      // op(B)(l, j) = b(p0+l, j0+j): column j0+jr+j contiguous in l.
+      for (int j = 0; j < nr; ++j) {
+        const double* HQR_RESTRICT src =
+            b.data + static_cast<std::size_t>(j0 + jr + j) * b.ld + p0;
+        for (int l = 0; l < kc; ++l)
+          bp[static_cast<std::size_t>(l) * kNR + j] = src[l];
+      }
+      for (int j = nr; j < kNR; ++j)
+        for (int l = 0; l < kc; ++l)
+          bp[static_cast<std::size_t>(l) * kNR + j] = 0.0;
+    } else {
+      // op(B)(l, j) = b(j0+j, p0+l): row slice of column p0+l, contiguous
+      // in j.
+      for (int l = 0; l < kc; ++l) {
+        const double* HQR_RESTRICT src =
+            b.data + static_cast<std::size_t>(p0 + l) * b.ld + j0 + jr;
+        double* HQR_RESTRICT dst = bp + static_cast<std::size_t>(l) * kNR;
+        for (int j = 0; j < nr; ++j) dst[j] = src[j];
+        for (int j = nr; j < kNR; ++j) dst[j] = 0.0;
+      }
+    }
+    bp += static_cast<std::size_t>(kc) * kNR;
+  }
+}
+
+// acc(kMR x kNR, column-major) = sum_l ap(:, l) * bp(l, :) over the packed
+// panels. The accumulator block lives in registers across the k loop.
+#if defined(__GNUC__) || defined(__clang__)
+// One kMR-wide vector per micro-tile column: the compiler lowers it to the
+// widest available ISA (1 zmm on AVX-512, 2 ymm on AVX2, 4 xmm on SSE2).
+typedef double VecMR __attribute__((vector_size(kMR * sizeof(double))));
+
+inline void micro_kernel(int kc, const double* HQR_RESTRICT ap,
+                         const double* HQR_RESTRICT bp,
+                         double* HQR_RESTRICT acc) {
+  VecMR c0 = {}, c1 = {}, c2 = {}, c3 = {}, c4 = {}, c5 = {};
+  static_assert(kNR == 6, "accumulator count is tied to kNR");
+  for (int l = 0; l < kc; ++l) {
+    // Panels are 64-byte aligned and each l-slice of A is kMR doubles, so
+    // this load is aligned.
+    const VecMR av = *reinterpret_cast<const VecMR*>(
+        __builtin_assume_aligned(ap + static_cast<std::size_t>(l) * kMR, 64));
+    const double* HQR_RESTRICT bl = bp + static_cast<std::size_t>(l) * kNR;
+    c0 += av * bl[0];
+    c1 += av * bl[1];
+    c2 += av * bl[2];
+    c3 += av * bl[3];
+    c4 += av * bl[4];
+    c5 += av * bl[5];
+  }
+  VecMR* out = reinterpret_cast<VecMR*>(__builtin_assume_aligned(acc, 64));
+  out[0] = c0;
+  out[1] = c1;
+  out[2] = c2;
+  out[3] = c3;
+  out[4] = c4;
+  out[5] = c5;
+}
+#else
+inline void micro_kernel(int kc, const double* HQR_RESTRICT ap,
+                         const double* HQR_RESTRICT bp,
+                         double* HQR_RESTRICT acc) {
+  for (int j = 0; j < kMR * kNR; ++j) acc[j] = 0.0;
+  for (int l = 0; l < kc; ++l) {
+    const double* HQR_RESTRICT al = ap + static_cast<std::size_t>(l) * kMR;
+    const double* HQR_RESTRICT bl = bp + static_cast<std::size_t>(l) * kNR;
+    for (int j = 0; j < kNR; ++j) {
+      const double bv = bl[j];
+      for (int i = 0; i < kMR; ++i) acc[j * kMR + i] += al[i] * bv;
+    }
+  }
+}
+#endif
+
+// The blocked core: C += alpha * op(A) op(B), beta already applied.
+void packed_impl(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                 ConstMatrixView b, MatrixView c, int m, int n, int k,
+                 GemmWorkspace& ws) {
+  const GemmBlocking bl = gemm_blocking();
+  const int mc_max = std::max(round_up(bl.mc, kMR), kMR);
+  const int kc_max = std::max(bl.kc, 1);
+  const int nc_max = std::max(round_up(bl.nc, kNR), kNR);
+  double* const ap = ws.a_pack(a_pack_doubles(m, k, bl));
+  double* const bp = ws.b_pack(b_pack_doubles(n, k, bl));
+
+  for (int jc = 0; jc < n; jc += nc_max) {
+    const int nc = std::min(nc_max, n - jc);
+    for (int pc = 0; pc < k; pc += kc_max) {
+      const int kc = std::min(kc_max, k - pc);
+      pack_b(tb, b, pc, jc, kc, nc, bp);
+      for (int ic = 0; ic < m; ic += mc_max) {
+        const int mc = std::min(mc_max, m - ic);
+        pack_a(ta, a, ic, pc, mc, kc, ap);
+        for (int jr = 0; jr < nc; jr += kNR) {
+          const int nr = std::min(kNR, nc - jr);
+          const double* bpanel =
+              bp + static_cast<std::size_t>(jr / kNR) * kc * kNR;
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const int mr = std::min(kMR, mc - ir);
+            const double* apanel =
+                ap + static_cast<std::size_t>(ir / kMR) * kc * kMR;
+            alignas(64) double acc[kMR * kNR];
+            micro_kernel(kc, apanel, bpanel, acc);
+            double* cb =
+                c.data + static_cast<std::size_t>(jc + jr) * c.ld + ic + ir;
+            if (mr == kMR && nr == kNR) {
+              for (int j = 0; j < kNR; ++j) {
+                double* HQR_RESTRICT cj =
+                    cb + static_cast<std::size_t>(j) * c.ld;
+                const double* HQR_RESTRICT accj = acc + j * kMR;
+                for (int i = 0; i < kMR; ++i) cj[i] += alpha * accj[i];
+              }
+            } else {
+              for (int j = 0; j < nr; ++j)
+                for (int i = 0; i < mr; ++i)
+                  cb[static_cast<std::size_t>(j) * c.ld + i] +=
+                      alpha * acc[j * kMR + i];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Direct transpose-resolved loops for problems too small to amortize
+// packing (narrow ib panels, T-factor updates, fringe blocks). C += only;
+// beta already applied.
+void small_impl(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                ConstMatrixView b, MatrixView c, int m, int n, int k) {
+  if (ta == Trans::No) {
+    for (int j = 0; j < n; ++j) {
+      double* HQR_RESTRICT cj = c.data + static_cast<std::size_t>(j) * c.ld;
+      for (int l = 0; l < k; ++l) {
+        const double blj =
+            tb == Trans::No
+                ? b.data[static_cast<std::size_t>(j) * b.ld + l]
+                : b.data[static_cast<std::size_t>(l) * b.ld + j];
+        if (blj == 0.0) continue;
+        const double f = alpha * blj;
+        const double* HQR_RESTRICT al =
+            a.data + static_cast<std::size_t>(l) * a.ld;
+        for (int i = 0; i < m; ++i) cj[i] += f * al[i];
+      }
+    }
+  } else if (tb == Trans::No) {
+    for (int j = 0; j < n; ++j) {
+      double* HQR_RESTRICT cj = c.data + static_cast<std::size_t>(j) * c.ld;
+      const double* HQR_RESTRICT bj =
+          b.data + static_cast<std::size_t>(j) * b.ld;
+      for (int i = 0; i < m; ++i) {
+        const double* HQR_RESTRICT ai =
+            a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += ai[l] * bj[l];
+        cj[i] += alpha * s;
+      }
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      double* HQR_RESTRICT cj = c.data + static_cast<std::size_t>(j) * c.ld;
+      for (int i = 0; i < m; ++i) {
+        const double* HQR_RESTRICT ai =
+            a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = 0.0;
+        for (int l = 0; l < k; ++l)
+          s += ai[l] * b.data[static_cast<std::size_t>(l) * b.ld + j];
+        cj[i] += alpha * s;
+      }
+    }
+  }
+}
+
+bool small_case(int m, int n, int k) {
+  return m < kMR || n < kNR || k < 4 ||
+         static_cast<long long>(m) * n * k < 32768;
+}
+
+void check_shapes(Trans tb, ConstMatrixView b, MatrixView c, int m, int n,
+                  int k) {
+  HQR_CHECK(op_rows(tb, b) == k, "gemm inner dimension mismatch");
+  HQR_CHECK(c.rows == m && c.cols == n, "gemm output shape mismatch");
+}
+
+void free_doubles(double* p) { std::free(p); }
+
+}  // namespace
+
+void set_gemm_blocking(const GemmBlocking& blocking) {
+  HQR_CHECK(blocking.mc >= 1 && blocking.kc >= 1 && blocking.nc >= 1,
+            "gemm blocking parameters must be >= 1");
+  g_blocking = blocking;
+}
+
+GemmBlocking gemm_blocking() { return g_blocking; }
+
+void set_gemm_backend(GemmBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+GemmBackend gemm_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+double* GemmWorkspace::AlignedBuffer::ensure(std::size_t doubles) {
+  if (doubles <= capacity && data) return data.get();
+  std::size_t bytes = doubles * sizeof(double);
+  bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+  void* p = std::aligned_alloc(kAlign, bytes);
+  HQR_CHECK(p != nullptr, "gemm packing buffer allocation failed");
+  data = std::unique_ptr<double[], void (*)(double*)>(
+      static_cast<double*>(p), &free_doubles);
+  capacity = bytes / sizeof(double);
+  return data.get();
+}
+
+void GemmWorkspace::reserve(int m, int n, int k) {
+  HQR_CHECK(m >= 0 && n >= 0 && k >= 0, "negative dimension");
+  if (m == 0 || n == 0 || k == 0) return;
+  const GemmBlocking bl = gemm_blocking();
+  a_.ensure(a_pack_doubles(m, k, bl));
+  b_.ensure(b_pack_doubles(n, k, bl));
+}
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c, GemmWorkspace& ws) {
+  const int m = op_rows(ta, a);
+  const int k = op_cols(ta, a);
+  const int n = op_cols(tb, b);
+  check_shapes(tb, b, c, m, n, k);
+  if (gemm_backend() == GemmBackend::Naive) {
+    gemm_naive(ta, tb, alpha, a, b, beta, c);
+    return;
+  }
+  scale_c(beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  if (small_case(m, n, k)) {
+    small_impl(ta, tb, alpha, a, b, c, m, n, k);
+  } else {
+    packed_impl(ta, tb, alpha, a, b, c, m, n, k, ws);
+  }
+}
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  thread_local GemmWorkspace tls;
+  gemm(ta, tb, alpha, a, b, beta, c, tls);
+}
+
+void gemm_naive(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                ConstMatrixView b, double beta, MatrixView c) {
+  const int m = op_rows(ta, a);
+  const int k = op_cols(ta, a);
+  const int n = op_cols(tb, b);
+  check_shapes(tb, b, c, m, n, k);
+
+  for (int j = 0; j < n; ++j) {
+    double* cj = c.data + static_cast<std::size_t>(j) * c.ld;
+    if (beta == 0.0) {
+      for (int i = 0; i < m; ++i) cj[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+    if (alpha == 0.0) continue;
+
+    if (ta == Trans::No) {
+      // c(:,j) += alpha * A * op(B)(:,j): accumulate column-by-column of A.
+      for (int l = 0; l < k; ++l) {
+        const double blj = op_at(tb, b, l, j);
+        if (blj == 0.0) continue;
+        const double f = alpha * blj;
+        const double* al = a.data + static_cast<std::size_t>(l) * a.ld;
+        for (int i = 0; i < m; ++i) cj[i] += f * al[i];
+      }
+    } else {
+      // c(i,j) += alpha * dot(A(:,i), op(B)(:,j)).
+      for (int i = 0; i < m; ++i) {
+        const double* ai = a.data + static_cast<std::size_t>(i) * a.ld;
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += ai[l] * op_at(tb, b, l, j);
+        cj[i] += alpha * s;
+      }
+    }
+  }
+}
+
+}  // namespace hqr

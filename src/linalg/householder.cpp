@@ -38,21 +38,19 @@ void larf_left(double tau, ConstMatrixView v_tail, MatrixView c,
   const int n = c.cols;
   HQR_CHECK(v_tail.cols == 1 && v_tail.rows == m - 1, "larf shape mismatch");
   HQR_CHECK(work.rows >= n && work.cols == 1, "larf work too small");
+  MatrixView w = work.block(0, 0, n, 1);
 
-  // w = C^T * v  (v(0) = 1 implicit).
-  for (int j = 0; j < n; ++j) {
-    double s = c(0, j);
-    const double* cj = c.data + static_cast<std::size_t>(j) * c.ld;
-    for (int i = 1; i < m; ++i) s += cj[i] * v_tail(i - 1, 0);
-    work(j, 0) = s;
+  // w = C^T * v  (v(0) = 1 implicit): the tail rows are one fused gemv,
+  // then the implicit unit adds C's top row.
+  if (m > 1) {
+    gemv(Trans::Yes, 1.0, c.block(1, 0, m - 1, n), v_tail, 0.0, w);
+    for (int j = 0; j < n; ++j) w(j, 0) += c(0, j);
+  } else {
+    for (int j = 0; j < n; ++j) w(j, 0) = c(0, j);
   }
-  // C -= tau * v * w^T.
-  for (int j = 0; j < n; ++j) {
-    const double f = tau * work(j, 0);
-    double* cj = c.data + static_cast<std::size_t>(j) * c.ld;
-    cj[0] -= f;
-    for (int i = 1; i < m; ++i) cj[i] -= f * v_tail(i - 1, 0);
-  }
+  // C -= tau * v * w^T: top row explicitly, tail rows as a rank-1 ger.
+  for (int j = 0; j < n; ++j) c(0, j) -= tau * w(j, 0);
+  if (m > 1) ger(-tau, v_tail, w, c.block(1, 0, m - 1, n));
 }
 
 void larft_column(ConstMatrixView v, int j, double tau, MatrixView t) {
@@ -82,7 +80,7 @@ void larft_column(ConstMatrixView v, int j, double tau, MatrixView t) {
 }
 
 void larfb_left(Trans trans, ConstMatrixView v, ConstMatrixView t, MatrixView c,
-                MatrixView work) {
+                MatrixView work, GemmWorkspace* gws) {
   const int m = c.rows;
   const int n = c.cols;
   const int k = v.cols;
@@ -90,21 +88,28 @@ void larfb_left(Trans trans, ConstMatrixView v, ConstMatrixView t, MatrixView c,
   HQR_CHECK(work.rows >= k && work.cols >= n, "larfb work too small");
   if (k == 0) return;
   MatrixView w = work.block(0, 0, k, n);
+  const auto mm = [&](Trans ta, Trans tb, double alpha, ConstMatrixView ma,
+                      ConstMatrixView mb, double beta, MatrixView mc) {
+    if (gws)
+      gemm(ta, tb, alpha, ma, mb, beta, mc, *gws);
+    else
+      gemm(ta, tb, alpha, ma, mb, beta, mc);
+  };
 
   // W = V^T * C with V unit-lower-trapezoidal:
   // top k x k block is unit lower triangular, bottom (m-k) x k is dense.
   copy(c.block(0, 0, k, n), w);
   trmm_left(UpLo::Lower, Trans::Yes, Diag::Unit, v.block(0, 0, k, k), w);
   if (m > k) {
-    gemm(Trans::Yes, Trans::No, 1.0, v.block(k, 0, m - k, k),
-         c.block(k, 0, m - k, n), 1.0, w);
+    mm(Trans::Yes, Trans::No, 1.0, v.block(k, 0, m - k, k),
+       c.block(k, 0, m - k, n), 1.0, w);
   }
   // W = op(T) * W.
   trmm_left(UpLo::Upper, trans, Diag::NonUnit, t, w);
   // C -= V * W.
   if (m > k) {
-    gemm(Trans::No, Trans::No, -1.0, v.block(k, 0, m - k, k), w, 1.0,
-         c.block(k, 0, m - k, n));
+    mm(Trans::No, Trans::No, -1.0, v.block(k, 0, m - k, k), w, 1.0,
+       c.block(k, 0, m - k, n));
   }
   // Top block: C(0:k,:) -= V1 * W with V1 unit lower triangular.
   // Compute V1 * W into a temporary path: reuse w in place.

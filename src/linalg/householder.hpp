@@ -18,7 +18,8 @@ double larfg(int n, double& alpha, MatrixView x);
 
 // Applies H = I - tau * v * v^T from the left to C, where v is an m x 1 view
 // with v(0) = 1 implicit (v.data points at v(1); v has m-1 stored entries).
-// work must have at least C.cols entries.
+// work must have at least C.cols entries. Implemented as one gemv (w = C^T v)
+// plus one ger (C -= tau v w^T).
 void larf_left(double tau, ConstMatrixView v_tail, MatrixView c,
                MatrixView work);
 
@@ -30,8 +31,10 @@ void larft_column(ConstMatrixView v, int j, double tau, MatrixView t);
 
 // Applies the block reflector Q = I - V T V^T (or Q^T) from the left to C.
 // V is m x k unit-lower-trapezoidal, T is k x k upper triangular.
-// work must be k x C.cols.
+// work must be k x C.cols. `gws` (optional) supplies reusable GEMM packing
+// buffers — kernel code passes its TileWorkspace's buffers so no task
+// allocates; when null a thread-local workspace is used.
 void larfb_left(Trans trans, ConstMatrixView v, ConstMatrixView t, MatrixView c,
-                MatrixView work);
+                MatrixView work, GemmWorkspace* gws = nullptr);
 
 }  // namespace hqr

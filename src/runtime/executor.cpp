@@ -89,6 +89,25 @@ class Scheduler {
     cv_.notify_one();
   }
 
+  // Enqueues every newly-ready successor of one finished task under a
+  // single lock acquisition, then wakes exactly as many sleepers as tasks
+  // were added (a completing task used to lock + notify once per
+  // successor, which serialized workers on the queue mutex).
+  void push_batch(const std::vector<std::int32_t>& idxs) {
+    if (idxs.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::int32_t idx : idxs) ready_.push({depth_[idx], idx});
+    }
+    if (idxs.size() == 1) {
+      cv_.notify_one();
+    } else {
+      const std::size_t sleepers =
+          std::min(idxs.size(), static_cast<std::size_t>(opts_.threads));
+      for (std::size_t i = 0; i < sleepers; ++i) cv_.notify_one();
+    }
+  }
+
   // Returns -1 when all tasks are done; samples the queue depth on success.
   std::int32_t pop(WorkerStats& ws) {
     std::unique_lock<std::mutex> lk(mu_);
@@ -105,6 +124,7 @@ class Scheduler {
 
   void worker(int b, const ExecuteFn& execute, int lane, WorkerStats& stats) {
     TileWorkspace ws(b);
+    std::vector<std::int32_t> released;
     std::int32_t next = -1;
     for (;;) {
       std::int32_t idx;
@@ -142,19 +162,21 @@ class Scheduler {
       ++stats.executed;
       ++stats.tasks_by_kernel[kernel_type_index(type)];
 
-      // Release successors; keep the best newly-ready one local.
+      // Release successors; keep the best newly-ready one local and hand
+      // the rest to the queue in one batch (single lock acquisition).
       std::int32_t keep = -1;
+      released.clear();
       for (std::int32_t s : graph_.successors(idx)) {
         if (npred_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          if (opts_.data_reuse &&
-              (keep < 0 || depth_[s] > depth_[keep])) {
-            if (keep >= 0) push(keep);
+          if (opts_.data_reuse && (keep < 0 || depth_[s] > depth_[keep])) {
+            if (keep >= 0) released.push_back(keep);
             keep = s;
           } else {
-            push(s);
+            released.push_back(s);
           }
         }
       }
+      push_batch(released);
       next = keep;
 
       if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {

@@ -150,6 +150,25 @@ TEST(Executor, UnobservedRunSkipsTimingBreakdowns) {
   EXPECT_GT(stats.total_tasks, 0);
 }
 
+TEST(Executor, BatchedReleaseWideFanoutStaysExact) {
+  // A flat-tree panel factorization makes every trailing-column update
+  // ready at once when it completes — the widest successor batches the
+  // scheduler's single-lock release path sees. With data reuse off,
+  // every one of those tasks flows through the queue; the factorization
+  // must stay at machine precision, here with inner-blocked kernels too.
+  Rng rng(29);
+  Matrix a0 = random_gaussian(72, 40, rng);
+  for (int ib : {0, 4}) {
+    ExecutorOptions opts{8, true, /*data_reuse=*/false, ib};
+    RunStats stats;
+    QRFactors f = qr_factorize_parallel(a0, 8, flat_ts_list(9, 5), opts,
+                                        &stats);
+    expect_exact(a0, f);
+    EXPECT_EQ(stats.reuse_hits, 0);
+    EXPECT_EQ(stats.queue_pops, stats.total_tasks);
+  }
+}
+
 TEST(Executor, StressManySmallTilesManyThreads) {
   Rng rng(17);
   Matrix a0 = random_gaussian(60, 30, rng);

@@ -1,6 +1,8 @@
 #include "common/cli.hpp"
 
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -33,23 +35,35 @@ Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
       have_value = true;
     }
     auto it = values_.find(name);
+    if (it == values_.end() && name == "help") {
+      std::cout << usage(argv[0] ? argv[0] : "prog") << "\n";
+      std::exit(0);
+    }
     HQR_CHECK(it != values_.end(), "unknown flag --" << name);
     const std::string& def = defaults.at(name);
     const bool boolean = (def == "true" || def == "false");
     if (!have_value) {
       if (boolean) {
-        value = "true";
+        // A detached true/false token belongs to the flag (`--domino
+        // false`); anything else leaves the bare flag meaning "true".
+        if (i + 1 < argc && (std::strcmp(argv[i + 1], "true") == 0 ||
+                             std::strcmp(argv[i + 1], "false") == 0)) {
+          value = argv[++i];
+        } else {
+          value = "true";
+        }
       } else {
         HQR_CHECK(i + 1 < argc, "flag --" << name << " needs a value");
         value = argv[++i];
       }
     }
     it->second = value;
+    provided_.insert(name);
   }
 }
 
 bool Cli::has(const std::string& name) const {
-  return values_.count(name) != 0;
+  return provided_.count(name) != 0;
 }
 
 std::string Cli::str(const std::string& name) const {

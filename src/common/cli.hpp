@@ -1,10 +1,12 @@
 // Minimal command-line flag parsing for examples and bench drivers.
 //
-// Supports `--name=value`, `--name value` and boolean `--name`. Unknown
-// flags are an error (typos surface immediately).
+// Supports `--name=value`, `--name value` and boolean `--name` /
+// `--name true|false`. Unknown flags are an error (typos surface
+// immediately), except `--help`, which prints usage and exits 0.
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,8 @@ class Cli {
   // or "true" marks a boolean flag that may appear without a value.
   Cli(int argc, char** argv, std::map<std::string, std::string> spec);
 
+  // True iff the user explicitly passed --name (declared flags that kept
+  // their default return false).
   bool has(const std::string& name) const;
   std::string str(const std::string& name) const;
   long long integer(const std::string& name) const;
@@ -37,6 +41,7 @@ class Cli {
 
  private:
   std::map<std::string, std::string> values_;
+  std::set<std::string> provided_;  // flags the user actually passed
   std::vector<std::string> positional_;
 };
 

@@ -2,16 +2,32 @@
 
 #include <algorithm>
 #include <atomic>
-#include <functional>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 
 #include "common/stopwatch.hpp"
+#include "runtime/steal_deque.hpp"
 
 namespace hqr {
+
+SchedulerKind scheduler_kind_from_name(const std::string& name) {
+  if (name == "steal") return SchedulerKind::Steal;
+  if (name == "global") return SchedulerKind::Global;
+  HQR_CHECK(false, "unknown scheduler '" << name << "' (want steal|global)");
+  return SchedulerKind::Steal;  // unreachable
+}
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  return kind == SchedulerKind::Steal ? "steal" : "global";
+}
+
 namespace {
 
 struct ReadyTask {
@@ -31,19 +47,247 @@ struct WorkerStats {
   long long executed = 0;
   long long reuse_hits = 0;
   long long queue_pops = 0;
+  long long local_hits = 0;
+  long long steals = 0;
+  long long steal_fails = 0;
+  long long overflow_pops = 0;
+  long long depth_samples = 0;
   long long depth_samples_sum = 0;
   std::array<long long, kKernelTypeCount> tasks_by_kernel{};
   std::array<double, kKernelTypeCount> seconds_by_kernel{};
   double busy_seconds = 0.0;
   double idle_seconds = 0.0;
+  double terminal_wait_seconds = 0.0;
 };
 
-class Scheduler {
+// A scheduling policy provides ready-task storage behind four hooks:
+//   seed(roots)           called before workers start (single-threaded)
+//   release(lane, batch)  hand the newly-ready successors of a finished
+//                         task to the scheduler (batch may be reordered)
+//   acquire(lane, ws)     block until a task is available (returns its
+//                         index) or every task has finished (returns -1)
+//   all_done()            the last task finished; wake any sleeper
+// The engine owns the dependency counters and the worker loop.
+
+// Baseline backend: one mutex+condvar priority queue shared by all
+// workers. Every acquire/release serializes on mu_, which is exactly the
+// contention the stealing backend removes.
+class GlobalQueuePolicy {
+ public:
+  GlobalQueuePolicy(const std::vector<double>& depth,
+                    const ExecutorOptions& opts,
+                    const std::atomic<long long>& remaining)
+      : depth_(depth), opts_(opts), remaining_(remaining) {}
+
+  void seed(const std::vector<std::int32_t>& roots) {
+    for (std::int32_t r : roots) ready_.push({depth_[r], r});
+  }
+
+  // Enqueues every newly-ready successor of one finished task under a
+  // single lock acquisition, then wakes exactly as many sleepers as tasks
+  // were added.
+  void release(int /*lane*/, std::vector<std::int32_t>& batch) {
+    if (batch.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::int32_t idx : batch) ready_.push({depth_[idx], idx});
+    }
+    if (batch.size() == 1) {
+      cv_.notify_one();
+    } else {
+      const std::size_t sleepers =
+          std::min(batch.size(), static_cast<std::size_t>(opts_.threads));
+      for (std::size_t i = 0; i < sleepers; ++i) cv_.notify_one();
+    }
+  }
+
+  std::int32_t acquire(int /*lane*/, WorkerStats& ws) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return !ready_.empty() ||
+             remaining_.load(std::memory_order_acquire) == 0;
+    });
+    if (ready_.empty()) return -1;
+    const std::int32_t idx = ready_.top().idx;
+    ready_.pop();
+    ++ws.queue_pops;
+    ++ws.depth_samples;
+    ws.depth_samples_sum += static_cast<long long>(ready_.size());
+    return idx;
+  }
+
+  void all_done() {
+    // Taking the lock orders this notify after any waiter's predicate
+    // check, so the wakeup cannot be lost between check and block.
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_all();
+  }
+
+ private:
+  const std::vector<double>& depth_;
+  const ExecutorOptions& opts_;
+  const std::atomic<long long>& remaining_;
+  std::priority_queue<ReadyTask> ready_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+// Work-stealing backend: each worker owns a fixed-capacity Chase–Lev
+// deque fed by the successors it releases. Released batches are pushed in
+// ascending priority so the owner's LIFO pop always takes its
+// highest-priority ready task; thieves steal the oldest (lowest-priority)
+// end. Tasks that do not fit the deque — and the graph roots, which no
+// worker owns — go to a small mutex-protected priority heap shared by all
+// workers, preserving the critical-path ordering across workers for
+// anything that spills. Idle workers try: own deque, overflow heap,
+// randomized victims; only after a full failed sweep do they block
+// (timed, so a missed wakeup costs microseconds, never a deadlock).
+class StealPolicy {
+ public:
+  StealPolicy(const std::vector<double>& depth, const ExecutorOptions& opts,
+              const std::atomic<long long>& remaining)
+      : depth_(depth),
+        opts_(opts),
+        remaining_(remaining),
+        deques_(static_cast<std::size_t>(opts.threads)),
+        lanes_(static_cast<std::size_t>(opts.threads)) {
+    for (std::size_t t = 0; t < lanes_.size(); ++t)
+      lanes_[t].rng = 0x9e3779b97f4a7c15ULL * (t + 1) + 1;
+  }
+
+  void seed(const std::vector<std::int32_t>& roots) {
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    for (std::int32_t r : roots) overflow_.push({depth_[r], r});
+    overflow_size_.store(static_cast<std::int64_t>(overflow_.size()),
+                         std::memory_order_release);
+  }
+
+  void release(int lane, std::vector<std::int32_t>& batch) {
+    if (batch.empty()) return;
+    // Ascending priority: the best task ends up on top of the LIFO deque.
+    std::sort(batch.begin(), batch.end(),
+              [&](std::int32_t x, std::int32_t y) {
+                if (depth_[x] != depth_[y]) return depth_[x] < depth_[y];
+                return x > y;
+              });
+    StealDeque& own = deques_[static_cast<std::size_t>(lane)];
+    for (std::int32_t idx : batch)
+      if (!own.push(idx)) spill(idx);
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+      if (batch.size() > 1)
+        cv_.notify_all();
+      else
+        cv_.notify_one();
+    }
+  }
+
+  std::int32_t acquire(int lane, WorkerStats& ws) {
+    StealDeque& own = deques_[static_cast<std::size_t>(lane)];
+    const int nw = opts_.threads;
+    for (;;) {
+      std::int32_t idx = own.pop();
+      if (idx >= 0) {
+        ++ws.local_hits;
+        ++ws.queue_pops;
+        ++ws.depth_samples;
+        ws.depth_samples_sum += own.size();
+        return idx;
+      }
+      if (remaining_.load(std::memory_order_acquire) == 0) return -1;
+      if (overflow_size_.load(std::memory_order_acquire) > 0 &&
+          (idx = pop_overflow(ws)) >= 0)
+        return idx;
+      // Steal sweep: randomized victim order, a couple of passes over the
+      // other workers before giving up and blocking.
+      for (int attempt = 0; nw > 1 && attempt < 2 * nw; ++attempt) {
+        if (remaining_.load(std::memory_order_acquire) == 0) return -1;
+        const int victim = pick_victim(lane, nw);
+        idx = deques_[static_cast<std::size_t>(victim)].steal();
+        if (idx >= 0) {
+          ++ws.steals;
+          ++ws.queue_pops;
+          return idx;
+        }
+        ++ws.steal_fails;
+        if (overflow_size_.load(std::memory_order_acquire) > 0 &&
+            (idx = pop_overflow(ws)) >= 0)
+          return idx;
+      }
+      // Nothing visible anywhere: block until a release (or completion)
+      // wakes us. The timeout is a backstop against the benign
+      // release-vs-register race — it bounds a missed wakeup, the common
+      // path is an explicit notify.
+      std::unique_lock<std::mutex> lk(mu_);
+      sleepers_.fetch_add(1, std::memory_order_acq_rel);
+      if (remaining_.load(std::memory_order_acquire) > 0)
+        cv_.wait_for(lk, std::chrono::microseconds(200));
+      sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void all_done() {
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_.notify_all();
+  }
+
+ private:
+  struct alignas(64) LaneState {
+    std::uint64_t rng = 0;
+  };
+
+  int pick_victim(int lane, int nw) {
+    std::uint64_t& s = lanes_[static_cast<std::size_t>(lane)].rng;
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    const int v = static_cast<int>(s % static_cast<std::uint64_t>(nw - 1));
+    return v >= lane ? v + 1 : v;  // uniform over the other workers
+  }
+
+  void spill(std::int32_t idx) {
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    overflow_.push({depth_[idx], idx});
+    overflow_size_.store(static_cast<std::int64_t>(overflow_.size()),
+                         std::memory_order_release);
+  }
+
+  std::int32_t pop_overflow(WorkerStats& ws) {
+    std::lock_guard<std::mutex> lk(overflow_mu_);
+    if (overflow_.empty()) return -1;
+    const std::int32_t idx = overflow_.top().idx;
+    overflow_.pop();
+    overflow_size_.store(static_cast<std::int64_t>(overflow_.size()),
+                         std::memory_order_release);
+    ++ws.overflow_pops;
+    ++ws.queue_pops;
+    return idx;
+  }
+
+  const std::vector<double>& depth_;
+  const ExecutorOptions& opts_;
+  const std::atomic<long long>& remaining_;
+  std::vector<StealDeque> deques_;
+  std::vector<LaneState> lanes_;
+
+  std::mutex overflow_mu_;
+  std::priority_queue<ReadyTask> overflow_;
+  std::atomic<std::int64_t> overflow_size_{0};
+
+  // Sleep/wake machinery for workers that found no work anywhere.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<int> sleepers_{0};
+};
+
+// Dependency tracking, priority assignment, timing/trace capture and the
+// worker loop, parameterized over the ready-task storage policy.
+template <class Policy>
+class Engine {
  public:
   // Called by a worker to run task `idx` with its private workspace.
   using ExecuteFn = std::function<void(std::int32_t, TileWorkspace&)>;
 
-  Scheduler(const TaskGraph& graph, const ExecutorOptions& opts)
+  Engine(const TaskGraph& graph, const ExecutorOptions& opts)
       : graph_(graph),
         opts_(opts),
         timed_(opts.trace != nullptr || opts.metrics != nullptr),
@@ -66,7 +310,8 @@ class Scheduler {
         kernel_hist_[t] = &opts_.metrics->histogram(
             "exec.task_seconds." + kernel_name(static_cast<KernelType>(t)));
     }
-    for (std::int32_t r : graph_.roots()) push(r);
+    policy_.emplace(depth_, opts_, remaining_);
+    policy_->seed(graph_.roots());
   }
 
   void run(int b, const ExecuteFn& execute, int threads,
@@ -81,47 +326,6 @@ class Scheduler {
   }
 
  private:
-  void push(std::int32_t idx) {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ready_.push({depth_[idx], idx});
-    }
-    cv_.notify_one();
-  }
-
-  // Enqueues every newly-ready successor of one finished task under a
-  // single lock acquisition, then wakes exactly as many sleepers as tasks
-  // were added (a completing task used to lock + notify once per
-  // successor, which serialized workers on the queue mutex).
-  void push_batch(const std::vector<std::int32_t>& idxs) {
-    if (idxs.empty()) return;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      for (std::int32_t idx : idxs) ready_.push({depth_[idx], idx});
-    }
-    if (idxs.size() == 1) {
-      cv_.notify_one();
-    } else {
-      const std::size_t sleepers =
-          std::min(idxs.size(), static_cast<std::size_t>(opts_.threads));
-      for (std::size_t i = 0; i < sleepers; ++i) cv_.notify_one();
-    }
-  }
-
-  // Returns -1 when all tasks are done; samples the queue depth on success.
-  std::int32_t pop(WorkerStats& ws) {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] {
-      return !ready_.empty() || remaining_.load(std::memory_order_acquire) == 0;
-    });
-    if (ready_.empty()) return -1;
-    const std::int32_t idx = ready_.top().idx;
-    ready_.pop();
-    ++ws.queue_pops;
-    ws.depth_samples_sum += static_cast<long long>(ready_.size());
-    return idx;
-  }
-
   void worker(int b, const ExecuteFn& execute, int lane, WorkerStats& stats) {
     TileWorkspace ws(b);
     std::vector<std::int32_t> released;
@@ -133,10 +337,17 @@ class Scheduler {
         ++stats.reuse_hits;
       } else if (timed_) {
         const double wait0 = clock_.seconds();
-        idx = pop(stats);
-        stats.idle_seconds += clock_.seconds() - wait0;
+        idx = policy_->acquire(lane, stats);
+        const double waited = clock_.seconds() - wait0;
+        // The acquire that observes completion is the termination barrier,
+        // not a stall — book it separately so idle stays a contention
+        // signal.
+        if (idx >= 0)
+          stats.idle_seconds += waited;
+        else
+          stats.terminal_wait_seconds += waited;
       } else {
-        idx = pop(stats);
+        idx = policy_->acquire(lane, stats);
       }
       next = -1;
       if (idx < 0) return;
@@ -163,7 +374,7 @@ class Scheduler {
       ++stats.tasks_by_kernel[kernel_type_index(type)];
 
       // Release successors; keep the best newly-ready one local and hand
-      // the rest to the queue in one batch (single lock acquisition).
+      // the rest to the scheduler in one batch.
       std::int32_t keep = -1;
       released.clear();
       for (std::int32_t s : graph_.successors(idx)) {
@@ -176,11 +387,11 @@ class Scheduler {
           }
         }
       }
-      push_batch(released);
+      policy_->release(lane, released);
       next = keep;
 
       if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        cv_.notify_all();  // everything done: wake sleepers to exit
+        policy_->all_done();  // everything done: wake sleepers to exit
       }
     }
   }
@@ -192,23 +403,21 @@ class Scheduler {
   std::array<obs::Histogram*, kKernelTypeCount> kernel_hist_{};
   std::unique_ptr<std::atomic<int>[]> npred_;
   std::vector<double> depth_;
-  std::priority_queue<ReadyTask> ready_;
-  std::mutex mu_;
-  std::condition_variable cv_;
   std::atomic<long long> remaining_;
+  std::optional<Policy> policy_;  // constructed once depth_ is final
 };
 
-RunStats run_graph(const TaskGraph& graph, int b,
-                   const Scheduler::ExecuteFn& execute,
-                   const ExecutorOptions& opts) {
-  HQR_CHECK(opts.threads >= 1, "need at least one thread");
-  if (opts.trace) opts.trace->set_labels("worker", "thread");
+template <class Policy>
+RunStats run_graph_impl(const TaskGraph& graph, int b,
+                        const std::function<void(std::int32_t, TileWorkspace&)>&
+                            execute,
+                        const ExecutorOptions& opts) {
   Stopwatch sw;
-  Scheduler sched(graph, opts);
+  Engine<Policy> engine(graph, opts);
   RunStats stats;
   stats.threads = opts.threads;
   std::vector<WorkerStats> per_thread;
-  sched.run(b, execute, opts.threads, per_thread);
+  engine.run(b, execute, opts.threads, per_thread);
   stats.seconds = sw.seconds();
   stats.total_tasks = graph.size();
 
@@ -217,13 +426,19 @@ RunStats run_graph(const TaskGraph& graph, int b,
   if (timed) {
     stats.busy_seconds_per_thread.reserve(per_thread.size());
     stats.idle_seconds_per_thread.reserve(per_thread.size());
+    stats.terminal_wait_seconds_per_thread.reserve(per_thread.size());
   }
-  long long depth_sum = 0;
+  long long depth_sum = 0, depth_samples = 0;
   for (const WorkerStats& w : per_thread) {
     stats.tasks_per_thread.push_back(w.executed);
     stats.reuse_hits += w.reuse_hits;
     stats.queue_pops += w.queue_pops;
+    stats.local_hits += w.local_hits;
+    stats.steals += w.steals;
+    stats.steal_fails += w.steal_fails;
+    stats.overflow_pops += w.overflow_pops;
     depth_sum += w.depth_samples_sum;
+    depth_samples += w.depth_samples;
     for (int t = 0; t < kKernelTypeCount; ++t) {
       stats.tasks_by_kernel[t] += w.tasks_by_kernel[t];
       stats.seconds_by_kernel[t] += w.seconds_by_kernel[t];
@@ -231,17 +446,23 @@ RunStats run_graph(const TaskGraph& graph, int b,
     if (timed) {
       stats.busy_seconds_per_thread.push_back(w.busy_seconds);
       stats.idle_seconds_per_thread.push_back(w.idle_seconds);
+      stats.terminal_wait_seconds_per_thread.push_back(
+          w.terminal_wait_seconds);
     }
   }
-  if (stats.queue_pops > 0)
+  if (depth_samples > 0)
     stats.avg_ready_depth =
-        static_cast<double>(depth_sum) / static_cast<double>(stats.queue_pops);
+        static_cast<double>(depth_sum) / static_cast<double>(depth_samples);
 
   if (opts.metrics) {
     obs::MetricsRegistry& m = *opts.metrics;
     m.counter("exec.tasks").add(stats.total_tasks);
     m.counter("exec.reuse_hits").add(stats.reuse_hits);
     m.counter("exec.queue_pops").add(stats.queue_pops);
+    m.counter("exec.local_hits").add(stats.local_hits);
+    m.counter("exec.steals").add(stats.steals);
+    m.counter("exec.steal_fails").add(stats.steal_fails);
+    m.counter("exec.overflow_pops").add(stats.overflow_pops);
     m.gauge("exec.seconds").add(stats.seconds);
     m.gauge("exec.avg_ready_depth").set(stats.avg_ready_depth);
     for (std::size_t t = 0; t < per_thread.size(); ++t) {
@@ -249,9 +470,22 @@ RunStats run_graph(const TaskGraph& graph, int b,
           .add(per_thread[t].busy_seconds);
       m.gauge("exec.worker." + std::to_string(t) + ".idle_seconds")
           .add(per_thread[t].idle_seconds);
+      m.gauge("exec.worker." + std::to_string(t) + ".terminal_wait_seconds")
+          .add(per_thread[t].terminal_wait_seconds);
     }
   }
   return stats;
+}
+
+RunStats run_graph(const TaskGraph& graph, int b,
+                   const std::function<void(std::int32_t, TileWorkspace&)>&
+                       execute,
+                   const ExecutorOptions& opts) {
+  HQR_CHECK(opts.threads >= 1, "need at least one thread");
+  if (opts.trace) opts.trace->set_labels("worker", "thread");
+  if (opts.scheduler == SchedulerKind::Global)
+    return run_graph_impl<GlobalQueuePolicy>(graph, b, execute, opts);
+  return run_graph_impl<StealPolicy>(graph, b, execute, opts);
 }
 
 }  // namespace

@@ -5,10 +5,13 @@
 // mirrors the paper's description: ready tasks are ordered by a priority
 // (critical-path depth), and a worker preferentially continues with a
 // successor of the task it just finished (data-reuse heuristic), falling
-// back to the shared ready queue.
+// back to its own ready deque and stealing from other workers when that
+// runs dry. A single locked priority queue is retained as an ablation
+// baseline (SchedulerKind::Global).
 #pragma once
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "core/factorization.hpp"
@@ -18,6 +21,20 @@
 
 namespace hqr {
 
+// Ready-task management backend (the --sched={steal,global} ablation).
+enum class SchedulerKind {
+  // Per-worker Chase–Lev deques with randomized stealing and a shared
+  // priority overflow heap (default; decentralized, scales with workers).
+  Steal,
+  // One mutex+condvar priority queue shared by all workers (the original
+  // scheduler, kept as the differential baseline).
+  Global,
+};
+
+// Parses "steal"/"global"; throws hqr::Error on anything else.
+SchedulerKind scheduler_kind_from_name(const std::string& name);
+const char* scheduler_kind_name(SchedulerKind kind);
+
 struct RunStats {
   double seconds = 0.0;
   int threads = 0;
@@ -25,9 +42,16 @@ struct RunStats {
   long long total_tasks = 0;
 
   // Scheduler counters (always collected; no clock reads involved).
+  // Invariant: reuse_hits + queue_pops == total_tasks under both backends;
+  // under SchedulerKind::Steal, queue_pops further splits into
+  // local_hits + steals + overflow_pops (all zero under Global).
   long long reuse_hits = 0;   // tasks taken via the data-reuse keep
-  long long queue_pops = 0;   // tasks taken from the shared ready queue
-  double avg_ready_depth = 0.0;  // mean ready-queue depth sampled at pops
+  long long queue_pops = 0;   // tasks acquired from any ready queue/deque
+  long long local_hits = 0;     // popped from the worker's own deque
+  long long steals = 0;         // stolen from another worker's deque
+  long long steal_fails = 0;    // empty-victim or lost-race steal attempts
+  long long overflow_pops = 0;  // taken from the shared overflow heap
+  double avg_ready_depth = 0.0;  // mean ready-depth sampled at local pops
   std::array<long long, kKernelTypeCount> tasks_by_kernel{};
 
   // Fraction of tasks whose input tiles stayed warm in the worker.
@@ -43,6 +67,10 @@ struct RunStats {
   std::array<double, kKernelTypeCount> seconds_by_kernel{};
   std::vector<double> busy_seconds_per_thread;  // executing kernels
   std::vector<double> idle_seconds_per_thread;  // waiting for ready work
+  // Wait in the final acquire that observed "all tasks done" — the
+  // termination barrier. Reported separately so it never inflates idle
+  // (stall) numbers in the analyzer.
+  std::vector<double> terminal_wait_seconds_per_thread;
 };
 
 struct ExecutorOptions {
@@ -54,6 +82,9 @@ struct ExecutorOptions {
   bool data_reuse = true;
   // Inner block size for the kernels (0 = plain full-T kernels).
   int ib = 0;
+  // Ready-task backend: per-worker stealing deques (default) or the single
+  // locked priority queue baseline.
+  SchedulerKind scheduler = SchedulerKind::Steal;
   // Observability sinks (obs/). Null = disabled; enabling costs two clock
   // reads per task plus lock-free per-lane appends / atomic updates.
   obs::TraceRecorder* trace = nullptr;

@@ -1,0 +1,103 @@
+// Fixed-capacity Chase–Lev work-stealing deque of task indices.
+//
+// One owner thread pushes and pops at the bottom (LIFO); any number of
+// thieves steal from the top (FIFO). Lock-free: the only synchronizing
+// write contention is the top CAS between a thief and either another thief
+// or the owner taking the last element. Memory orderings follow Lê,
+// Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
+// Weak Memory Models" (PPoPP'13), which proved this fence placement for
+// the C11 memory model — except that every bottom_ store is `release`
+// rather than the paper's fence+relaxed. The strengthening is free on
+// x86 and gives ThreadSanitizer (which does not model
+// atomic_thread_fence) a visible happens-before edge from the owner's
+// task-payload writes to a thief's reads; the seq_cst fences stay for
+// the store->load orderings the take-last race needs.
+//
+// The buffer is fixed (kCapacity slots) rather than growable: a full push
+// fails and the scheduler spills the task to its shared overflow heap,
+// which sidesteps the hard part of Chase–Lev (safe buffer reclamation
+// while thieves hold references). Task indices are non-negative; the
+// negative sentinels kEmpty/kAbort are therefore unambiguous.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace hqr {
+
+class StealDeque {
+ public:
+  static constexpr int kCapacityLog2 = 10;
+  static constexpr std::int64_t kCapacity = std::int64_t{1} << kCapacityLog2;
+  static constexpr std::int32_t kEmpty = -1;  // nothing to take
+  static constexpr std::int32_t kAbort = -2;  // lost a steal race; retry
+
+  // Owner only. Returns false when the deque is full (caller spills).
+  bool push(std::int32_t v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= kCapacity) return false;
+    buf_[static_cast<std::size_t>(b & kMask)].store(v,
+                                                    std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Owner only. LIFO: returns the most recently pushed element, or kEmpty.
+  std::int32_t pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    std::int32_t v = kEmpty;
+    if (t <= b) {
+      v = buf_[static_cast<std::size_t>(b & kMask)].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it via the top CAS.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          v = kEmpty;
+        bottom_.store(b + 1, std::memory_order_release);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_release);
+    }
+    return v;
+  }
+
+  // Any thread. FIFO: returns the oldest element, kEmpty when none is
+  // visible, or kAbort when another taker won the race.
+  std::int32_t steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return kEmpty;
+    const std::int32_t v =
+        buf_[static_cast<std::size_t>(t & kMask)].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return kAbort;
+    return v;
+  }
+
+  // Approximate (racy) element count; exact when only the owner is active.
+  std::int64_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  static constexpr std::int64_t kMask = kCapacity - 1;
+
+  // top/bottom on separate cache lines: thieves hammer top, the owner
+  // bottom.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::array<std::atomic<std::int32_t>, kCapacity> buf_{};
+};
+
+}  // namespace hqr

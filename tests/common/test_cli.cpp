@@ -45,8 +45,56 @@ TEST(Cli, BooleanFlagExplicitValue) {
   EXPECT_FALSE(c.flag("domino"));
 }
 
+TEST(Cli, BooleanFlagConsumesDetachedFalse) {
+  // `--domino false` must set the flag to false, not leave it true with a
+  // stray "false" positional.
+  Cli c = make({"--domino", "false"}, {{"domino", "true"}});
+  EXPECT_FALSE(c.flag("domino"));
+  EXPECT_TRUE(c.positional().empty());
+}
+
+TEST(Cli, BooleanFlagConsumesDetachedTrue) {
+  Cli c = make({"--domino", "true"}, {{"domino", "false"}});
+  EXPECT_TRUE(c.flag("domino"));
+  EXPECT_TRUE(c.positional().empty());
+}
+
+TEST(Cli, BooleanFlagLeavesOtherTokensAlone) {
+  // Only the literal tokens true/false bind to a bare boolean flag.
+  Cli c = make({"--domino", "input.csv"}, {{"domino", "false"}});
+  EXPECT_TRUE(c.flag("domino"));
+  ASSERT_EQ(c.positional().size(), 1u);
+  EXPECT_EQ(c.positional()[0], "input.csv");
+}
+
+TEST(Cli, BooleanFlagAtEndOfArgv) {
+  Cli c = make({"--domino"}, {{"domino", "false"}, {"m", "1"}});
+  EXPECT_TRUE(c.flag("domino"));
+}
+
 TEST(Cli, UnknownFlagThrows) {
   EXPECT_THROW(make({"--nope=1"}, {{"m", "1"}}), Error);
+}
+
+TEST(Cli, HasReportsOnlyUserProvidedFlags) {
+  // Defaults pre-populate the value map; has() must still distinguish
+  // "declared" from "explicitly passed".
+  Cli c = make({"--m=2"}, {{"m", "1"}, {"csv", ""}});
+  EXPECT_TRUE(c.has("m"));
+  EXPECT_FALSE(c.has("csv"));
+  EXPECT_FALSE(c.has("undeclared"));
+  EXPECT_EQ(c.str("csv"), "");  // default still readable
+}
+
+TEST(Cli, HasSeesSpaceAndBareBooleanForms) {
+  Cli c = make({"--m", "3", "--domino"}, {{"m", "1"}, {"domino", "false"}});
+  EXPECT_TRUE(c.has("m"));
+  EXPECT_TRUE(c.has("domino"));
+}
+
+TEST(Cli, UndeclaredHelpPrintsUsageAndExits) {
+  EXPECT_EXIT(make({"--help"}, {{"m", "1"}}), ::testing::ExitedWithCode(0),
+              "");
 }
 
 TEST(Cli, MissingValueThrows) {

@@ -119,6 +119,14 @@ TEST(Executor, StatsTraceAndMetricsAgreeOnTaskCounts) {
   EXPECT_EQ(static_cast<long long>(trace.size()), stats.total_tasks);
   EXPECT_EQ(metrics.counter("exec.tasks").value(), stats.total_tasks);
   EXPECT_EQ(stats.reuse_hits + stats.queue_pops, stats.total_tasks);
+  // Under the (default) stealing backend, queue pops split exactly into
+  // the three acquisition paths, and the metrics registry mirrors them.
+  EXPECT_EQ(stats.local_hits + stats.steals + stats.overflow_pops,
+            stats.queue_pops);
+  EXPECT_EQ(metrics.counter("exec.local_hits").value(), stats.local_hits);
+  EXPECT_EQ(metrics.counter("exec.steals").value(), stats.steals);
+  EXPECT_EQ(metrics.counter("exec.overflow_pops").value(),
+            stats.overflow_pops);
 
   // Observed run fills the timing breakdowns.
   ASSERT_EQ(stats.busy_seconds_per_thread.size(), 4u);
@@ -134,7 +142,9 @@ TEST(Executor, StatsTraceAndMetricsAgreeOnTaskCounts) {
   std::map<int, double> cursor;
   for (const auto& e : events) {
     auto it = cursor.find(e.lane);
-    if (it != cursor.end()) EXPECT_GE(e.start, it->second - 1e-12);
+    if (it != cursor.end()) {
+      EXPECT_GE(e.start, it->second - 1e-12);
+    }
     cursor[e.lane] = e.end;
   }
 }
@@ -147,7 +157,52 @@ TEST(Executor, UnobservedRunSkipsTimingBreakdowns) {
   qr_factorize_parallel(a0, 4, flat_ts_list(4, 2), opts, &stats);
   EXPECT_TRUE(stats.busy_seconds_per_thread.empty());
   EXPECT_TRUE(stats.idle_seconds_per_thread.empty());
+  EXPECT_TRUE(stats.terminal_wait_seconds_per_thread.empty());
   EXPECT_GT(stats.total_tasks, 0);
+}
+
+TEST(Executor, OneThreadTracedRunReportsNoIdle) {
+  // A single worker never waits for ready work: every acquire finds a task
+  // (or termination) immediately, so idle must stay ~zero. The terminal
+  // acquire is reported separately, never as idle.
+  Rng rng(31);
+  Matrix a0 = random_gaussian(32, 16, rng);
+  for (SchedulerKind sched : {SchedulerKind::Steal, SchedulerKind::Global}) {
+    ExecutorOptions opts{1, true, true};
+    opts.scheduler = sched;
+    obs::TraceRecorder trace;
+    opts.trace = &trace;
+    RunStats stats;
+    qr_factorize_parallel(a0, 4, greedy_global_list(8, 4).list, opts, &stats);
+    ASSERT_EQ(stats.idle_seconds_per_thread.size(), 1u)
+        << scheduler_kind_name(sched);
+    EXPECT_LT(stats.idle_seconds_per_thread[0], 5e-3)
+        << scheduler_kind_name(sched);
+    ASSERT_EQ(stats.terminal_wait_seconds_per_thread.size(), 1u);
+  }
+}
+
+TEST(Executor, ShutdownWaitNotBookedAsIdle) {
+  // One task, eight workers: seven of them only ever see the termination
+  // barrier. That wait must land in terminal_wait_seconds_per_thread, not
+  // inflate the per-lane idle (stall) numbers.
+  Rng rng(33);
+  Matrix a0 = random_gaussian(4, 4, rng);
+  for (SchedulerKind sched : {SchedulerKind::Steal, SchedulerKind::Global}) {
+    ExecutorOptions opts{8, true, true};
+    opts.scheduler = sched;
+    obs::TraceRecorder trace;
+    opts.trace = &trace;
+    RunStats stats;
+    QRFactors f = qr_factorize_parallel(a0, 4, flat_ts_list(1, 1), opts,
+                                        &stats);
+    expect_exact(a0, f);
+    EXPECT_EQ(stats.total_tasks, 1);
+    double idle = 0.0;
+    for (double s : stats.idle_seconds_per_thread) idle += s;
+    EXPECT_LT(idle, 5e-3) << scheduler_kind_name(sched);
+    ASSERT_EQ(stats.terminal_wait_seconds_per_thread.size(), 8u);
+  }
 }
 
 TEST(Executor, BatchedReleaseWideFanoutStaysExact) {

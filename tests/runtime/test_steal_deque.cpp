@@ -1,0 +1,102 @@
+#include "runtime/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace hqr {
+namespace {
+
+TEST(StealDeque, OwnerPopsLifoThiefStealsFifo) {
+  StealDeque d;
+  EXPECT_EQ(d.pop(), StealDeque::kEmpty);
+  EXPECT_EQ(d.steal(), StealDeque::kEmpty);
+  ASSERT_TRUE(d.push(1));
+  ASSERT_TRUE(d.push(2));
+  ASSERT_TRUE(d.push(3));
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_EQ(d.steal(), 1);  // oldest end
+  EXPECT_EQ(d.pop(), 3);    // newest end
+  EXPECT_EQ(d.pop(), 2);
+  EXPECT_EQ(d.pop(), StealDeque::kEmpty);
+  EXPECT_EQ(d.size(), 0);
+}
+
+TEST(StealDeque, PushFailsWhenFullAndRecoversAfterDrain) {
+  auto d = std::make_unique<StealDeque>();
+  for (std::int64_t i = 0; i < StealDeque::kCapacity; ++i)
+    ASSERT_TRUE(d->push(static_cast<std::int32_t>(i)));
+  EXPECT_FALSE(d->push(12345));
+  EXPECT_EQ(d->steal(), 0);
+  EXPECT_TRUE(d->push(12345));  // slot freed at the top end
+  EXPECT_FALSE(d->push(12346));
+  // Drain from the owner end: strict LIFO over what remains.
+  EXPECT_EQ(d->pop(), 12345);
+  for (std::int64_t i = StealDeque::kCapacity - 1; i >= 1; --i)
+    EXPECT_EQ(d->pop(), static_cast<std::int32_t>(i));
+  EXPECT_EQ(d->pop(), StealDeque::kEmpty);
+}
+
+TEST(StealDeque, ConcurrentOwnerAndThievesSeeEachItemExactlyOnce) {
+  // The owner pushes kItems values (spinning past transient fullness) and
+  // pops every third acquisition itself; four thieves steal concurrently.
+  // Every value must be taken exactly once across all participants — this
+  // is the test the CI ThreadSanitizer job leans on.
+  constexpr std::int32_t kItems = 20000;
+  constexpr int kThieves = 4;
+  auto d = std::make_unique<StealDeque>();
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::int32_t>> taken(kThieves + 1);
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      for (;;) {
+        const std::int32_t v = d->steal();
+        if (v >= 0) {
+          taken[static_cast<std::size_t>(t) + 1].push_back(v);
+        } else if (v == StealDeque::kEmpty &&
+                   done.load(std::memory_order_acquire)) {
+          // done is set only after the owner drained the deque, so a
+          // kEmpty here means every item has been claimed.
+          return;
+        }
+      }
+    });
+  }
+
+  std::int32_t pushed = 0;
+  while (pushed < kItems) {
+    if (d->push(pushed)) {
+      ++pushed;
+    } else {
+      const std::int32_t v = d->pop();  // full: make room from our end
+      if (v >= 0) taken[0].push_back(v);
+    }
+    if (pushed % 3 == 0) {
+      const std::int32_t v = d->pop();
+      if (v >= 0) taken[0].push_back(v);
+    }
+  }
+  for (;;) {
+    const std::int32_t v = d->pop();
+    if (v == StealDeque::kEmpty) break;
+    if (v >= 0) taken[0].push_back(v);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  std::vector<std::int32_t> all;
+  for (const auto& part : taken) all.insert(all.end(), part.begin(),
+                                            part.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  std::sort(all.begin(), all.end());
+  for (std::int32_t i = 0; i < kItems; ++i) ASSERT_EQ(all[i], i);
+}
+
+}  // namespace
+}  // namespace hqr

@@ -1,0 +1,200 @@
+// Distributed-runtime benchmark: factor the same matrix while trading
+// ranks for threads at a fixed total core count (e.g. 8 cores as 1x8,
+// 2x4, 4x2, 8x1 ranks x threads). Each configuration forks real worker
+// processes over the local socket mesh, so the measured makespan includes
+// genuine message traffic; the messages/bytes columns show the price of
+// distributing the DAG (they match the cluster simulator's model count by
+// construction). Pass --json=PATH for machine-readable results including
+// each rank's idle time.
+//
+// Every configuration runs in forked children, so results cross process
+// boundaries via a small fragment file written by rank 0 and re-read by
+// the parent.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "dag/partition.hpp"
+#include "distrun/dist_exec.hpp"
+#include "linalg/random_matrix.hpp"
+#include "net/launcher.hpp"
+#include "obs/metrics.hpp"
+#include "trees/hqr_tree.hpp"
+
+using namespace hqr;
+
+namespace {
+
+// Near-square process grid for `ranks` nodes (largest divisor <= sqrt).
+void pick_grid(int ranks, int* p, int* q) {
+  *p = 1;
+  for (int d = 1; d * d <= ranks; ++d)
+    if (ranks % d == 0) *p = d;
+  *q = ranks / *p;
+}
+
+struct ConfigResult {
+  int ranks = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  long long messages = 0;
+  long long bytes = 0;
+  std::vector<double> idle;  // per-rank worker idle seconds (summed)
+  std::vector<double> busy;
+};
+
+// One line per field; parsed back by the parent after run_ranks returns.
+void write_fragment(const std::string& path, const distrun::DistStats& s) {
+  std::ofstream out(path);
+  HQR_CHECK(out.good(), "cannot write " << path);
+  out.precision(17);
+  long long msgs = 0, bytes = 0;
+  std::ostringstream idle, busy;
+  for (const distrun::DistRankStats& r : s.ranks) {
+    msgs += r.data_messages_sent;
+    bytes += r.data_bytes_sent;
+    idle << ' ' << r.idle_seconds;
+    busy << ' ' << r.busy_seconds;
+  }
+  out << "seconds " << s.seconds << "\nmessages " << msgs << "\nbytes "
+      << bytes << "\nidle" << idle.str() << "\nbusy" << busy.str() << "\n";
+  HQR_CHECK(out.good(), "write to " << path << " failed");
+}
+
+ConfigResult read_fragment(const std::string& path) {
+  std::ifstream in(path);
+  HQR_CHECK(in.good(), "missing bench fragment " << path);
+  ConfigResult r;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "seconds") ls >> r.seconds;
+    if (key == "messages") ls >> r.messages;
+    if (key == "bytes") ls >> r.bytes;
+    for (double v; (key == "idle" || key == "busy") && (ls >> v);)
+      (key == "idle" ? r.idle : r.busy).push_back(v);
+  }
+  return r;
+}
+
+void write_json(const std::string& path, int m, int n, int b, int cores,
+                const std::vector<ConfigResult>& rows) {
+  std::ofstream out(path);
+  HQR_CHECK(out.good(), "cannot write " << path);
+  out << "{\n  \"schema\": \"hqr-bench-dist-v1\",\n"
+      << "  \"m\": " << m << ", \"n\": " << n << ", \"b\": " << b
+      << ", \"total_cores\": " << cores << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ConfigResult& r = rows[i];
+    out << "    {\"ranks\": " << r.ranks << ", \"threads\": " << r.threads
+        << ", \"seconds\": " << r.seconds << ", \"messages\": " << r.messages
+        << ", \"bytes\": " << r.bytes << ", \"idle_seconds\": [";
+    for (std::size_t k = 0; k < r.idle.size(); ++k)
+      out << (k ? ", " : "") << r.idle[k];
+    out << "], \"busy_seconds\": [";
+    for (std::size_t k = 0; k < r.busy.size(); ++k)
+      out << (k ? ", " : "") << r.busy[k];
+    out << "]}" << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "(json written to " << path << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"m", "1024"},
+                       {"n", "1024"},
+                       {"b", "128"},
+                       {"cores", "8"},
+                       {"p", "4"},
+                       {"a", "2"},
+                       {"low", "greedy"},
+                       {"high", "fibonacci"},
+                       {"domino", "true"},
+                       {"ib", "0"},
+                       {"timeout", "300"},
+                       {"json", ""},
+                       {"csv", ""}});
+  const int m = static_cast<int>(cli.integer("m"));
+  const int n = static_cast<int>(cli.integer("n"));
+  const int b = static_cast<int>(cli.integer("b"));
+  const int cores = static_cast<int>(cli.integer("cores"));
+  const std::string fragment = "bench_dist_fragment.tmp";
+
+  std::vector<ConfigResult> rows;
+  TextTable table({"ranks", "grid", "threads", "seconds", "messages",
+                   "MB sent", "max idle s"});
+  for (int ranks = 1; ranks <= cores; ranks *= 2) {
+    const int threads = cores / ranks;
+    int gp = 0, gq = 0;
+    pick_grid(ranks, &gp, &gq);
+
+    const auto rank_main = [&](net::Comm& comm) -> int {
+      Rng rng(11);
+      Matrix a = random_gaussian(m, n, rng);
+      const TiledMatrix probe = TiledMatrix::from_matrix(a, b);
+      HqrConfig cfg;
+      cfg.p = static_cast<int>(cli.integer("p"));
+      cfg.a = static_cast<int>(cli.integer("a"));
+      cfg.low = tree_from_name(cli.str("low"));
+      cfg.high = tree_from_name(cli.str("high"));
+      cfg.domino = cli.flag("domino");
+      EliminationList list = hqr_elimination_list(probe.mt(), probe.nt(), cfg);
+      const Distribution dist = Distribution::block_cyclic_2d(gp, gq);
+
+      distrun::DistOptions opts;
+      opts.threads = threads;
+      opts.ib = static_cast<int>(cli.integer("ib"));
+      opts.progress_timeout_seconds =
+          static_cast<double>(cli.integer("timeout"));
+      // Attach a metrics sink so the executor records per-worker busy/idle
+      // (unobserved runs skip that bookkeeping, like RunStats).
+      obs::MetricsRegistry metrics;
+      opts.metrics = &metrics;
+
+      distrun::DistStats stats;
+      QRFactors f =
+          distrun::dist_qr_factorize(comm, a, b, list, dist, opts, &stats);
+      (void)f;
+      if (comm.rank() == 0) write_fragment(fragment, stats);
+      return 0;
+    };
+
+    net::LaunchOptions lopts;
+    lopts.timeout_seconds = 2.0 * static_cast<double>(cli.integer("timeout"));
+    const int rc = net::run_ranks(ranks, rank_main, lopts);
+    HQR_CHECK(rc == 0, "distributed run failed for ranks=" << ranks
+                                                           << " (exit " << rc
+                                                           << ")");
+    ConfigResult r = read_fragment(fragment);
+    r.ranks = ranks;
+    r.threads = threads;
+    double max_idle = 0.0;
+    for (double v : r.idle) max_idle = std::max(max_idle, v);
+    table.row()
+        .add(ranks)
+        .add(std::to_string(gp) + "x" + std::to_string(gq))
+        .add(threads)
+        .add(r.seconds, 4)
+        .add(r.messages)
+        .add(static_cast<double>(r.bytes) / 1e6, 2)
+        .add(max_idle, 4);
+    rows.push_back(std::move(r));
+  }
+  std::remove(fragment.c_str());
+
+  bench::emit(table, cli,
+              "Distributed runtime: ranks vs threads at " +
+                  std::to_string(cores) + " total cores");
+  if (!cli.str("json").empty())
+    write_json(cli.str("json"), m, n, b, cores, rows);
+  return 0;
+}

@@ -58,8 +58,12 @@ int main(int argc, char** argv) {
   auto t = killer_step_table(list, steps, mt, panels);
   std::vector<std::string> headers = {"Row"};
   for (int k = 0; k < panels; ++k) {
-    headers.push_back("P" + std::to_string(k) + " killer");
-    headers.push_back("P" + std::to_string(k) + " step");
+    // Appends, not operator+ chains: GCC 12 -Wrestrict false-positives on
+    // the temporaries under -O2.
+    std::string p = "P";
+    p += std::to_string(k);
+    headers.push_back(p + " killer");
+    headers.push_back(p + " step");
   }
   TextTable table(headers);
   for (int i = 0; i < mt; ++i) {

@@ -6,17 +6,39 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "dag/partition.hpp"
 
 namespace hqr {
 namespace {
 
 std::string label(const KernelOp& op) {
-  std::string s = kernel_name(op.type) + "(" + std::to_string(op.row);
-  if (op.type != KernelType::GEQRT && op.type != KernelType::UNMQR)
-    s += "," + std::to_string(op.piv);
-  s += "," + std::to_string(op.k);
-  if (op.j >= 0) s += "," + std::to_string(op.j);
-  return s + ")";
+  // Built with appends only: GCC 12's -Wrestrict false-positives on
+  // chained std::string operator+ once this gets inlined into write_dot.
+  std::string s = kernel_name(op.type);
+  s += '(';
+  s += std::to_string(op.row);
+  if (op.type != KernelType::GEQRT && op.type != KernelType::UNMQR) {
+    s += ',';
+    s += std::to_string(op.piv);
+  }
+  s += ',';
+  s += std::to_string(op.k);
+  if (op.j >= 0) {
+    s += ',';
+    s += std::to_string(op.j);
+  }
+  s += ')';
+  return s;
+}
+
+// Destination-rank edge palette (cycled past 8 ranks).
+const char* const kRankColors[] = {"red",         "blue",     "forestgreen",
+                                   "darkorange",  "purple",   "deepskyblue",
+                                   "goldenrod",   "magenta"};
+
+const char* rank_color(int rank) {
+  return kRankColors[static_cast<std::size_t>(rank) %
+                     (sizeof(kRankColors) / sizeof(kRankColors[0]))];
 }
 
 }  // namespace
@@ -30,6 +52,29 @@ void write_dot(std::ostream& os, const TaskGraph& graph,
       keep[i] = is_factor_kernel(graph.op(i).type);
   }
 
+  // Owner-computes rank per task, for the communication view.
+  std::vector<int> rank;
+  if (opts.dist) {
+    rank.resize(static_cast<std::size_t>(graph.size()));
+    for (int i = 0; i < graph.size(); ++i)
+      rank[i] = task_node(graph.op(i), *opts.dist);
+  }
+  const auto node_label = [&](int i) {
+    std::string s = label(graph.op(i));
+    if (opts.dist) {
+      s += '@';
+      s += std::to_string(rank[static_cast<std::size_t>(i)]);
+    }
+    return s;
+  };
+  const auto edge_attrs = [&](int from, int to) -> std::string {
+    if (!opts.dist || rank[static_cast<std::size_t>(from)] ==
+                          rank[static_cast<std::size_t>(to)])
+      return "";
+    return std::string(" [color=") +
+           rank_color(rank[static_cast<std::size_t>(to)]) + ", penwidth=1.6]";
+  };
+
   os << "digraph tile_qr {\n  rankdir=TB;\n  node [fontsize=10];\n";
 
   if (opts.cluster_by_panel) {
@@ -41,7 +86,7 @@ void write_dot(std::ostream& os, const TaskGraph& graph,
          << "\";\n";
       for (int i : tasks) {
         const KernelOp& op = graph.op(i);
-        os << "    t" << i << " [label=\"" << label(op) << "\", shape="
+        os << "    t" << i << " [label=\"" << node_label(i) << "\", shape="
            << (is_factor_kernel(op.type) ? "box" : "ellipse") << "];\n";
       }
       os << "  }\n";
@@ -50,7 +95,7 @@ void write_dot(std::ostream& os, const TaskGraph& graph,
     for (int i = 0; i < graph.size(); ++i) {
       if (!keep[i]) continue;
       const KernelOp& op = graph.op(i);
-      os << "  t" << i << " [label=\"" << label(op) << "\", shape="
+      os << "  t" << i << " [label=\"" << node_label(i) << "\", shape="
          << (is_factor_kernel(op.type) ? "box" : "ellipse") << "];\n";
     }
   }
@@ -58,7 +103,7 @@ void write_dot(std::ostream& os, const TaskGraph& graph,
   if (opts.include_updates) {
     for (int i = 0; i < graph.size(); ++i)
       for (auto s : graph.successors(i))
-        os << "  t" << i << " -> t" << s << ";\n";
+        os << "  t" << i << " -> t" << s << edge_attrs(i, s) << ";\n";
   } else {
     // Factor-only skeleton: contract paths through dropped update tasks so
     // the transitive factor-to-factor dependencies survive.
@@ -74,7 +119,7 @@ void write_dot(std::ostream& os, const TaskGraph& graph,
         if (seen[s]) continue;
         seen[s] = 1;
         if (keep[s]) {
-          os << "  t" << i << " -> t" << s << ";\n";
+          os << "  t" << i << " -> t" << s << edge_attrs(i, s) << ";\n";
         } else {
           for (auto nxt : graph.successors(s)) stack.push_back(nxt);
         }

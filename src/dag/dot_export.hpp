@@ -6,6 +6,7 @@
 #include <string>
 
 #include "dag/task_graph.hpp"
+#include "dist/distribution.hpp"
 
 namespace hqr {
 
@@ -15,6 +16,10 @@ struct DotOptions {
   bool include_updates = true;
   // Cluster nodes by panel index (subgraphs per k).
   bool cluster_by_panel = true;
+  // Communication view: with a distribution, node labels gain an "@rank"
+  // suffix and every inter-rank edge is colored by its *destination* rank
+  // (the rank that pays for the transfer); intra-rank edges stay black.
+  const Distribution* dist = nullptr;
 };
 
 // Writes `graph` in DOT format. Node labels are "KERNEL(row,piv,k[,j])";

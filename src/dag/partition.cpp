@@ -1,0 +1,71 @@
+#include "dag/partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hqr {
+
+int task_node(const KernelOp& op, const Distribution& dist) {
+  switch (op.type) {
+    case KernelType::GEQRT:
+      return dist.owner(op.row, op.k);
+    case KernelType::UNMQR:
+      return dist.owner(op.row, op.j);
+    case KernelType::TSQRT:
+    case KernelType::TTQRT:
+      return dist.owner(op.row, op.k);
+    case KernelType::TSMQR:
+    case KernelType::TTMQR:
+      return dist.owner(op.row, op.j);
+  }
+  HQR_CHECK(false, "unreachable kernel type");
+}
+
+CommPlan::CommPlan(const TaskGraph& graph, const Distribution& dist) {
+  const std::int32_t n = graph.size();
+  const int nranks = dist.nodes();
+  node_.resize(static_cast<std::size_t>(n));
+  tasks_by_rank_.assign(static_cast<std::size_t>(nranks), 0);
+  sent_by_rank_.assign(static_cast<std::size_t>(nranks), 0);
+  recv_by_rank_.assign(static_cast<std::size_t>(nranks), 0);
+  for (std::int32_t t = 0; t < n; ++t) {
+    node_[t] = static_cast<std::int32_t>(task_node(graph.op(t), dist));
+    ++tasks_by_rank_[static_cast<std::size_t>(node_[t])];
+  }
+
+  // Per-producer broadcast dedup, same stamp trick as the simulator's
+  // arrival[] scratch: one entry per (producer, consuming rank).
+  std::vector<std::int32_t> stamp(static_cast<std::size_t>(nranks), -1);
+  send_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int32_t t = 0; t < n; ++t) {
+    send_offsets_[static_cast<std::size_t>(t) + 1] =
+        send_offsets_[static_cast<std::size_t>(t)];
+    for (std::int32_t s : graph.successors(t)) {
+      const std::int32_t d = node_[static_cast<std::size_t>(s)];
+      if (d == node_[static_cast<std::size_t>(t)] || stamp[d] == t) continue;
+      stamp[d] = t;
+      ++send_offsets_[static_cast<std::size_t>(t) + 1];
+    }
+  }
+  messages_ = send_offsets_[static_cast<std::size_t>(n)];
+  send_dests_.resize(static_cast<std::size_t>(messages_));
+  std::fill(stamp.begin(), stamp.end(), -1);
+  for (std::int32_t t = 0; t < n; ++t) {
+    std::int64_t cursor = send_offsets_[static_cast<std::size_t>(t)];
+    for (std::int32_t s : graph.successors(t)) {
+      const std::int32_t d = node_[static_cast<std::size_t>(s)];
+      if (d == node_[static_cast<std::size_t>(t)] || stamp[d] == t) continue;
+      stamp[d] = t;
+      send_dests_[static_cast<std::size_t>(cursor++)] = d;
+    }
+    const std::int64_t first = send_offsets_[static_cast<std::size_t>(t)];
+    std::sort(send_dests_.data() + first, send_dests_.data() + cursor);
+    sent_by_rank_[static_cast<std::size_t>(node_[t])] += cursor - first;
+    for (std::int64_t i = first; i < cursor; ++i)
+      ++recv_by_rank_[static_cast<std::size_t>(
+          send_dests_[static_cast<std::size_t>(i)])];
+  }
+}
+
+}  // namespace hqr

@@ -1,0 +1,75 @@
+// Owner-computes partition of a task graph under a data distribution
+// (paper §IV-A): every kernel executes on the node that owns the tile it
+// zeroes or updates in place. This is the single source of truth for
+// task-to-node mapping, shared by the cluster simulator (src/simcluster/),
+// the real distributed runtime (src/distrun/) and the DOT communication
+// view (dag/dot_export.hpp) — so the model and the implementation can never
+// disagree about where a task runs or which edges cross ranks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "dist/distribution.hpp"
+
+namespace hqr {
+
+// Node on which a kernel executes: the owner of the tile it zeroes (factor
+// kernels) or updates in place (update kernels).
+int task_node(const KernelOp& op, const Distribution& dist);
+
+// Cross-rank communication plan of a task graph under `dist`, with the
+// producer-to-node broadcast dedup both the simulator and the runtime
+// apply: a producer's output is shipped to each consuming node once, no
+// matter how many consumers that node hosts. `messages` therefore equals
+// SimResult::messages for the same (graph, dist) by construction; the
+// distributed runtime sends exactly `dests(t)` per completed task, making
+// the simulator's communication model a falsifiable prediction.
+class CommPlan {
+ public:
+  CommPlan(const TaskGraph& graph, const Distribution& dist);
+
+  int ranks() const { return static_cast<int>(tasks_by_rank_.size()); }
+  // Executing rank of each task.
+  const std::vector<std::int32_t>& node() const { return node_; }
+  int node_of(int task) const { return node_[static_cast<std::size_t>(task)]; }
+
+  // Distinct remote ranks that consume the output of `task` (ascending).
+  std::span<const std::int32_t> dests(int task) const {
+    return {send_dests_.data() + send_offsets_[static_cast<std::size_t>(task)],
+            static_cast<std::size_t>(
+                send_offsets_[static_cast<std::size_t>(task) + 1] -
+                send_offsets_[static_cast<std::size_t>(task)])};
+  }
+
+  // Total inter-rank messages (== simulator's SimResult::messages).
+  long long messages() const { return messages_; }
+  // Model traffic volume in bytes under the simulator's one-tile-per-message
+  // assumption (== SimResult::volume_gbytes * 1e9 for tile size b).
+  double model_volume_bytes(int b) const {
+    return static_cast<double>(messages_) * b * b * sizeof(double);
+  }
+
+  long long tasks_on(int rank) const {
+    return tasks_by_rank_[static_cast<std::size_t>(rank)];
+  }
+  long long sent_by(int rank) const {
+    return sent_by_rank_[static_cast<std::size_t>(rank)];
+  }
+  long long received_by(int rank) const {
+    return recv_by_rank_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  std::vector<std::int32_t> node_;
+  std::vector<std::int64_t> send_offsets_;  // CSR over tasks
+  std::vector<std::int32_t> send_dests_;
+  long long messages_ = 0;
+  std::vector<long long> tasks_by_rank_;
+  std::vector<long long> sent_by_rank_;
+  std::vector<long long> recv_by_rank_;
+};
+
+}  // namespace hqr

@@ -1,0 +1,298 @@
+#include "distrun/dist_exec.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "dag/partition.hpp"
+#include "distrun/payload.hpp"
+
+namespace hqr::distrun {
+namespace {
+
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+DistRankStats local_rank_stats(int rank, const DistOptions& opts,
+                               const RunStats& rs,
+                               const net::CommCounters& c) {
+  DistRankStats s;
+  s.rank = rank;
+  s.threads = opts.threads;
+  s.tasks = rs.total_tasks;
+  s.data_messages_sent = c.data_messages_sent;
+  s.data_bytes_sent = c.data_bytes_sent;
+  s.data_messages_recv = c.data_messages_recv;
+  s.data_bytes_recv = c.data_bytes_recv;
+  s.exec_seconds = rs.seconds;
+  s.busy_seconds = sum(rs.busy_seconds_per_thread);
+  s.idle_seconds = sum(rs.idle_seconds_per_thread);
+  s.terminal_wait_seconds = sum(rs.terminal_wait_seconds_per_thread);
+  return s;
+}
+
+}  // namespace
+
+QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
+                            const EliminationList& list,
+                            const Distribution& dist, const DistOptions& opts,
+                            DistStats* stats) {
+  Stopwatch wall;
+  const int me = comm.rank();
+  const int nranks = comm.size();
+  HQR_CHECK(dist.nodes() == nranks,
+            "distribution has " << dist.nodes() << " nodes but communicator "
+                                << nranks << " ranks");
+
+  // Every rank rebuilds the same graph and plan from the same inputs — the
+  // structures are never shipped, only tile data is.
+  TiledMatrix tiled = TiledMatrix::from_matrix(a, b);
+  const int mt = tiled.mt(), nt = tiled.nt();
+  KernelList kernels = expand_to_kernels(list, mt, nt);
+  TaskGraph graph(kernels, mt, nt);
+  CommPlan plan(graph, dist);
+  QRFactors f(std::move(tiled), std::move(kernels), opts.ib);
+
+  ExecutorOptions eopts;
+  eopts.threads = opts.threads;
+  eopts.priority_scheduling = opts.priority_scheduling;
+  eopts.data_reuse = opts.data_reuse;
+  eopts.ib = opts.ib;
+  eopts.scheduler = opts.scheduler;
+  eopts.trace = opts.trace;
+  eopts.metrics = opts.metrics;
+
+  std::atomic<long long> progress{0};  // bumped on every local completion
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::string error;
+  const auto fail = [&](const std::string& why) {
+    std::lock_guard<std::mutex> lk(error_mu);
+    if (!failed.load(std::memory_order_relaxed)) error = why;
+    failed.store(true, std::memory_order_release);
+  };
+
+  PartitionView view;
+  view.task_rank = &plan.node();
+  view.my_rank = me;
+  view.on_complete = [&](std::int32_t idx) {
+    progress.fetch_add(1, std::memory_order_relaxed);
+    const auto dests = plan.dests(idx);
+    if (dests.empty()) return;
+    // One pack, one frame per consuming rank: the broadcast dedup the
+    // simulator's message model assumes.
+    std::vector<std::uint8_t> payload;
+    pack_task_output(graph.op(idx), f, payload);
+    for (std::int32_t d : dests)
+      comm.post(d, net::Tag::Data, idx, payload.data(), payload.size());
+  };
+
+  // Control frames that arrive ahead of their phase. A rank whose slice of
+  // the DAG finishes early posts Stats+Gather while rank 0 may still be
+  // executing; the execution-phase loop parks them here and the collect
+  // phase replays them. Written only by the comm thread during the run and
+  // read by the main thread after joining it, so no lock is needed.
+  std::vector<net::Message> pending;
+
+  // Communication thread: drives the socket mesh while workers execute.
+  // Every received Data frame is applied to the local replica immediately —
+  // any local task that could touch those regions is either an ancestor of
+  // the producer (finished everywhere already) or an unreleased successor.
+  std::thread comm_thread;
+  std::atomic<bool> stop{false};
+  const auto comm_loop = [&](RemotePort* port) {
+    Stopwatch sw;
+    double last_activity = 0.0;
+    long long seen = progress.load(std::memory_order_relaxed);
+    while (!stop.load(std::memory_order_acquire)) {
+      int delivered = 0;
+      try {
+        delivered = comm.pump(2, [&](net::Message&& m) {
+          switch (m.tag) {
+            case net::Tag::Data:
+              apply_task_output(graph.op(m.id), f, m.payload);
+              port->remote_complete(m.id);
+              break;
+            case net::Tag::Abort:
+              fail("rank " + std::to_string(m.src) + " aborted the run");
+              break;
+            case net::Tag::Stats:
+            case net::Tag::Gather:
+              // A peer finished its slice before we finished ours.
+              if (me == 0) {
+                pending.push_back(std::move(m));
+                break;
+              }
+              [[fallthrough]];
+            default:
+              fail("unexpected tag " +
+                   std::to_string(static_cast<unsigned>(m.tag)) +
+                   " during execution");
+          }
+        });
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+      if (failed.load(std::memory_order_acquire)) {
+        port->cancel();
+        return;
+      }
+      const long long p = progress.load(std::memory_order_relaxed);
+      if (delivered > 0 || p != seen) {
+        seen = p;
+        last_activity = sw.seconds();
+      } else if (opts.progress_timeout_seconds > 0 &&
+                 sw.seconds() - last_activity >
+                     opts.progress_timeout_seconds) {
+        fail("no progress for " +
+             std::to_string(opts.progress_timeout_seconds) +
+             "s (stuck or dead peer)");
+        for (int q = 0; q < nranks; ++q)
+          if (q != me) comm.post(q, net::Tag::Abort, me, nullptr, 0);
+        for (int i = 0; i < 50 && !comm.flushed(); ++i)
+          comm.pump(2, [](net::Message&&) {});
+        port->cancel();
+        return;
+      }
+    }
+  };
+
+  RunStats rs = execute_partition(
+      f, graph, eopts, view,
+      [&](RemotePort& port) {
+        RemotePort* p = &port;  // the port outlives the thread (see below)
+        comm_thread = std::thread([&comm_loop, p] { comm_loop(p); });
+      },
+      [&] {
+        // Engine (and the port) must outlive the communication thread.
+        stop.store(true, std::memory_order_release);
+        if (comm_thread.joinable()) comm_thread.join();
+      });
+
+  HQR_CHECK(!failed.load(std::memory_order_acquire),
+            "distributed run failed on rank " << me << ": " << error);
+
+  // Shutdown/gather protocol, driven on this (main) thread. The engine
+  // finishing means every inbound Data frame was consumed — each one had a
+  // local successor the engine waited for — so from here only control
+  // traffic flows.
+  const double shutdown_timeout = opts.progress_timeout_seconds > 0
+                                      ? opts.progress_timeout_seconds
+                                      : 3600.0;
+  const auto buffer_msg = [&](net::Message&& m) {
+    pending.push_back(std::move(m));
+  };
+  Stopwatch flush_sw;
+  while (!comm.flushed()) {
+    comm.pump(2, buffer_msg);
+    HQR_CHECK(flush_sw.seconds() < shutdown_timeout,
+              "rank " << me << ": shutdown flush timed out");
+  }
+
+  DistStats out;
+  out.local_tasks = rs.total_tasks;
+  out.plan_messages = plan.messages();
+  out.plan_volume_bytes = plan.model_volume_bytes(b);
+  out.run = rs;
+
+  if (me == 0) {
+    out.ranks.assign(static_cast<std::size_t>(nranks), {});
+    out.ranks[0] = local_rank_stats(0, opts, rs, comm.counters());
+    std::vector<char> got_stats(static_cast<std::size_t>(nranks), 0);
+    std::vector<char> got_gather(static_cast<std::size_t>(nranks), 0);
+    got_stats[0] = got_gather[0] = 1;
+    int missing = 2 * (nranks - 1);
+    const auto collect = [&](net::Message&& m) {
+      if (m.tag == net::Tag::Stats) {
+        HQR_CHECK(m.payload.size() == sizeof(DistRankStats) &&
+                      !got_stats[static_cast<std::size_t>(m.src)],
+                  "bad Stats frame from rank " << m.src);
+        std::memcpy(&out.ranks[static_cast<std::size_t>(m.src)],
+                    m.payload.data(), sizeof(DistRankStats));
+        got_stats[static_cast<std::size_t>(m.src)] = 1;
+        --missing;
+      } else if (m.tag == net::Tag::Gather) {
+        HQR_CHECK(!got_gather[static_cast<std::size_t>(m.src)],
+                  "duplicate Gather frame from rank " << m.src);
+        apply_gather(graph, plan, m.src, m.payload, f);
+        got_gather[static_cast<std::size_t>(m.src)] = 1;
+        --missing;
+      } else {
+        HQR_CHECK(false, "unexpected tag during gather (from rank "
+                             << m.src << ")");
+      }
+    };
+    for (net::Message& m : pending) collect(std::move(m));
+    pending.clear();
+    Stopwatch gather_sw;
+    while (missing > 0) {
+      comm.pump(5, collect);
+      HQR_CHECK(gather_sw.seconds() < shutdown_timeout,
+                "rank 0: gather timed out with " << missing
+                                                 << " frame(s) missing");
+    }
+    // Release everyone, then make sure the releases actually left.
+    for (int q = 1; q < nranks; ++q)
+      comm.post(q, net::Tag::Bye, 0, nullptr, 0);
+    comm.set_eof_ok(true);  // peers close as soon as Bye lands
+    Stopwatch bye_sw;
+    while (!comm.flushed()) {
+      comm.pump(2, [](net::Message&&) {});
+      HQR_CHECK(bye_sw.seconds() < shutdown_timeout,
+                "rank 0: shutdown release timed out");
+    }
+  } else {
+    const DistRankStats mine =
+        local_rank_stats(me, opts, rs, comm.counters());
+    comm.post(0, net::Tag::Stats, me, &mine, sizeof(mine));
+    const std::vector<std::uint8_t> g = pack_gather(graph, plan, me, f);
+    comm.post(0, net::Tag::Gather, me, g.data(), g.size());
+    // Sibling ranks may disappear once rank 0 released them; only Bye from
+    // rank 0 matters now.
+    comm.set_eof_ok(true);
+    bool bye = false;
+    const auto await_bye = [&](net::Message&& m) {
+      HQR_CHECK(m.tag == net::Tag::Bye,
+                "unexpected tag while awaiting shutdown release");
+      if (m.src == 0) bye = true;
+    };
+    for (net::Message& m : pending) await_bye(std::move(m));
+    pending.clear();
+    Stopwatch bye_sw;
+    while (!bye) {
+      comm.pump(5, await_bye);
+      HQR_CHECK(bye_sw.seconds() < shutdown_timeout,
+                "rank " << me << ": shutdown release never arrived");
+    }
+  }
+
+  out.comm = comm.counters();
+  out.seconds = wall.seconds();
+
+  if (opts.metrics) {
+    obs::MetricsRegistry& m = *opts.metrics;
+    m.counter("net.data_messages_sent").add(out.comm.data_messages_sent);
+    m.counter("net.data_bytes_sent").add(out.comm.data_bytes_sent);
+    m.counter("net.data_messages_recv").add(out.comm.data_messages_recv);
+    m.counter("net.data_bytes_recv").add(out.comm.data_bytes_recv);
+    m.counter("net.control_messages_sent")
+        .add(out.comm.control_messages_sent);
+    m.counter("net.control_bytes_sent").add(out.comm.control_bytes_sent);
+    m.counter("dist.local_tasks").add(out.local_tasks);
+    m.counter("dist.plan_messages").add(out.plan_messages);
+    m.gauge("dist.plan_volume_bytes").add(out.plan_volume_bytes);
+    m.gauge("dist.seconds").add(out.seconds);
+  }
+  if (stats) *stats = std::move(out);
+  return f;
+}
+
+}  // namespace hqr::distrun

@@ -1,0 +1,79 @@
+// Distributed-memory tile QR runtime (the real counterpart of the cluster
+// simulator, paper §IV-A/§V-A).
+//
+// Every rank holds a full replica of the input matrix, deterministically
+// rebuilds the same kernel list, task graph and communication plan
+// (dag/partition.hpp), and executes the owner-computes slice of the DAG on
+// the shared-memory work-stealing executor. Remote dependencies flow as
+// eager tile messages driven by a dedicated communication thread; a
+// completed task's output regions are posted once per consuming rank
+// (broadcast dedup), which makes the measured Data message count equal the
+// simulator's prediction by construction. After the DAG drains, rank 0
+// gathers every final tile region and T factor and returns a factorization
+// bit-identical to a single-process run.
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "net/comm.hpp"
+#include "runtime/executor.hpp"
+
+namespace hqr::distrun {
+
+struct DistOptions {
+  int threads = 1;                  // workers per rank
+  bool priority_scheduling = true;  // critical-path depth of the full DAG
+  bool data_reuse = true;
+  int ib = 0;
+  SchedulerKind scheduler = SchedulerKind::Steal;
+  // Abort when the rank neither executes a task nor receives a message for
+  // this long (a dead peer must not hang the run, or CI); <= 0 disables.
+  double progress_timeout_seconds = 60.0;
+  // Observability sinks for this rank's executor (worker lanes).
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// Per-rank summary shipped to rank 0 over Tag::Stats; a plain byte-copied
+// struct (all ranks run the same binary).
+struct DistRankStats {
+  std::int32_t rank = 0;
+  std::int32_t threads = 0;
+  long long tasks = 0;
+  long long data_messages_sent = 0;
+  long long data_bytes_sent = 0;
+  long long data_messages_recv = 0;
+  long long data_bytes_recv = 0;
+  double exec_seconds = 0.0;
+  // Summed over workers; populated only when the run was observed (a trace
+  // or metrics sink attached), like RunStats.
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double terminal_wait_seconds = 0.0;
+};
+
+struct DistStats {
+  double seconds = 0.0;       // this rank's wall time, run + gather
+  long long local_tasks = 0;  // tasks executed on this rank
+  // The communication plan's prediction — equals the simulator's
+  // SimResult::messages / volume_gbytes for the same (graph, dist).
+  long long plan_messages = 0;
+  double plan_volume_bytes = 0.0;
+  net::CommCounters comm;  // measured wire traffic of this rank
+  RunStats run;            // this rank's executor stats
+  std::vector<DistRankStats> ranks;  // rank 0 only: one entry per rank
+};
+
+// Factors `a` across comm.size() ranks. Every rank must call this with
+// identical (a, b, list, dist) and dist.nodes() == comm.size(); collective
+// over the communicator. Returns the local replica of the factors; on rank
+// 0 it is complete (gathered) and bit-identical to
+// qr_factorize_sequential(a, b, list, opts.ib). Throws hqr::Error on peer
+// failure or progress timeout.
+QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
+                            const EliminationList& list,
+                            const Distribution& dist, const DistOptions& opts,
+                            DistStats* stats = nullptr);
+
+}  // namespace hqr::distrun

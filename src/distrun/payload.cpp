@@ -1,0 +1,267 @@
+#include "distrun/payload.hpp"
+
+#include "common/check.hpp"
+#include "net/message.hpp"
+
+namespace hqr::distrun {
+namespace {
+
+// Column-major full-tile copy (tiles are contiguous, but stay ld-correct).
+void pack_full(ConstMatrixView v, net::PayloadWriter& w) {
+  if (v.ld == v.rows) {
+    w.f64(v.data, static_cast<std::size_t>(v.rows) * v.cols);
+    return;
+  }
+  for (int j = 0; j < v.cols; ++j)
+    w.f64(v.data + static_cast<std::size_t>(j) * v.ld, v.rows);
+}
+
+void apply_full(net::PayloadReader& r, MatrixView v) {
+  if (v.ld == v.rows) {
+    r.f64(v.data, static_cast<std::size_t>(v.rows) * v.cols);
+    return;
+  }
+  for (int j = 0; j < v.cols; ++j)
+    r.f64(v.data + static_cast<std::size_t>(j) * v.ld, v.rows);
+}
+
+// Upper triangle including the diagonal, column by column.
+void pack_upper(ConstMatrixView v, net::PayloadWriter& w) {
+  for (int j = 0; j < v.cols; ++j)
+    w.f64(v.data + static_cast<std::size_t>(j) * v.ld, j + 1);
+}
+
+void apply_upper(net::PayloadReader& r, MatrixView v) {
+  for (int j = 0; j < v.cols; ++j)
+    r.f64(v.data + static_cast<std::size_t>(j) * v.ld, j + 1);
+}
+
+// Strict lower triangle (the Householder-vector half), column by column.
+void pack_strict_lower(ConstMatrixView v, net::PayloadWriter& w) {
+  for (int j = 0; j + 1 < v.cols; ++j)
+    w.f64(v.data + static_cast<std::size_t>(j) * v.ld + j + 1,
+          v.rows - j - 1);
+}
+
+void apply_strict_lower(net::PayloadReader& r, MatrixView v) {
+  for (int j = 0; j + 1 < v.cols; ++j)
+    r.f64(v.data + static_cast<std::size_t>(j) * v.ld + j + 1,
+          v.rows - j - 1);
+}
+
+// The write set of a kernel over tile regions, same region indexing as the
+// task graph's dependency inference: 2*(j*mt + i) for the upper half of
+// tile (i, j) (incl. diagonal), +1 for the strict lower half. Must stay in
+// sync with for_each_access in dag/task_graph.cpp — a region written there
+// but not shipped here would desynchronize the replicas.
+template <typename Fn>
+void for_each_write(const KernelOp& op, int mt, Fn&& fn) {
+  auto upper = [mt](int i, int j) {
+    return 2 * (static_cast<std::int64_t>(j) * mt + i);
+  };
+  auto lower = [mt](int i, int j) {
+    return 2 * (static_cast<std::int64_t>(j) * mt + i) + 1;
+  };
+  switch (op.type) {
+    case KernelType::GEQRT:
+      fn(upper(op.row, op.k));
+      fn(lower(op.row, op.k));
+      break;
+    case KernelType::UNMQR:
+      fn(upper(op.row, op.j));
+      fn(lower(op.row, op.j));
+      break;
+    case KernelType::TSQRT:
+      fn(upper(op.piv, op.k));
+      fn(upper(op.row, op.k));
+      fn(lower(op.row, op.k));
+      break;
+    case KernelType::TTQRT:
+      fn(upper(op.piv, op.k));
+      fn(upper(op.row, op.k));
+      break;
+    case KernelType::TSMQR:
+    case KernelType::TTMQR:
+      fn(upper(op.piv, op.j));
+      fn(lower(op.piv, op.j));
+      fn(upper(op.row, op.j));
+      fn(lower(op.row, op.j));
+      break;
+  }
+}
+
+}  // namespace
+
+std::size_t task_output_bytes(const KernelOp& op, int b) {
+  const std::size_t full = static_cast<std::size_t>(b) * b;
+  const std::size_t upper = static_cast<std::size_t>(b) * (b + 1) / 2;
+  std::size_t doubles = 0;
+  switch (op.type) {
+    case KernelType::GEQRT:
+      doubles = full + full;  // A(row,k) + T
+      break;
+    case KernelType::UNMQR:
+      doubles = full;  // A(row,j)
+      break;
+    case KernelType::TSQRT:
+      doubles = upper + full + full;  // R1, V2 tile, T
+      break;
+    case KernelType::TTQRT:
+      doubles = upper + upper + full;  // R1, triangular V2, T
+      break;
+    case KernelType::TSMQR:
+    case KernelType::TTMQR:
+      doubles = full + full;  // A(piv,j) + A(row,j)
+      break;
+  }
+  return doubles * sizeof(double);
+}
+
+void pack_task_output(const KernelOp& op, const QRFactors& f,
+                      std::vector<std::uint8_t>& out) {
+  net::PayloadWriter w(out);
+  const TiledMatrix& a = f.a();
+  switch (op.type) {
+    case KernelType::GEQRT:
+      pack_full(a.tile(op.row, op.k), w);
+      pack_full(f.t_geqrt(op.row, op.k), w);
+      break;
+    case KernelType::UNMQR:
+      pack_full(a.tile(op.row, op.j), w);
+      break;
+    case KernelType::TSQRT:
+      pack_upper(a.tile(op.piv, op.k), w);
+      pack_full(a.tile(op.row, op.k), w);
+      pack_full(f.t_pencil(op.row, op.k), w);
+      break;
+    case KernelType::TTQRT:
+      pack_upper(a.tile(op.piv, op.k), w);
+      pack_upper(a.tile(op.row, op.k), w);
+      pack_full(f.t_pencil(op.row, op.k), w);
+      break;
+    case KernelType::TSMQR:
+    case KernelType::TTMQR:
+      pack_full(a.tile(op.piv, op.j), w);
+      pack_full(a.tile(op.row, op.j), w);
+      break;
+  }
+}
+
+void apply_task_output(const KernelOp& op, QRFactors& f,
+                       const std::vector<std::uint8_t>& payload) {
+  HQR_CHECK(payload.size() == task_output_bytes(op, f.b()),
+            "payload size mismatch for " << kernel_name(op.type) << ": got "
+                                         << payload.size() << " bytes");
+  net::PayloadReader r(payload);
+  TiledMatrix& a = f.a();
+  switch (op.type) {
+    case KernelType::GEQRT:
+      apply_full(r, a.tile(op.row, op.k));
+      apply_full(r, f.t_geqrt(op.row, op.k));
+      break;
+    case KernelType::UNMQR:
+      apply_full(r, a.tile(op.row, op.j));
+      break;
+    case KernelType::TSQRT:
+      apply_upper(r, a.tile(op.piv, op.k));
+      apply_full(r, a.tile(op.row, op.k));
+      apply_full(r, f.t_pencil(op.row, op.k));
+      break;
+    case KernelType::TTQRT:
+      apply_upper(r, a.tile(op.piv, op.k));
+      apply_upper(r, a.tile(op.row, op.k));
+      apply_full(r, f.t_pencil(op.row, op.k));
+      break;
+    case KernelType::TSMQR:
+    case KernelType::TTMQR:
+      apply_full(r, a.tile(op.piv, op.j));
+      apply_full(r, a.tile(op.row, op.j));
+      break;
+  }
+  HQR_CHECK(r.remaining() == 0, "trailing bytes in payload");
+}
+
+namespace {
+
+// last_writer[region] = highest-index task writing the region, -1 if the
+// region keeps its input value. Deterministic, so every rank agrees on who
+// contributes what to the gather.
+std::vector<std::int32_t> last_writers(const TaskGraph& graph, int mt,
+                                       int nt) {
+  std::vector<std::int32_t> lw(2 * static_cast<std::size_t>(mt) * nt, -1);
+  for (std::int32_t t = 0; t < graph.size(); ++t)
+    for_each_write(graph.op(t), mt,
+                   [&](std::int64_t reg) { lw[static_cast<std::size_t>(reg)] = t; });
+  return lw;
+}
+
+// Visits rank 0's gather schedule for `rank`: every final A region and
+// every T factor the rank produced, in one canonical order.
+template <typename RegionFn, typename TFn>
+void for_each_contribution(const TaskGraph& graph, const CommPlan& plan,
+                           int rank, int mt, int nt, RegionFn&& on_region,
+                           TFn&& on_t) {
+  const std::vector<std::int32_t> lw = last_writers(graph, mt, nt);
+  for (std::size_t reg = 0; reg < lw.size(); ++reg) {
+    if (lw[reg] < 0 || plan.node_of(lw[reg]) != rank) continue;
+    const std::int64_t tile = static_cast<std::int64_t>(reg) / 2;
+    on_region(static_cast<int>(tile % mt), static_cast<int>(tile / mt),
+              /*upper=*/reg % 2 == 0);
+  }
+  for (std::int32_t t = 0; t < graph.size(); ++t) {
+    if (plan.node_of(t) != rank) continue;
+    const KernelOp& op = graph.op(t);
+    if (op.type == KernelType::GEQRT || op.type == KernelType::TSQRT ||
+        op.type == KernelType::TTQRT)
+      on_t(op);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> pack_gather(const TaskGraph& graph,
+                                      const CommPlan& plan, int rank,
+                                      const QRFactors& f) {
+  std::vector<std::uint8_t> out;
+  net::PayloadWriter w(out);
+  const TiledMatrix& a = f.a();
+  for_each_contribution(
+      graph, plan, rank, f.mt(), f.nt(),
+      [&](int i, int j, bool upper) {
+        if (upper)
+          pack_upper(a.tile(i, j), w);
+        else
+          pack_strict_lower(a.tile(i, j), w);
+      },
+      [&](const KernelOp& op) {
+        if (op.type == KernelType::GEQRT)
+          pack_full(f.t_geqrt(op.row, op.k), w);
+        else
+          pack_full(f.t_pencil(op.row, op.k), w);
+      });
+  return out;
+}
+
+void apply_gather(const TaskGraph& graph, const CommPlan& plan, int rank,
+                  const std::vector<std::uint8_t>& payload, QRFactors& f) {
+  net::PayloadReader r(payload);
+  TiledMatrix& a = f.a();
+  for_each_contribution(
+      graph, plan, rank, f.mt(), f.nt(),
+      [&](int i, int j, bool upper) {
+        if (upper)
+          apply_upper(r, a.tile(i, j));
+        else
+          apply_strict_lower(r, a.tile(i, j));
+      },
+      [&](const KernelOp& op) {
+        if (op.type == KernelType::GEQRT)
+          apply_full(r, f.t_geqrt(op.row, op.k));
+        else
+          apply_full(r, f.t_pencil(op.row, op.k));
+      });
+  HQR_CHECK(r.remaining() == 0,
+            "gather payload from rank " << rank << " has trailing bytes");
+}
+
+}  // namespace hqr::distrun

@@ -1,0 +1,72 @@
+// Wire payloads of the distributed runtime: which bytes travel when a task
+// completes, and how the end-of-run gather reassembles the factorization on
+// rank 0.
+//
+// A completed task ships exactly the tile regions it wrote, plus the
+// T factor it produced (factor kernels only) — never whole tiles it only
+// partially owns. Region accuracy matters for correctness, not just
+// volume: TSQRT writes only the upper triangle of its pivot tile, whose
+// strict lower half may be concurrently read on the receiving rank by an
+// already-released local task; shipping the full tile would race on bytes
+// the producer never touched.
+//
+// Payload layout is derived on both ends from the producer's KernelOp (the
+// graphs are rebuilt deterministically on every rank), so frames carry no
+// region descriptors:
+//
+//   GEQRT (row,k)      : full A(row,k), T_geqrt(row,k)
+//   UNMQR (row,k -> j) : full A(row,j)
+//   TSQRT (piv,row,k)  : upper A(piv,k), full A(row,k), T_pencil(row,k)
+//   TTQRT (piv,row,k)  : upper A(piv,k), upper A(row,k), T_pencil(row,k)
+//   TSMQR (piv,row,j)  : full A(piv,j), full A(row,j)
+//   TTMQR (piv,row,j)  : full A(piv,j), full A(row,j)
+//
+// full = b*b doubles (column-major), upper = b*(b+1)/2 doubles (columns of
+// the triangle incl. diagonal), T = b*b doubles. The T factor piggybacks on
+// the A-region message because every consumer of a T has a direct RAW edge
+// from its producer, so it is guaranteed to be on board the frame that
+// releases the consumer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/factorization.hpp"
+#include "dag/partition.hpp"
+#include "dag/task_graph.hpp"
+
+namespace hqr::distrun {
+
+// Byte size of the payload `op` produces (for frame validation).
+std::size_t task_output_bytes(const KernelOp& op, int b);
+
+// Appends the regions written by `op` (current contents of `f`) to `out`
+// in the canonical order above.
+void pack_task_output(const KernelOp& op, const QRFactors& f,
+                      std::vector<std::uint8_t>& out);
+
+// Applies a received payload of `op` onto the local replica. Safe to call
+// while workers run: every local task that touches these regions is either
+// a graph ancestor of `op` (already finished everywhere, or the frame could
+// not exist) or a successor (not yet released).
+void apply_task_output(const KernelOp& op, QRFactors& f,
+                       const std::vector<std::uint8_t>& payload);
+
+// ---- End-of-run gather ---------------------------------------------------
+//
+// Both sides enumerate, in the same deterministic order, (a) every tile
+// region whose last writer in the kernel list ran on `rank`, and (b) every
+// T factor produced on `rank`. Rank r packs that set; rank 0 applies it.
+// Regions never written stay at their initial value, which every rank's
+// replica already holds.
+
+// Payload of everything `rank` must contribute to the final factorization.
+std::vector<std::uint8_t> pack_gather(const TaskGraph& graph,
+                                      const CommPlan& plan, int rank,
+                                      const QRFactors& f);
+
+// Applies rank `rank`'s gather payload onto rank 0's replica.
+void apply_gather(const TaskGraph& graph, const CommPlan& plan, int rank,
+                  const std::vector<std::uint8_t>& payload, QRFactors& f);
+
+}  // namespace hqr::distrun

@@ -1,0 +1,156 @@
+#include "net/comm.hpp"
+
+#include <cstring>
+
+#include <poll.h>
+
+#include "common/check.hpp"
+
+namespace hqr::net {
+
+Comm::Comm(int rank, std::vector<Fd> peers)
+    : rank_(rank), peers_(std::move(peers)) {
+  HQR_CHECK(rank_ >= 0 && rank_ < static_cast<int>(peers_.size()),
+            "rank " << rank_ << " outside communicator of size "
+                    << peers_.size());
+  for (int q = 0; q < size(); ++q) {
+    if (q == rank_) continue;
+    HQR_CHECK(peers_[q].valid(), "missing socket for peer rank " << q);
+    set_nonblocking(peers_[q].get());
+  }
+  send_.resize(peers_.size());
+  recv_.resize(peers_.size());
+}
+
+void Comm::post(int dest, Tag tag, std::int32_t id, const void* payload,
+                std::size_t bytes) {
+  HQR_CHECK(dest >= 0 && dest < size() && dest != rank_,
+            "bad destination rank " << dest);
+  FrameHeader h;
+  h.tag = static_cast<std::uint32_t>(tag);
+  h.src = rank_;
+  h.id = id;
+  h.bytes = bytes;
+  std::vector<std::uint8_t> frame(sizeof(h) + bytes);
+  std::memcpy(frame.data(), &h, sizeof(h));
+  if (bytes > 0) std::memcpy(frame.data() + sizeof(h), payload, bytes);
+  std::lock_guard<std::mutex> lk(send_mu_);
+  send_[static_cast<std::size_t>(dest)].frames.push_back(std::move(frame));
+  ++pending_frames_;
+  if (tag == Tag::Data) {
+    ++counters_.data_messages_sent;
+    counters_.data_bytes_sent += static_cast<long long>(bytes);
+  } else {
+    ++counters_.control_messages_sent;
+    counters_.control_bytes_sent += static_cast<long long>(bytes);
+  }
+}
+
+bool Comm::flushed() const {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  return pending_frames_ == 0;
+}
+
+void Comm::flush_peer(int q) {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  SendState& s = send_[static_cast<std::size_t>(q)];
+  while (!s.frames.empty()) {
+    const std::vector<std::uint8_t>& f = s.frames.front();
+    const std::size_t want = f.size() - s.offset;
+    const std::ptrdiff_t wrote =
+        write_some(peers_[static_cast<std::size_t>(q)].get(),
+                   f.data() + s.offset, want);
+    s.offset += static_cast<std::size_t>(wrote);
+    if (s.offset < f.size()) return;  // kernel buffer full
+    s.frames.pop_front();
+    s.offset = 0;
+    --pending_frames_;
+  }
+}
+
+void Comm::drain_peer(int q, std::vector<Message>& out) {
+  RecvState& r = recv_[static_cast<std::size_t>(q)];
+  const int fd = peers_[static_cast<std::size_t>(q)].get();
+  for (;;) {
+    if (r.header_got < sizeof(FrameHeader)) {
+      auto* dst = reinterpret_cast<std::uint8_t*>(&r.header) + r.header_got;
+      const std::ptrdiff_t got =
+          read_some(fd, dst, sizeof(FrameHeader) - r.header_got);
+      if (got == 0) return;
+      if (got < 0) {
+        HQR_CHECK(eof_ok_ && r.header_got == 0,
+                  "rank " << q << " closed the connection mid-stream");
+        r.closed = true;
+        return;
+      }
+      r.header_got += static_cast<std::size_t>(got);
+      if (r.header_got < sizeof(FrameHeader)) return;
+      HQR_CHECK(r.header.magic == kMagic,
+                "bad frame magic from rank " << q);
+      HQR_CHECK(r.header.bytes < (1ull << 34),
+                "implausible frame size from rank " << q);
+      r.payload.resize(static_cast<std::size_t>(r.header.bytes));
+      r.payload_got = 0;
+    }
+    if (r.payload_got < r.payload.size()) {
+      const std::ptrdiff_t got =
+          read_some(fd, r.payload.data() + r.payload_got,
+                    r.payload.size() - r.payload_got);
+      if (got == 0) return;
+      HQR_CHECK(got > 0, "rank " << q << " closed the connection mid-frame");
+      r.payload_got += static_cast<std::size_t>(got);
+      if (r.payload_got < r.payload.size()) return;
+    }
+    Message m;
+    m.tag = static_cast<Tag>(r.header.tag);
+    m.src = r.header.src;
+    m.id = r.header.id;
+    m.payload = std::move(r.payload);
+    r.payload.clear();
+    r.header_got = 0;
+    r.payload_got = 0;
+    if (m.tag == Tag::Data) {
+      ++counters_.data_messages_recv;
+      counters_.data_bytes_recv += static_cast<long long>(m.payload.size());
+    } else {
+      ++counters_.control_messages_recv;
+      counters_.control_bytes_recv += static_cast<long long>(m.payload.size());
+    }
+    out.push_back(std::move(m));
+  }
+}
+
+int Comm::pump(int timeout_ms, const std::function<void(Message&&)>& on_msg) {
+  std::vector<pollfd> fds;
+  std::vector<int> who;
+  fds.reserve(peers_.size());
+  who.reserve(peers_.size());
+  {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    for (int q = 0; q < size(); ++q) {
+      if (q == rank_ || recv_[static_cast<std::size_t>(q)].closed) continue;
+      pollfd p{};
+      p.fd = peers_[static_cast<std::size_t>(q)].get();
+      p.events = POLLIN;
+      if (!send_[static_cast<std::size_t>(q)].frames.empty())
+        p.events |= POLLOUT;
+      fds.push_back(p);
+      who.push_back(q);
+    }
+  }
+  if (fds.empty()) return 0;
+  const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  HQR_CHECK(rc >= 0 || errno == EINTR, "poll: " << std::strerror(errno));
+  if (rc <= 0) return 0;
+
+  std::vector<Message> delivered;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents & POLLOUT) flush_peer(who[i]);
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+      drain_peer(who[i], delivered);
+  }
+  for (Message& m : delivered) on_msg(std::move(m));
+  return static_cast<int>(delivered.size());
+}
+
+}  // namespace hqr::net

@@ -1,0 +1,96 @@
+// Rank-to-rank communicator: a fully connected mesh of stream sockets with
+// framed tagged messages (net/message.hpp), eager sends and nonblocking
+// poll-based progress.
+//
+// Threading model: any thread may post() (sends are enqueued under a
+// mutex); exactly one thread at a time drives pump(), which flushes queued
+// frames and delivers every completely received message to a handler. The
+// distributed runtime runs pump() on a dedicated communication thread
+// during DAG execution — the paper's §V-A "additional communication
+// thread" — and on the main thread during the gather/shutdown phases.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/socket.hpp"
+
+namespace hqr::net {
+
+// Traffic counters, split exactly the way the cross-validation against the
+// cluster simulator needs them: Data frames (the tile payloads whose count
+// and dedup rule the simulator models) versus everything else (gather,
+// stats, shutdown — traffic the model does not charge for).
+struct CommCounters {
+  long long data_messages_sent = 0;
+  long long data_bytes_sent = 0;  // payload bytes of Data frames
+  long long data_messages_recv = 0;
+  long long data_bytes_recv = 0;
+  long long control_messages_sent = 0;
+  long long control_bytes_sent = 0;
+  long long control_messages_recv = 0;
+  long long control_bytes_recv = 0;
+};
+
+class Comm {
+ public:
+  // peers[q] owns the socket connected to rank q (peers[rank] is ignored);
+  // built by the launcher, or directly by in-process tests.
+  Comm(int rank, std::vector<Fd> peers);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(peers_.size()); }
+
+  // Enqueues one framed message to `dest` and returns immediately (eager
+  // send); the next pump() flushes it. Thread-safe.
+  void post(int dest, Tag tag, std::int32_t id, const void* payload,
+            std::size_t bytes);
+
+  // One progress iteration: writes queued frames until the kernel buffers
+  // fill, reads whatever arrived, and invokes `on_msg` once per completely
+  // received message. Blocks in poll for at most `timeout_ms` when there is
+  // nothing to do. Returns the number of messages delivered. Throws
+  // hqr::Error on a socket error, or on peer EOF unless eof_ok() was set
+  // (the shutdown phase expects peers to disappear).
+  int pump(int timeout_ms, const std::function<void(Message&&)>& on_msg);
+
+  // True when every posted frame has been written to the kernel.
+  bool flushed() const;
+
+  // Tolerate peers closing their end (set before the shutdown flush).
+  void set_eof_ok(bool ok) { eof_ok_ = ok; }
+
+  const CommCounters& counters() const { return counters_; }
+
+ private:
+  struct SendState {
+    std::deque<std::vector<std::uint8_t>> frames;  // header+payload
+    std::size_t offset = 0;                        // into frames.front()
+  };
+  struct RecvState {
+    FrameHeader header;
+    std::size_t header_got = 0;
+    std::vector<std::uint8_t> payload;
+    std::size_t payload_got = 0;
+    bool closed = false;
+  };
+
+  void flush_peer(int q);
+  // Reads from peer q; appends complete messages to `out`.
+  void drain_peer(int q, std::vector<Message>& out);
+
+  int rank_;
+  std::vector<Fd> peers_;
+  std::vector<SendState> send_;
+  std::vector<RecvState> recv_;
+  mutable std::mutex send_mu_;  // guards send_ and pending_frames_
+  long long pending_frames_ = 0;
+  bool eof_ok_ = false;
+  CommCounters counters_;
+};
+
+}  // namespace hqr::net

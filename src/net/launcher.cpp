@@ -1,0 +1,144 @@
+#include "net/launcher.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "common/check.hpp"
+
+namespace hqr::net {
+
+namespace {
+
+// mesh[r][q] is rank r's socket to rank q (invalid when r == q).
+std::vector<std::vector<Fd>> build_mesh(int nranks) {
+  std::vector<std::vector<Fd>> mesh(static_cast<std::size_t>(nranks));
+  for (auto& row : mesh) row.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    for (int q = r + 1; q < nranks; ++q) {
+      auto [a, b] = stream_pair();
+      mesh[static_cast<std::size_t>(r)][static_cast<std::size_t>(q)] =
+          std::move(a);
+      mesh[static_cast<std::size_t>(q)][static_cast<std::size_t>(r)] =
+          std::move(b);
+    }
+  }
+  return mesh;
+}
+
+[[noreturn]] void child_main(int rank, std::vector<Fd> peers,
+                             const std::function<int(Comm&)>& rank_main) {
+#ifdef __linux__
+  // Die with the parent: nothing a rank does should outlive the launcher.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  int code = 1;
+  try {
+    Comm comm(rank, std::move(peers));
+    code = rank_main(comm);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[rank %d] fatal: %s\n", rank, e.what());
+    std::fflush(stderr);
+    code = 1;
+  } catch (...) {
+    std::fprintf(stderr, "[rank %d] fatal: unknown exception\n", rank);
+    std::fflush(stderr);
+    code = 1;
+  }
+  // _exit, not exit: the child shares the parent's atexit state and stdio
+  // with siblings; run no global destructors in a forked worker.
+  std::fflush(nullptr);
+  ::_exit(code);
+}
+
+}  // namespace
+
+int run_ranks(int nranks, const std::function<int(Comm&)>& rank_main,
+              const LaunchOptions& opts) {
+  HQR_CHECK(nranks >= 1, "need at least one rank, got " << nranks);
+  auto mesh = build_mesh(nranks);
+
+  std::fflush(nullptr);  // don't duplicate buffered output into children
+  std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
+  for (int r = 0; r < nranks; ++r) {
+    const pid_t pid = ::fork();
+    HQR_CHECK(pid >= 0, "fork failed for rank " << r);
+    if (pid == 0) {
+      // Child: keep only this rank's row of the mesh.
+      std::vector<Fd> peers = std::move(mesh[static_cast<std::size_t>(r)]);
+      mesh.clear();
+      child_main(r, std::move(peers), rank_main);  // never returns
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+  mesh.clear();  // parent holds no mesh descriptors
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              opts.timeout_seconds > 0 ? opts.timeout_seconds : 0));
+
+  int alive = nranks;
+  int first_failure = 0;
+  bool timed_out = false;
+  while (alive > 0) {
+    bool reaped = false;
+    for (int r = 0; r < nranks; ++r) {
+      pid_t& pid = pids[static_cast<std::size_t>(r)];
+      if (pid < 0) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(pid, &status, WNOHANG);
+      if (got == 0) continue;
+      HQR_CHECK(got == pid, "waitpid failed for rank " << r);
+      pid = -1;
+      --alive;
+      reaped = true;
+      int code = 0;
+      if (WIFEXITED(status)) {
+        code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        std::fprintf(stderr, "[launcher] rank %d killed by signal %d\n", r,
+                     WTERMSIG(status));
+        code = 1;
+      }
+      if (code != 0 && first_failure == 0) first_failure = code;
+    }
+    if (alive == 0) break;
+    if (first_failure != 0) break;  // one rank failed: kill the rest
+    if (opts.timeout_seconds > 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "[launcher] timeout after %.1fs, killing %d rank(s)\n",
+                   opts.timeout_seconds, alive);
+      timed_out = true;
+      break;
+    }
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  if (alive > 0) {
+    for (pid_t pid : pids)
+      if (pid > 0) ::kill(pid, SIGKILL);
+    for (int r = 0; r < nranks; ++r) {
+      pid_t& pid = pids[static_cast<std::size_t>(r)];
+      if (pid < 0) continue;
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+  }
+  if (timed_out && first_failure == 0) first_failure = 1;
+  return first_failure;
+}
+
+}  // namespace hqr::net

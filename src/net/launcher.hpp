@@ -1,0 +1,33 @@
+// Rank launcher: forks R worker processes connected by a fully wired
+// socketpair mesh and supervises them.
+//
+// The mesh (one AF_UNIX socketpair per unordered rank pair) is created in
+// the parent *before* any fork, so every child inherits all descriptors;
+// each child keeps only its own row of the mesh and closes the rest. The
+// parent closes everything and watches the children: the first nonzero
+// exit, killing signal, or deadline overrun makes it SIGKILL the whole
+// group and report failure — a crashed or wedged rank can never hang the
+// caller (or CI).
+#pragma once
+
+#include <functional>
+
+#include "net/comm.hpp"
+
+namespace hqr::net {
+
+struct LaunchOptions {
+  // Wall-clock budget for the whole run; <= 0 means no deadline.
+  double timeout_seconds = 0.0;
+};
+
+// Forks `nranks` children; each runs `rank_main` with its communicator and
+// exits with its return value (uncaught hqr exceptions become exit code 1).
+// Returns 0 when every rank exited 0, otherwise the first failing rank's
+// exit code (or 1 for signals/timeouts). Must be called before the calling
+// process spawns threads — fork() only carries the calling thread into the
+// child.
+int run_ranks(int nranks, const std::function<int(Comm&)>& rank_main,
+              const LaunchOptions& opts = {});
+
+}  // namespace hqr::net

@@ -1,0 +1,97 @@
+// Wire format of the message-passing layer: framed, tagged messages.
+//
+// Every frame is a fixed 24-byte header followed by `bytes` of payload.
+// The header carries the message tag, the sender's rank and a 32-bit id
+// whose meaning depends on the tag:
+//
+//   Data    id = producer task index in the (deterministically rebuilt)
+//           TaskGraph. Since the graph assigns each tile version a unique
+//           writer, the producer id *is* the (tile, version) key: the
+//           receiver derives which tile regions the payload holds from the
+//           producer's KernelOp, and which local tasks it releases from the
+//           graph's successor lists.
+//   Gather  id = sender rank; payload holds the sender's final-version tile
+//           regions and T factors (the end-of-run collect onto rank 0).
+//   Stats   id = sender rank; payload is a DistRankStats block.
+//   Bye     id = sender rank; empty payload (rank 0's shutdown release).
+//   Abort   id = sender rank; empty payload (peer hit an error; tear down).
+//
+// All ranks run the same binary on the same host (forked by the launcher),
+// so scalar fields are shipped in native byte order.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hqr::net {
+
+enum class Tag : std::uint32_t {
+  Data = 1,
+  Gather = 2,
+  Stats = 3,
+  Bye = 4,
+  Abort = 5,
+};
+
+inline constexpr std::uint32_t kMagic = 0x4851524d;  // "HQRM"
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t tag = 0;
+  std::int32_t src = -1;
+  std::int32_t id = -1;
+  std::uint64_t bytes = 0;  // payload length
+};
+static_assert(sizeof(FrameHeader) == 24, "wire header must be packed");
+
+// A fully received message, as handed to the progress-loop handler.
+struct Message {
+  Tag tag = Tag::Data;
+  int src = -1;
+  std::int32_t id = -1;
+  std::vector<std::uint8_t> payload;
+};
+
+// Append-only little helper for building payloads of doubles/integers.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  void f64(const double* p, std::size_t count) {
+    raw(p, count * sizeof(double));
+  }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// Sequential reader over a received payload; throws nothing, callers bound
+// the reads by construction and verify totals with remaining().
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  void raw(void* p, std::size_t n) {
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+  }
+  void f64(double* p, std::size_t count) { raw(p, count * sizeof(double)); }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hqr::net

@@ -1,0 +1,53 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+namespace hqr::net {
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::pair<Fd, Fd> stream_pair() {
+  int fds[2];
+  HQR_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+            "socketpair: " << std::strerror(errno));
+  return {Fd(fds[0]), Fd(fds[1])};
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  HQR_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "fcntl(O_NONBLOCK): " << std::strerror(errno));
+}
+
+std::ptrdiff_t write_some(int fd, const void* p, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    HQR_CHECK(false, "socket write: " << std::strerror(errno));
+  }
+}
+
+std::ptrdiff_t read_some(int fd, void* p, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r > 0) return r;
+    if (r == 0) return -1;  // orderly EOF: the peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    HQR_CHECK(false, "socket read: " << std::strerror(errno));
+  }
+}
+
+}  // namespace hqr::net

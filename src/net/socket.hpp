@@ -1,0 +1,58 @@
+// Thin RAII + error-checked wrappers over the POSIX stream sockets the
+// message-passing layer runs on. The rank mesh uses AF_UNIX socketpairs
+// (created by the launcher before fork): reliable, ordered byte streams
+// with kernel buffering, no address setup, and automatic teardown when a
+// peer dies — exactly the transport the eager-send protocol needs on one
+// machine.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace hqr::net {
+
+// Owning file descriptor. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int f = fd_;
+    fd_ = -1;
+    return f;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// A connected AF_UNIX stream socketpair; throws hqr::Error on failure.
+std::pair<Fd, Fd> stream_pair();
+
+// Marks the descriptor nonblocking (the progress loop multiplexes with
+// poll); throws hqr::Error on failure.
+void set_nonblocking(int fd);
+
+// Nonblocking write/read of up to n bytes. Returns the byte count moved
+// (possibly 0 when the kernel buffer is full/empty), or -1 on EOF (read
+// only). Throws hqr::Error on a hard socket error.
+std::ptrdiff_t write_some(int fd, const void* p, std::size_t n);
+std::ptrdiff_t read_some(int fd, void* p, std::size_t n);
+
+}  // namespace hqr::net

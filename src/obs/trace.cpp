@@ -147,4 +147,63 @@ void TraceRecorder::save(const std::string& path) const {
     save_csv(path);
 }
 
+namespace {
+
+KernelType kernel_type_from_name(const std::string& name) {
+  for (int t = 0; t < kKernelTypeCount; ++t) {
+    const KernelType k = static_cast<KernelType>(t);
+    if (kernel_name(k) == name) return k;
+  }
+  HQR_CHECK(false, "unknown kernel name '" << name << "' in trace CSV");
+}
+
+}  // namespace
+
+TraceRecorder load_trace_csv(const std::string& path) {
+  std::ifstream f(path);
+  HQR_CHECK(f.good(), "cannot open " << path << " for reading");
+  std::string line;
+  HQR_CHECK(std::getline(f, line) &&
+                line == "task,lane,sub,kernel,start,end,accel,row,piv,k,j",
+            "not a trace CSV (bad header): " << path);
+  TraceRecorder rec;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field[11];
+    for (int i = 0; i < 11; ++i)
+      HQR_CHECK(std::getline(ls, field[i], ','),
+                "short row in " << path << ": '" << line << "'");
+    TraceEvent e;
+    e.task = std::stoi(field[0]);
+    e.lane = std::stoi(field[1]);
+    e.sub = std::stoi(field[2]);
+    e.type = kernel_type_from_name(field[3]);
+    e.start = std::stod(field[4]);
+    e.end = std::stod(field[5]);
+    e.on_accel = field[6] == "1";
+    e.row = std::stoi(field[7]);
+    e.piv = std::stoi(field[8]);
+    e.k = std::stoi(field[9]);
+    e.j = std::stoi(field[10]);
+    rec.add(e);
+  }
+  return rec;
+}
+
+TraceRecorder merge_rank_traces(const std::vector<std::string>& csv_paths) {
+  TraceRecorder merged;
+  merged.set_labels("rank", "worker");
+  merged.ensure_lanes(static_cast<int>(csv_paths.size()));
+  for (std::size_t r = 0; r < csv_paths.size(); ++r) {
+    const TraceRecorder one = load_trace_csv(csv_paths[r]);
+    for (TraceEvent e : one.sorted_events()) {
+      e.sub = e.lane;  // worker thread becomes the thread track
+      e.lane = static_cast<std::int32_t>(r);
+      merged.record(static_cast<int>(r), e);
+    }
+  }
+  return merged;
+}
+
 }  // namespace hqr::obs

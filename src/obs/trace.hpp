@@ -94,4 +94,15 @@ class TraceRecorder {
   std::string sub_label_ = "unit";
 };
 
+// Parses a CSV written by TraceRecorder::save_csv back into a recorder
+// (all events in buffer 0). Throws hqr::Error on malformed input.
+TraceRecorder load_trace_csv(const std::string& path);
+
+// Merges one trace CSV per rank (csv_paths[r] = rank r's worker-lane trace)
+// into a single recorder whose lane is the *rank* and whose sub is the
+// source worker lane — so the Perfetto export shows one process row per
+// rank with one thread track per worker. The distributed quickstart uses
+// this to fuse per-rank traces into one cluster-wide timeline.
+TraceRecorder merge_rank_traces(const std::vector<std::string>& csv_paths);
+
 }  // namespace hqr::obs

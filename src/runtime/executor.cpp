@@ -76,8 +76,10 @@ class GlobalQueuePolicy {
  public:
   GlobalQueuePolicy(const std::vector<double>& depth,
                     const ExecutorOptions& opts,
-                    const std::atomic<long long>& remaining)
-      : depth_(depth), opts_(opts), remaining_(remaining) {}
+                    const std::atomic<long long>& remaining,
+                    const std::atomic<bool>& cancelled)
+      : depth_(depth), opts_(opts), remaining_(remaining),
+        cancelled_(cancelled) {}
 
   void seed(const std::vector<std::int32_t>& roots) {
     for (std::int32_t r : roots) ready_.push({depth_[r], r});
@@ -105,9 +107,11 @@ class GlobalQueuePolicy {
     std::unique_lock<std::mutex> lk(mu_);
     cv_.wait(lk, [&] {
       return !ready_.empty() ||
-             remaining_.load(std::memory_order_acquire) == 0;
+             remaining_.load(std::memory_order_acquire) == 0 ||
+             cancelled_.load(std::memory_order_acquire);
     });
-    if (ready_.empty()) return -1;
+    if (cancelled_.load(std::memory_order_acquire) || ready_.empty())
+      return -1;
     const std::int32_t idx = ready_.top().idx;
     ready_.pop();
     ++ws.queue_pops;
@@ -127,6 +131,7 @@ class GlobalQueuePolicy {
   const std::vector<double>& depth_;
   const ExecutorOptions& opts_;
   const std::atomic<long long>& remaining_;
+  const std::atomic<bool>& cancelled_;
   std::priority_queue<ReadyTask> ready_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -145,10 +150,12 @@ class GlobalQueuePolicy {
 class StealPolicy {
  public:
   StealPolicy(const std::vector<double>& depth, const ExecutorOptions& opts,
-              const std::atomic<long long>& remaining)
+              const std::atomic<long long>& remaining,
+              const std::atomic<bool>& cancelled)
       : depth_(depth),
         opts_(opts),
         remaining_(remaining),
+        cancelled_(cancelled),
         deques_(static_cast<std::size_t>(opts.threads)),
         lanes_(static_cast<std::size_t>(opts.threads)) {
     for (std::size_t t = 0; t < lanes_.size(); ++t)
@@ -164,6 +171,19 @@ class StealPolicy {
 
   void release(int lane, std::vector<std::int32_t>& batch) {
     if (batch.empty()) return;
+    if (lane < 0) {
+      // External release (a remote producer's payload arrived on the
+      // communication thread): no worker owns the batch, so it goes to the
+      // shared priority heap.
+      {
+        std::lock_guard<std::mutex> lk(overflow_mu_);
+        for (std::int32_t idx : batch) overflow_.push({depth_[idx], idx});
+        overflow_size_.store(static_cast<std::int64_t>(overflow_.size()),
+                             std::memory_order_release);
+      }
+      if (sleepers_.load(std::memory_order_acquire) > 0) cv_.notify_all();
+      return;
+    }
     // Ascending priority: the best task ends up on top of the LIFO deque.
     std::sort(batch.begin(), batch.end(),
               [&](std::int32_t x, std::int32_t y) {
@@ -193,14 +213,18 @@ class StealPolicy {
         ws.depth_samples_sum += own.size();
         return idx;
       }
-      if (remaining_.load(std::memory_order_acquire) == 0) return -1;
+      if (remaining_.load(std::memory_order_acquire) == 0 ||
+          cancelled_.load(std::memory_order_acquire))
+        return -1;
       if (overflow_size_.load(std::memory_order_acquire) > 0 &&
           (idx = pop_overflow(ws)) >= 0)
         return idx;
       // Steal sweep: randomized victim order, a couple of passes over the
       // other workers before giving up and blocking.
       for (int attempt = 0; nw > 1 && attempt < 2 * nw; ++attempt) {
-        if (remaining_.load(std::memory_order_acquire) == 0) return -1;
+        if (remaining_.load(std::memory_order_acquire) == 0 ||
+            cancelled_.load(std::memory_order_acquire))
+          return -1;
         const int victim = pick_victim(lane, nw);
         idx = deques_[static_cast<std::size_t>(victim)].steal();
         if (idx >= 0) {
@@ -219,7 +243,8 @@ class StealPolicy {
       // path is an explicit notify.
       std::unique_lock<std::mutex> lk(mu_);
       sleepers_.fetch_add(1, std::memory_order_acq_rel);
-      if (remaining_.load(std::memory_order_acquire) > 0)
+      if (remaining_.load(std::memory_order_acquire) > 0 &&
+          !cancelled_.load(std::memory_order_acquire))
         cv_.wait_for(lk, std::chrono::microseconds(200));
       sleepers_.fetch_sub(1, std::memory_order_acq_rel);
     }
@@ -266,6 +291,7 @@ class StealPolicy {
   const std::vector<double>& depth_;
   const ExecutorOptions& opts_;
   const std::atomic<long long>& remaining_;
+  const std::atomic<bool>& cancelled_;
   std::vector<StealDeque> deques_;
   std::vector<LaneState> lanes_;
 
@@ -287,16 +313,28 @@ class Engine {
   // Called by a worker to run task `idx` with its private workspace.
   using ExecuteFn = std::function<void(std::int32_t, TileWorkspace&)>;
 
-  Engine(const TaskGraph& graph, const ExecutorOptions& opts)
+  Engine(const TaskGraph& graph, const ExecutorOptions& opts,
+         const PartitionView* view = nullptr)
       : graph_(graph),
         opts_(opts),
+        view_(view),
         timed_(opts.trace != nullptr || opts.metrics != nullptr),
-        remaining_(graph.size()) {
+        remaining_(0) {
+    local_tasks_ = graph.size();
+    if (view_) {
+      local_tasks_ = 0;
+      for (int i = 0; i < graph.size(); ++i)
+        if (is_local(i)) ++local_tasks_;
+    }
+    remaining_.store(local_tasks_, std::memory_order_relaxed);
     npred_ = std::make_unique<std::atomic<int>[]>(
         static_cast<std::size_t>(graph.size()));
     for (int i = 0; i < graph.size(); ++i)
       npred_[i].store(graph.num_predecessors(i), std::memory_order_relaxed);
     if (opts_.priority_scheduling) {
+      // Priorities come from the critical path of the FULL graph even in
+      // partition mode, matching what the cluster simulator assumes every
+      // node schedules by.
       graph_.critical_path(unit_weight_duration, &depth_);
     } else {
       depth_.assign(static_cast<std::size_t>(graph.size()), 0.0);
@@ -310,8 +348,34 @@ class Engine {
         kernel_hist_[t] = &opts_.metrics->histogram(
             "exec.task_seconds." + kernel_name(static_cast<KernelType>(t)));
     }
-    policy_.emplace(depth_, opts_, remaining_);
-    policy_->seed(graph_.roots());
+    policy_.emplace(depth_, opts_, remaining_, cancelled_);
+    if (view_) {
+      std::vector<std::int32_t> local_roots;
+      for (std::int32_t r : graph_.roots())
+        if (is_local(r)) local_roots.push_back(r);
+      policy_->seed(local_roots);
+    } else {
+      policy_->seed(graph_.roots());
+    }
+  }
+
+  long long local_tasks() const { return local_tasks_; }
+
+  // Remote producer done (payload applied): release its local successors.
+  // Called from the communication thread while workers run.
+  void remote_complete(std::int32_t producer) {
+    std::vector<std::int32_t> batch;
+    for (std::int32_t s : graph_.successors(producer)) {
+      if (!is_local(s)) continue;
+      if (npred_[s].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        batch.push_back(s);
+    }
+    policy_->release(/*lane=*/-1, batch);
+  }
+
+  void cancel() {
+    cancelled_.store(true, std::memory_order_release);
+    policy_->all_done();
   }
 
   void run(int b, const ExecuteFn& execute, int threads,
@@ -351,6 +415,7 @@ class Engine {
       }
       next = -1;
       if (idx < 0) return;
+      if (cancelled_.load(std::memory_order_acquire)) return;
 
       const KernelType type = graph_.op(idx).type;
       if (timed_) {
@@ -373,11 +438,18 @@ class Engine {
       ++stats.executed;
       ++stats.tasks_by_kernel[kernel_type_index(type)];
 
+      // Partition mode: hand the finished task to the caller (it packs the
+      // output regions onto the wire) before any successor can run and
+      // overwrite them.
+      if (view_ && view_->on_complete) view_->on_complete(idx);
+
       // Release successors; keep the best newly-ready one local and hand
-      // the rest to the scheduler in one batch.
+      // the rest to the scheduler in one batch. Remote-owned successors are
+      // skipped: their owner releases them when this task's payload lands.
       std::int32_t keep = -1;
       released.clear();
       for (std::int32_t s : graph_.successors(idx)) {
+        if (view_ && !is_local(s)) continue;
         if (npred_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
           if (opts_.data_reuse && (keep < 0 || depth_[s] > depth_[keep])) {
             if (keep >= 0) released.push_back(keep);
@@ -396,30 +468,60 @@ class Engine {
     }
   }
 
+  bool is_local(std::int32_t i) const {
+    return (*view_->task_rank)[static_cast<std::size_t>(i)] == view_->my_rank;
+  }
+
   const TaskGraph& graph_;
   const ExecutorOptions& opts_;
+  const PartitionView* view_;
   const bool timed_;
+  long long local_tasks_ = 0;
   Stopwatch clock_;  // shared time base for trace lanes and busy/idle splits
   std::array<obs::Histogram*, kKernelTypeCount> kernel_hist_{};
   std::unique_ptr<std::atomic<int>[]> npred_;
   std::vector<double> depth_;
   std::atomic<long long> remaining_;
+  std::atomic<bool> cancelled_{false};
   std::optional<Policy> policy_;  // constructed once depth_ is final
+};
+
+// Adapts one concrete Engine<Policy> to the policy-agnostic RemotePort the
+// distributed runtime holds.
+template <class Policy>
+class EnginePort final : public RemotePort {
+ public:
+  explicit EnginePort(Engine<Policy>& e) : e_(e) {}
+  void remote_complete(std::int32_t producer) override {
+    e_.remote_complete(producer);
+  }
+  void cancel() override { e_.cancel(); }
+
+ private:
+  Engine<Policy>& e_;
 };
 
 template <class Policy>
 RunStats run_graph_impl(const TaskGraph& graph, int b,
                         const std::function<void(std::int32_t, TileWorkspace&)>&
                             execute,
-                        const ExecutorOptions& opts) {
+                        const ExecutorOptions& opts,
+                        const PartitionView* view = nullptr,
+                        const std::function<void(RemotePort&)>& port_ready =
+                            {},
+                        const std::function<void()>& before_teardown = {}) {
   Stopwatch sw;
-  Engine<Policy> engine(graph, opts);
+  Engine<Policy> engine(graph, opts, view);
+  EnginePort<Policy> port(engine);
+  if (port_ready) port_ready(port);
   RunStats stats;
   stats.threads = opts.threads;
   std::vector<WorkerStats> per_thread;
   engine.run(b, execute, opts.threads, per_thread);
+  // The port must outlive every thread that can call into it.
+  if (before_teardown) before_teardown();
   stats.seconds = sw.seconds();
-  stats.total_tasks = graph.size();
+  stats.total_tasks = engine.local_tasks();
 
   const bool timed = opts.trace != nullptr || opts.metrics != nullptr;
   stats.tasks_per_thread.reserve(per_thread.size());
@@ -500,6 +602,29 @@ RunStats execute_parallel(QRFactors& f, const TaskGraph& graph,
         execute_kernel(f.kernels()[idx], f, ws);
       },
       opts);
+}
+
+RunStats execute_partition(QRFactors& f, const TaskGraph& graph,
+                           const ExecutorOptions& opts,
+                           const PartitionView& view,
+                           const std::function<void(RemotePort&)>& port_ready,
+                           const std::function<void()>& before_teardown) {
+  HQR_CHECK(static_cast<int>(f.kernels().size()) == graph.size(),
+            "kernel list / graph mismatch");
+  HQR_CHECK(view.task_rank != nullptr &&
+                static_cast<int>(view.task_rank->size()) == graph.size(),
+            "partition view task_rank must cover the graph");
+  HQR_CHECK(opts.threads >= 1, "need at least one thread");
+  if (opts.trace) opts.trace->set_labels("worker", "thread");
+  const auto execute = [&](std::int32_t idx, TileWorkspace& ws) {
+    execute_kernel(f.kernels()[idx], f, ws);
+  };
+  if (opts.scheduler == SchedulerKind::Global)
+    return run_graph_impl<GlobalQueuePolicy>(graph, f.b(), execute, opts,
+                                             &view, port_ready,
+                                             before_teardown);
+  return run_graph_impl<StealPolicy>(graph, f.b(), execute, opts, &view,
+                                     port_ready, before_teardown);
 }
 
 QRFactors qr_factorize_parallel(const Matrix& a, int b,

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -97,6 +99,49 @@ struct ExecutorOptions {
 // disjoint tiles.
 RunStats execute_parallel(QRFactors& f, const TaskGraph& graph,
                           const ExecutorOptions& opts);
+
+// ---- Partitioned execution (the distributed runtime's per-rank engine) ---
+
+// Restricts a run to the slice of the graph owned by one rank. The engine
+// seeds/executes only tasks with task_rank[i] == my_rank; a task whose
+// predecessors include remote tasks becomes ready only after the caller
+// reports those producers done through RemotePort::remote_complete (i.e.
+// after their payload arrived over the wire and was applied).
+struct PartitionView {
+  // Owning rank per task (CommPlan::node()); size must match the graph.
+  const std::vector<std::int32_t>* task_rank = nullptr;
+  int my_rank = 0;
+  // Invoked on the executing worker after a local task's kernel ran and
+  // *before* its successors are released. At that point the task's output
+  // regions are stable (any later writer is a successor), so the callback
+  // may pack them onto the wire without copying under a lock.
+  std::function<void(std::int32_t)> on_complete;
+};
+
+// Thread-safe handle into a running partitioned engine, valid until
+// execute_partition returns.
+class RemotePort {
+ public:
+  virtual ~RemotePort() = default;
+  // A remote producer finished and its payload was applied to local tiles:
+  // release its local successors into the ready set.
+  virtual void remote_complete(std::int32_t producer) = 0;
+  // Abort the run: workers stop picking up tasks and drain out.
+  virtual void cancel() = 0;
+};
+
+// Runs the my_rank slice of `graph` on `opts.threads` workers. `port_ready`
+// is called once, before workers start, with the port the communication
+// thread uses to feed remote completions in. `before_teardown` is called
+// after the last local task finished but while the engine (and thus the
+// port) is still alive — join any thread that might touch the port there.
+// Returns when every local task ran (or the run was cancelled);
+// RunStats::total_tasks counts local tasks only.
+RunStats execute_partition(QRFactors& f, const TaskGraph& graph,
+                           const ExecutorOptions& opts,
+                           const PartitionView& view,
+                           const std::function<void(RemotePort&)>& port_ready,
+                           const std::function<void()>& before_teardown = {});
 
 // Convenience: factorize with the parallel runtime.
 QRFactors qr_factorize_parallel(const Matrix& a, int b,

@@ -5,27 +5,14 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "dag/partition.hpp"
 
 namespace hqr {
 namespace {
 
-// Node on which a kernel executes: the owner of the tile it zeroes (factor
-// kernels) or updates in place (update kernels).
-int task_node(const KernelOp& op, const Distribution& dist) {
-  switch (op.type) {
-    case KernelType::GEQRT:
-      return dist.owner(op.row, op.k);
-    case KernelType::UNMQR:
-      return dist.owner(op.row, op.j);
-    case KernelType::TSQRT:
-    case KernelType::TTQRT:
-      return dist.owner(op.row, op.k);
-    case KernelType::TSMQR:
-    case KernelType::TTMQR:
-      return dist.owner(op.row, op.j);
-  }
-  HQR_CHECK(false, "unreachable kernel type");
-}
+// task_node (the owner-computes task->node map) lives in dag/partition.hpp,
+// shared with the real distributed runtime so both place every task on the
+// same node by construction.
 
 struct Event {
   double time;

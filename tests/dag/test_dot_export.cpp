@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "dag/partition.hpp"
 #include "trees/single_level.hpp"
 
 namespace hqr {
@@ -78,6 +81,50 @@ TEST(DotExport, NoClustersWhenDisabled) {
   std::ostringstream os;
   write_dot(os, small_graph(), opts);
   EXPECT_EQ(os.str().find("subgraph"), std::string::npos);
+}
+
+TEST(DotExport, RankAnnotationsOnCommunicationView) {
+  // 3x3 tile graph over a 2-node cyclic distribution: every task label
+  // carries its owning rank and every cross-rank edge is colored by the
+  // destination rank.
+  auto kernels = expand_to_kernels(flat_ts_list(3, 3), 3, 3);
+  TaskGraph g(kernels, 3, 3);
+  const Distribution dist = Distribution::cyclic_1d(2);
+  DotOptions opts;
+  opts.dist = &dist;
+  std::ostringstream os;
+  write_dot(os, g, opts);
+  const std::string s = os.str();
+
+  // Owner-computes: GEQRT(0,0) zeroes tile (0,0) -> rank 0; TSQRT(1,0,0)
+  // zeroes tile (1,0) -> rank 1.
+  EXPECT_NE(s.find("GEQRT(0,0)@0"), std::string::npos);
+  EXPECT_NE(s.find("TSQRT(1,0,0)@1"), std::string::npos);
+  // Cross-rank edges exist and use the palette (rank 0 = red, rank 1 =
+  // blue); same-rank edges stay uncolored.
+  EXPECT_NE(s.find("color=red"), std::string::npos);
+  EXPECT_NE(s.find("color=blue"), std::string::npos);
+
+  // Every colored edge really crosses ranks, with the destination's color.
+  std::vector<int> rank(static_cast<std::size_t>(g.size()));
+  for (int i = 0; i < g.size(); ++i) rank[i] = task_node(g.op(i), dist);
+  for (std::size_t p = s.find(" [color="); p != std::string::npos;
+       p = s.find(" [color=", p + 1)) {
+    const std::size_t line = s.rfind('\n', p) + 1;
+    int from = -1, to = -1;
+    ASSERT_EQ(std::sscanf(s.c_str() + line, "  t%d -> t%d", &from, &to), 2);
+    EXPECT_NE(rank[from], rank[to]);
+    const std::string want = rank[to] == 0 ? "color=red" : "color=blue";
+    EXPECT_EQ(s.compare(p + 2, want.size(), want), 0);
+  }
+}
+
+TEST(DotExport, NoRankAnnotationsWithoutDistribution) {
+  std::ostringstream os;
+  write_dot(os, small_graph());
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("@"), std::string::npos);
+  EXPECT_EQ(s.find("color="), std::string::npos);
 }
 
 TEST(DotExport, SaveDotWritesFile) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace hqr {
@@ -102,6 +103,76 @@ TEST(SpeedupBound, PaperFormulaValues) {
               1e-12);
   EXPECT_NEAR(block_distribution_speedup_bound(2.0, 1.0, 6) / 6.0, 5.0 / 6.0,
               1e-12);
+}
+
+TEST(Distribution, OwnerRoundTripsAtEdgeShapes) {
+  // Each kind's owner() must reproduce its defining formula on degenerate
+  // tile grids: fewer rows than nodes, a single tile row, a single column.
+  const int nodes = 6;
+  struct Shape {
+    int mt, nt;
+  };
+  const Shape shapes[] = {{4, 3}, {1, 5}, {7, 1}, {1, 1}};
+  for (const Shape& s : shapes) {
+    const auto d2 = Distribution::block_cyclic_2d(3, 2);
+    const auto db = Distribution::block_1d(nodes, s.mt);
+    const auto dc = Distribution::cyclic_1d(nodes);
+    const int chunk = (s.mt + nodes - 1) / nodes;  // ceil(mt / nodes)
+    for (int i = 0; i < s.mt; ++i)
+      for (int j = 0; j < s.nt; ++j) {
+        EXPECT_EQ(d2.owner(i, j), (i % 3) * 2 + (j % 2));
+        EXPECT_EQ(db.owner(i, j), std::min(i / chunk, nodes - 1));
+        EXPECT_EQ(dc.owner(i, j), i % nodes);
+        for (const Distribution* d : {&d2, &db, &dc}) {
+          EXPECT_GE(d->owner(i, j), 0);
+          EXPECT_LT(d->owner(i, j), d->nodes());
+        }
+      }
+  }
+}
+
+TEST(LoadStatsTest, SanityAcrossKindsAndShapes) {
+  // Weights are a distribution (sum to 1, all nonnegative), imbalance is
+  // nonnegative, and parallel fraction is a valid efficiency — including on
+  // degenerate shapes where whole nodes can end up with zero work.
+  const Distribution kinds[] = {Distribution::block_cyclic_2d(2, 3),
+                                Distribution::block_1d(6, 4),
+                                Distribution::cyclic_1d(6)};
+  struct Shape {
+    int mt, nt;
+  };
+  const Shape shapes[] = {{4, 3}, {1, 1}, {16, 1}, {12, 12}};
+  for (const Distribution& d : kinds)
+    for (const Shape& s : shapes) {
+      auto st = qr_load_stats(s.mt, s.nt, d);
+      ASSERT_EQ(st.node_weight.size(), static_cast<std::size_t>(d.nodes()));
+      double sum = 0.0;
+      for (double w : st.node_weight) {
+        EXPECT_GE(w, 0.0);
+        sum += w;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+      EXPECT_GE(st.imbalance, 0.0);
+      EXPECT_GT(st.parallel_fraction, 0.0);
+      EXPECT_LE(st.parallel_fraction, 1.0 + 1e-12);
+    }
+}
+
+TEST(SpeedupBound, MatchesBruteForceWeightCount) {
+  // The analytic p(1 - n/3m) bound against a brute-force count of kernel
+  // weight per node (qr_load_stats sums the actual per-kernel flop weights;
+  // speedup = total/max = p * parallel_fraction). Finite tiles leave a few
+  // percent of slack, shrinking as the grid is refined.
+  struct Case {
+    int mt, nt, p;
+  };
+  const Case cases[] = {{240, 240, 6}, {240, 120, 4}, {320, 80, 8}};
+  for (const Case& c : cases) {
+    auto s = qr_load_stats(c.mt, c.nt, Distribution::block_1d(c.p, c.mt));
+    const double brute = s.parallel_fraction * c.p;
+    const double bound = block_distribution_speedup_bound(c.mt, c.nt, c.p);
+    EXPECT_NEAR(brute, bound, 0.15 * bound);
+  }
 }
 
 TEST(LoadStatsTest, BlockImbalanceApproachesPaperBound) {

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/comm.hpp"
+#include "net/launcher.hpp"
+#include "net/socket.hpp"
+
+namespace hqr::net {
+namespace {
+
+// A connected 2-rank communicator pair in this process (Comm holds a mutex,
+// so it lives on the heap).
+struct CommPair {
+  std::unique_ptr<Comm> c0, c1;
+};
+
+CommPair comm_pair() {
+  auto [a, b] = stream_pair();
+  std::vector<Fd> peers0(2), peers1(2);
+  peers0[1] = std::move(a);
+  peers1[0] = std::move(b);
+  return {std::make_unique<Comm>(0, std::move(peers0)),
+          std::make_unique<Comm>(1, std::move(peers1))};
+}
+
+// Pumps `c` until `n` messages arrive (bounded, so a regression fails the
+// test instead of hanging it).
+std::vector<Message> pump_until(Comm& c, int n) {
+  std::vector<Message> got;
+  for (int spin = 0; spin < 20000 && static_cast<int>(got.size()) < n; ++spin)
+    c.pump(1, [&](Message&& m) { got.push_back(std::move(m)); });
+  return got;
+}
+
+TEST(Comm, RoundTripPreservesTagIdAndPayload) {
+  CommPair p = comm_pair();
+  const std::string text = "hello, rank one";
+  p.c0->post(1, Tag::Data, 42, text.data(), text.size());
+  p.c0->post(1, Tag::Stats, 7, nullptr, 0);
+  while (!p.c0->flushed()) p.c0->pump(1, [](Message&&) {});
+
+  const std::vector<Message> got = pump_until(*p.c1, 2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].tag, Tag::Data);
+  EXPECT_EQ(got[0].src, 0);
+  EXPECT_EQ(got[0].id, 42);
+  EXPECT_EQ(std::string(got[0].payload.begin(), got[0].payload.end()), text);
+  EXPECT_EQ(got[1].tag, Tag::Stats);
+  EXPECT_EQ(got[1].id, 7);
+  EXPECT_TRUE(got[1].payload.empty());
+}
+
+TEST(Comm, LargePayloadCrossesKernelBufferBoundaries) {
+  CommPair p = comm_pair();
+  // Much larger than a socket buffer: forces many partial writes/reads.
+  std::vector<std::uint8_t> big(4 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  p.c0->post(1, Tag::Gather, 0, big.data(), big.size());
+
+  // Sender and receiver must interleave: the send cannot complete until
+  // the receiver drains the stream.
+  std::vector<Message> got;
+  for (int spin = 0; spin < 20000 && got.empty(); ++spin) {
+    p.c0->pump(0, [](Message&&) {});
+    p.c1->pump(1, [&](Message&& m) { got.push_back(std::move(m)); });
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, big);
+  EXPECT_TRUE(p.c0->flushed());
+}
+
+TEST(Comm, CountersSplitDataFromControl) {
+  CommPair p = comm_pair();
+  const char payload[16] = {0};
+  p.c0->post(1, Tag::Data, 0, payload, sizeof(payload));
+  p.c0->post(1, Tag::Data, 1, payload, sizeof(payload));
+  p.c0->post(1, Tag::Bye, 0, nullptr, 0);
+  while (!p.c0->flushed()) p.c0->pump(1, [](Message&&) {});
+  (void)pump_until(*p.c1, 3);
+
+  EXPECT_EQ(p.c0->counters().data_messages_sent, 2);
+  EXPECT_EQ(p.c0->counters().data_bytes_sent, 32);
+  EXPECT_EQ(p.c0->counters().control_messages_sent, 1);
+  EXPECT_EQ(p.c1->counters().data_messages_recv, 2);
+  EXPECT_EQ(p.c1->counters().data_bytes_recv, 32);
+  EXPECT_EQ(p.c1->counters().control_messages_recv, 1);
+}
+
+TEST(Comm, PeerEofThrowsUnlessExpected) {
+  CommPair p = comm_pair();
+  p.c0.reset();  // closes rank 0's sockets
+  EXPECT_THROW(
+      {
+        for (int spin = 0; spin < 100; ++spin)
+          p.c1->pump(1, [](Message&&) {});
+      },
+      Error);
+
+  // With eof_ok set, the same situation is a clean no-op.
+  CommPair q = comm_pair();
+  q.c0.reset();
+  q.c1->set_eof_ok(true);
+  for (int spin = 0; spin < 100; ++spin) q.c1->pump(1, [](Message&&) {});
+}
+
+TEST(Launcher, AllRanksSucceed) {
+  const int rc = run_ranks(4, [](Comm& comm) -> int {
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 4);
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(Launcher, RanksExchangeMessagesThroughTheMesh) {
+  // Every rank sends its rank number to every other rank and checks what
+  // it receives; assertion failures surface through the exit code.
+  const int rc = run_ranks(3, [](Comm& comm) -> int {
+    for (int q = 0; q < comm.size(); ++q) {
+      if (q == comm.rank()) continue;
+      const std::int32_t me = comm.rank();
+      comm.post(q, Tag::Data, me, &me, sizeof(me));
+    }
+    // A peer that got everything exits (closing its sockets) while we may
+    // still be pumping; every frame is flushed before exit, so EOFs land on
+    // frame boundaries and are expected.
+    comm.set_eof_ok(true);
+    int got = 0;
+    bool ok = true;
+    for (int spin = 0;
+         spin < 100000 && (got < comm.size() - 1 || !comm.flushed()); ++spin) {
+      comm.pump(1, [&](Message&& m) {
+        std::int32_t body = -1;
+        std::memcpy(&body, m.payload.data(), sizeof(body));
+        ok = ok && body == m.src && m.id == m.src;
+        ++got;
+      });
+    }
+    return (ok && got == comm.size() - 1 && comm.flushed()) ? 0 : 1;
+  });
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(Launcher, PropagatesFirstNonzeroExit) {
+  const int rc = run_ranks(
+      3, [](Comm& comm) -> int { return comm.rank() == 1 ? 7 : 0; });
+  EXPECT_EQ(rc, 7);
+}
+
+TEST(Launcher, UncaughtErrorBecomesExitOne) {
+  const int rc = run_ranks(2, [](Comm& comm) -> int {
+    HQR_CHECK(comm.rank() != 1, "rank 1 aborts on purpose");
+    return 0;
+  });
+  EXPECT_EQ(rc, 1);
+}
+
+TEST(Launcher, DeadlineKillsWedgedRanks) {
+  LaunchOptions opts;
+  opts.timeout_seconds = 0.5;
+  const int rc = run_ranks(
+      2,
+      [](Comm& comm) -> int {
+        if (comm.rank() == 1) ::sleep(3600);  // wedged forever
+        return 0;
+      },
+      opts);
+  EXPECT_NE(rc, 0);
+}
+
+}  // namespace
+}  // namespace hqr::net

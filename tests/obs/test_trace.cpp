@@ -189,5 +189,91 @@ TEST(Trace, CsvAndJsonAgreeOnEventCount) {
   EXPECT_EQ(slices.size(), 5u);
 }
 
+TEST(Trace, CsvRoundTripPreservesEveryField) {
+  TraceRecorder rec;
+  rec.ensure_lanes(3);
+  rec.record(0, TraceEvent{.task = 7,
+                           .lane = 0,
+                           .sub = 2,
+                           .type = KernelType::TSMQR,
+                           .on_accel = true,
+                           .row = 3,
+                           .piv = 1,
+                           .k = 0,
+                           .j = 2,
+                           .start = 0.25,
+                           .end = 0.75});
+  rec.record(2, TraceEvent{.task = 9,
+                           .lane = 2,
+                           .sub = 0,
+                           .type = KernelType::GEQRT,
+                           .row = 0,
+                           .piv = 0,
+                           .k = 0,
+                           .j = -1,
+                           .start = 0.0,
+                           .end = 0.125});
+  const std::string path = ::testing::TempDir() + "roundtrip.csv";
+  rec.save_csv(path);
+
+  const TraceRecorder back = obs::load_trace_csv(path);
+  const auto want = rec.sorted_events();
+  const auto got = back.sorted_events();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].task, want[i].task);
+    EXPECT_EQ(got[i].lane, want[i].lane);
+    EXPECT_EQ(got[i].sub, want[i].sub);
+    EXPECT_EQ(got[i].type, want[i].type);
+    EXPECT_EQ(got[i].on_accel, want[i].on_accel);
+    EXPECT_EQ(got[i].row, want[i].row);
+    EXPECT_EQ(got[i].piv, want[i].piv);
+    EXPECT_EQ(got[i].k, want[i].k);
+    EXPECT_EQ(got[i].j, want[i].j);
+    EXPECT_EQ(got[i].start, want[i].start);  // full double precision
+    EXPECT_EQ(got[i].end, want[i].end);
+  }
+}
+
+TEST(Trace, LoadTraceCsvRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "bogus.csv";
+  std::ofstream(path) << "not,a,trace\n";
+  EXPECT_THROW(obs::load_trace_csv(path), Error);
+  EXPECT_THROW(obs::load_trace_csv(::testing::TempDir() + "missing_file.csv"),
+               Error);
+}
+
+TEST(Trace, MergeRankTracesRemapsWorkerLanesUnderRanks) {
+  // Two per-rank traces, each with worker lanes 0/1; after the merge the
+  // rank is the lane (Perfetto process) and the worker the sub (thread).
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> paths;
+  for (int r = 0; r < 2; ++r) {
+    TraceRecorder one;
+    one.ensure_lanes(2);
+    for (int w = 0; w < 2; ++w)
+      one.record(w, TraceEvent{.task = 2 * r + w,
+                               .lane = w,
+                               .type = KernelType::GEQRT,
+                               .row = w,
+                               .piv = w,
+                               .k = 0,
+                               .start = 0.1 * r,
+                               .end = 0.1 * r + 0.05});
+    paths.push_back(dir + "rank" + std::to_string(r) + ".csv");
+    one.save_csv(paths.back());
+  }
+
+  const TraceRecorder merged = obs::merge_rank_traces(paths);
+  EXPECT_EQ(merged.lane_label(), "rank");
+  EXPECT_EQ(merged.sub_label(), "worker");
+  const auto events = merged.sorted_events();
+  ASSERT_EQ(events.size(), 4u);
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.lane, e.task / 2);  // rank the event came from
+    EXPECT_EQ(e.sub, e.task % 2);   // original worker lane
+  }
+}
+
 }  // namespace
 }  // namespace hqr

@@ -97,7 +97,9 @@ TEST(PaperFigures, Fig7DominoHelpsFlatLowTreeMost) {
     const double g_off = run_hqr(mt, nt, off).gflops;
     const double g_on = run_hqr(mt, nt, on).gflops;
     EXPECT_GT(g_on, g_off * 0.99) << tree_name(low);
-    if (low == TreeKind::Flat) EXPECT_GT(g_on / g_off, 1.15);
+    if (low == TreeKind::Flat) {
+      EXPECT_GT(g_on / g_off, 1.15);
+    }
   }
 }
 

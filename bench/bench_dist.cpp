@@ -4,13 +4,18 @@
 // processes over the local socket mesh, so the measured makespan includes
 // genuine message traffic; the messages/bytes columns show the price of
 // distributing the DAG (they match the cluster simulator's model count by
-// construction). Pass --json=PATH for machine-readable results including
-// each rank's idle time.
+// construction). Pass --json=PATH for machine-readable results
+// (hqr-bench-dist-v2, see EXPERIMENTS.md): per-configuration totals plus a
+// per_rank breakdown with busy/idle seconds, the longest Data-starvation
+// gap (max_recv_wait_seconds) and wire message counts by tag. Pass
+// --progress to stream live per-rank telemetry to stderr while each
+// configuration runs.
 //
 // Every configuration runs in forked children, so results cross process
 // boundaries via a small fragment file written by rank 0 and re-read by
 // the parent.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -46,9 +51,11 @@ struct ConfigResult {
   long long bytes = 0;
   std::vector<double> idle;  // per-rank worker idle seconds (summed)
   std::vector<double> busy;
+  std::vector<distrun::DistRankStats> per_rank;
 };
 
 // One line per field; parsed back by the parent after run_ranks returns.
+// Per-rank stats ride as one positional "rank ..." line each.
 void write_fragment(const std::string& path, const distrun::DistStats& s) {
   std::ofstream out(path);
   HQR_CHECK(out.good(), "cannot write " << path);
@@ -63,6 +70,16 @@ void write_fragment(const std::string& path, const distrun::DistStats& s) {
   }
   out << "seconds " << s.seconds << "\nmessages " << msgs << "\nbytes "
       << bytes << "\nidle" << idle.str() << "\nbusy" << busy.str() << "\n";
+  for (const distrun::DistRankStats& r : s.ranks) {
+    out << "rank " << r.rank << ' ' << r.threads << ' ' << r.tasks << ' '
+        << r.data_messages_sent << ' ' << r.data_bytes_sent << ' '
+        << r.data_messages_recv << ' ' << r.data_bytes_recv << ' '
+        << r.busy_seconds << ' ' << r.idle_seconds << ' '
+        << r.max_recv_wait_seconds;
+    for (long long v : r.messages_sent_by_tag) out << ' ' << v;
+    for (long long v : r.messages_recv_by_tag) out << ' ' << v;
+    out << '\n';
+  }
   HQR_CHECK(out.good(), "write to " << path << " failed");
 }
 
@@ -80,15 +97,38 @@ ConfigResult read_fragment(const std::string& path) {
     if (key == "bytes") ls >> r.bytes;
     for (double v; (key == "idle" || key == "busy") && (ls >> v);)
       (key == "idle" ? r.idle : r.busy).push_back(v);
+    if (key == "rank") {
+      distrun::DistRankStats rs;
+      ls >> rs.rank >> rs.threads >> rs.tasks >> rs.data_messages_sent >>
+          rs.data_bytes_sent >> rs.data_messages_recv >> rs.data_bytes_recv >>
+          rs.busy_seconds >> rs.idle_seconds >> rs.max_recv_wait_seconds;
+      for (long long& v : rs.messages_sent_by_tag) ls >> v;
+      for (long long& v : rs.messages_recv_by_tag) ls >> v;
+      HQR_CHECK(ls, "malformed rank line in " << path << ": '" << line << "'");
+      r.per_rank.push_back(rs);
+    }
   }
   return r;
+}
+
+void write_tag_counts(std::ofstream& out, const char* name,
+                      const std::array<long long, net::kTagCount>& counts) {
+  out << "\"" << name << "\": {";
+  bool first = true;
+  for (int t = 1; t < net::kTagCount; ++t) {
+    out << (first ? "" : ", ") << "\""
+        << net::tag_name(static_cast<net::Tag>(t))
+        << "\": " << counts[static_cast<std::size_t>(t)];
+    first = false;
+  }
+  out << "}";
 }
 
 void write_json(const std::string& path, int m, int n, int b, int cores,
                 const std::vector<ConfigResult>& rows) {
   std::ofstream out(path);
   HQR_CHECK(out.good(), "cannot write " << path);
-  out << "{\n  \"schema\": \"hqr-bench-dist-v1\",\n"
+  out << "{\n  \"schema\": \"hqr-bench-dist-v2\",\n"
       << "  \"m\": " << m << ", \"n\": " << n << ", \"b\": " << b
       << ", \"total_cores\": " << cores << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -101,7 +141,25 @@ void write_json(const std::string& path, int m, int n, int b, int cores,
     out << "], \"busy_seconds\": [";
     for (std::size_t k = 0; k < r.busy.size(); ++k)
       out << (k ? ", " : "") << r.busy[k];
-    out << "]}" << (i + 1 < rows.size() ? ",\n" : "\n");
+    out << "], \"per_rank\": [";
+    for (std::size_t k = 0; k < r.per_rank.size(); ++k) {
+      const distrun::DistRankStats& rs = r.per_rank[k];
+      out << (k ? "," : "") << "\n      {\"rank\": " << rs.rank
+          << ", \"threads\": " << rs.threads << ", \"tasks\": " << rs.tasks
+          << ", \"data_messages_sent\": " << rs.data_messages_sent
+          << ", \"data_bytes_sent\": " << rs.data_bytes_sent
+          << ", \"data_messages_recv\": " << rs.data_messages_recv
+          << ", \"data_bytes_recv\": " << rs.data_bytes_recv
+          << ", \"busy_seconds\": " << rs.busy_seconds
+          << ", \"idle_seconds\": " << rs.idle_seconds
+          << ", \"max_recv_wait_seconds\": " << rs.max_recv_wait_seconds
+          << ", ";
+      write_tag_counts(out, "messages_sent_by_tag", rs.messages_sent_by_tag);
+      out << ", ";
+      write_tag_counts(out, "messages_recv_by_tag", rs.messages_recv_by_tag);
+      out << "}";
+    }
+    out << "\n    ]}" << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
   std::cout << "(json written to " << path << ")\n";
@@ -122,7 +180,8 @@ int main(int argc, char** argv) {
                        {"ib", "0"},
                        {"timeout", "300"},
                        {"json", ""},
-                       {"csv", ""}});
+                       {"csv", ""},
+                       {"progress", "false"}});
   const int m = static_cast<int>(cli.integer("m"));
   const int n = static_cast<int>(cli.integer("n"));
   const int b = static_cast<int>(cli.integer("b"));
@@ -131,7 +190,7 @@ int main(int argc, char** argv) {
 
   std::vector<ConfigResult> rows;
   TextTable table({"ranks", "grid", "threads", "seconds", "messages",
-                   "MB sent", "max idle s"});
+                   "MB sent", "max idle s", "max wait s"});
   for (int ranks = 1; ranks <= cores; ranks *= 2) {
     const int threads = cores / ranks;
     int gp = 0, gq = 0;
@@ -159,6 +218,19 @@ int main(int argc, char** argv) {
       // (unobserved runs skip that bookkeeping, like RunStats).
       obs::MetricsRegistry metrics;
       opts.metrics = &metrics;
+      if (cli.flag("progress")) {
+        opts.telemetry_interval_seconds = 0.5;
+        if (comm.rank() == 0) {
+          opts.on_telemetry = [](const distrun::DistTelemetry& t) {
+            std::fprintf(stderr,
+                         "[progress] rank %d: %lld/%lld tasks, sendq %lld "
+                         "frames, data %lld out / %lld in\n",
+                         t.rank, t.tasks_done, t.tasks_total,
+                         t.send_queue_frames, t.data_messages_sent,
+                         t.data_messages_recv);
+          };
+        }
+      }
 
       distrun::DistStats stats;
       QRFactors f =
@@ -179,6 +251,9 @@ int main(int argc, char** argv) {
     r.threads = threads;
     double max_idle = 0.0;
     for (double v : r.idle) max_idle = std::max(max_idle, v);
+    double max_wait = 0.0;
+    for (const distrun::DistRankStats& rs : r.per_rank)
+      max_wait = std::max(max_wait, rs.max_recv_wait_seconds);
     table.row()
         .add(ranks)
         .add(std::to_string(gp) + "x" + std::to_string(gq))
@@ -186,7 +261,8 @@ int main(int argc, char** argv) {
         .add(r.seconds, 4)
         .add(r.messages)
         .add(static_cast<double>(r.bytes) / 1e6, 2)
-        .add(max_idle, 4);
+        .add(max_idle, 4)
+        .add(max_wait, 4);
     rows.push_back(std::move(r));
   }
   std::remove(fragment.c_str());

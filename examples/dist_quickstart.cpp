@@ -9,11 +9,19 @@
 //                     [--p=4] [--a=2] [--low=greedy] [--high=fibonacci]
 //                     [--threads=2] [--sched=steal|global] [--ib=0]
 //                     [--timeout=120] [--seed=42]
-//                     [--trace-prefix=dist_trace]
+//                     [--trace=dist_trace] [--progress]
 //
-// With --trace-prefix, every rank writes <prefix>.rank<r>.csv and the
-// parent merges them into <prefix>.json (one Perfetto process row per
-// rank, one thread track per worker).
+// With --trace (or its older spelling --trace-prefix), every rank writes
+// <prefix>.rank<r>.csv — clock-aligned via the startup sync handshake and
+// carrying one flow-event half per inter-rank tile message — and the parent
+// merges them into <prefix>.json (one Perfetto process row per rank, one
+// thread track per worker, arrows for tile transfers). The parent then
+// cross-checks the dynamic trace against the static CommPlan: complete
+// flow count must equal the planned message count, causally ordered.
+//
+// With --progress, ranks stream telemetry heartbeats to rank 0, which
+// prints live per-rank progress (tasks done, send-queue depth, data
+// traffic) on stderr while the DAG executes.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -92,13 +100,17 @@ int main(int argc, char** argv) {
                        {"ib", "0"},
                        {"timeout", "120"},
                        {"seed", "42"},
-                       {"trace-prefix", ""}});
+                       {"trace", ""},
+                       {"trace-prefix", ""},
+                       {"progress", "false"}});
   const int ranks = static_cast<int>(cli.integer("ranks"));
   const int m = static_cast<int>(cli.integer("m"));
   const int n = static_cast<int>(cli.integer("n"));
   const int b = static_cast<int>(cli.integer("b"));
   const double timeout = static_cast<double>(cli.integer("timeout"));
-  const std::string trace_prefix = cli.str("trace-prefix");
+  const std::string trace_prefix =
+      !cli.str("trace").empty() ? cli.str("trace") : cli.str("trace-prefix");
+  const bool progress = cli.flag("progress");
 
   // Everything each rank needs is rebuilt deterministically from the CLI
   // arguments inside the child — nothing is shipped at startup.
@@ -125,6 +137,19 @@ int main(int argc, char** argv) {
     opts.ib = static_cast<int>(cli.integer("ib"));
     opts.progress_timeout_seconds = timeout;
     if (!trace_prefix.empty()) opts.trace = &trace;
+    if (progress) {
+      opts.telemetry_interval_seconds = 0.25;
+      if (comm.rank() == 0) {
+        opts.on_telemetry = [](const distrun::DistTelemetry& t) {
+          std::fprintf(stderr,
+                       "[progress] rank %d: %lld/%lld tasks, sendq %lld "
+                       "frames, data %lld out / %lld in\n",
+                       t.rank, t.tasks_done, t.tasks_total,
+                       t.send_queue_frames, t.data_messages_sent,
+                       t.data_messages_recv);
+        };
+      }
+    }
 
     distrun::DistStats stats;
     QRFactors f = distrun::dist_qr_factorize(comm, a, b, list, dist, opts,
@@ -198,8 +223,41 @@ int main(int argc, char** argv) {
     std::vector<std::string> csvs;
     for (int r = 0; r < ranks; ++r)
       csvs.push_back(trace_prefix + ".rank" + std::to_string(r) + ".csv");
-    obs::merge_rank_traces(csvs).save_chrome_json(trace_prefix + ".json");
-    std::cout << "merged trace: " << trace_prefix << ".json\n";
+    const obs::TraceRecorder merged = obs::merge_rank_traces(csvs);
+    merged.save_chrome_json(trace_prefix + ".json");
+    std::cout << "merged trace: " << trace_prefix << ".json (" << merged.size()
+              << " tasks, " << merged.complete_flow_count() << " flows)\n";
+
+    // Cross-check the dynamic trace against the static plan the ranks
+    // executed (rebuilt deterministically from the same CLI arguments):
+    // every planned inter-rank message must appear as one paired flow whose
+    // aligned send timestamp precedes its receive timestamp.
+    const int mt = (m + b - 1) / b, nt = (n + b - 1) / b;
+    HqrConfig cfg;
+    cfg.p = static_cast<int>(cli.integer("p"));
+    cfg.a = static_cast<int>(cli.integer("a"));
+    cfg.low = tree_from_name(cli.str("low"));
+    cfg.high = tree_from_name(cli.str("high"));
+    cfg.domino = cli.flag("domino");
+    const EliminationList list = hqr_elimination_list(mt, nt, cfg);
+    const Distribution dist = make_distribution(cli, ranks, mt);
+    const KernelList kernels = expand_to_kernels(list, mt, nt);
+    const TaskGraph graph(kernels, mt, nt);
+    const CommPlan plan(graph, dist);
+
+    long long complete = 0, causal = 0;
+    for (const obs::FlowEvent& fl : merged.flows()) {
+      if (!fl.complete()) continue;
+      ++complete;
+      if (fl.send_time < fl.recv_time) ++causal;
+    }
+    std::cout << "flow events: " << complete << " paired (planned "
+              << plan.messages() << "), " << causal
+              << " causally ordered after clock alignment\n";
+    if (complete != plan.messages() || causal != complete) {
+      std::cerr << "FAILURE: trace flows disagree with the plan\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -11,6 +11,14 @@ class Stopwatch {
 
   void reset() { start_ = Clock::now(); }
 
+  // Rebases the stopwatch onto an explicit origin expressed as a
+  // monotonic_seconds() value, so several components (executor trace lanes,
+  // communication-thread flow events) can share one time zero.
+  void set_origin(double monotonic_origin_seconds) {
+    start_ = Clock::time_point(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(monotonic_origin_seconds)));
+  }
+
   // Elapsed seconds since construction or last reset().
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -20,5 +28,15 @@ class Stopwatch {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+// The raw monotonic clock as seconds since its (arbitrary, per-boot) epoch.
+// All ranks forked onto one host read the same hardware clock, so these
+// values are directly comparable across local processes; across hosts the
+// clock-sync handshake (net/clock_sync.hpp) estimates the offset instead.
+inline double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace hqr

@@ -23,7 +23,8 @@ double sum(const std::vector<double>& v) {
 
 DistRankStats local_rank_stats(int rank, const DistOptions& opts,
                                const RunStats& rs,
-                               const net::CommCounters& c) {
+                               const net::CommCounters& c,
+                               double max_recv_wait_seconds) {
   DistRankStats s;
   s.rank = rank;
   s.threads = opts.threads;
@@ -36,6 +37,9 @@ DistRankStats local_rank_stats(int rank, const DistOptions& opts,
   s.busy_seconds = sum(rs.busy_seconds_per_thread);
   s.idle_seconds = sum(rs.idle_seconds_per_thread);
   s.terminal_wait_seconds = sum(rs.terminal_wait_seconds_per_thread);
+  s.max_recv_wait_seconds = max_recv_wait_seconds;
+  s.messages_sent_by_tag = c.messages_sent_by_tag;
+  s.messages_recv_by_tag = c.messages_recv_by_tag;
   return s;
 }
 
@@ -61,6 +65,27 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   CommPlan plan(graph, dist);
   QRFactors f(std::move(tiled), std::move(kernels), opts.ib);
 
+  const double shutdown_timeout = opts.progress_timeout_seconds > 0
+                                      ? opts.progress_timeout_seconds
+                                      : 3600.0;
+
+  // Clock alignment runs first, before any Data traffic. A fast peer can
+  // finish its sync rounds and start executing while we are still in the
+  // handshake; whatever it sends is parked in `held` and replayed through
+  // the regular handler once the engine's port exists.
+  std::vector<net::Message> held;
+  net::ClockSync csync;
+  if (nranks > 1 && opts.clock_sync_rounds > 0)
+    csync = net::sync_clocks(comm, &held, opts.clock_sync_rounds,
+                             shutdown_timeout);
+
+  // One time zero per rank, shared by the executor's worker lanes and the
+  // communication thread's flow stamps. The trace header's clock offset
+  // places that zero on rank 0's clock, which is what merge_rank_traces
+  // aligns by.
+  const double origin = monotonic_seconds();
+  if (opts.trace) opts.trace->set_clock_offset(origin + csync.offset_seconds);
+
   ExecutorOptions eopts;
   eopts.threads = opts.threads;
   eopts.priority_scheduling = opts.priority_scheduling;
@@ -69,6 +94,7 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   eopts.scheduler = opts.scheduler;
   eopts.trace = opts.trace;
   eopts.metrics = opts.metrics;
+  eopts.trace_origin = origin;
 
   std::atomic<long long> progress{0};  // bumped on every local completion
   std::atomic<bool> failed{false};
@@ -91,8 +117,14 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
     // simulator's message model assumes.
     std::vector<std::uint8_t> payload;
     pack_task_output(graph.op(idx), f, payload);
-    for (std::int32_t d : dests)
+    // Stamp the send BEFORE posting: the frame can reach the receiver (and
+    // be stamped there) while this worker is descheduled, and a post-post
+    // stamp would then violate send < recv on the merged timeline.
+    const double t = opts.trace ? monotonic_seconds() - origin : 0.0;
+    for (std::int32_t d : dests) {
       comm.post(d, net::Tag::Data, idx, payload.data(), payload.size());
+      if (opts.trace) opts.trace->record_flow_send(idx, me, d, t);
+    }
   };
 
   // Control frames that arrive ahead of their phase. A rank whose slice of
@@ -101,6 +133,18 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   // phase replays them. Written only by the comm thread during the run and
   // read by the main thread after joining it, so no lock is needed.
   std::vector<net::Message> pending;
+
+  // Largest gap between consecutive Data arrivals, measured on the comm
+  // thread; written before the join in before_teardown, read after.
+  double max_recv_wait = 0.0;
+
+  // Register telemetry gauges up front (registration locks; updates don't).
+  obs::Gauge* queue_frames_gauge = nullptr;
+  obs::Gauge* queue_bytes_gauge = nullptr;
+  if (opts.metrics && opts.telemetry_interval_seconds > 0) {
+    queue_frames_gauge = &opts.metrics->gauge("net.send_queue_frames");
+    queue_bytes_gauge = &opts.metrics->gauge("net.send_queue_bytes");
+  }
 
   // Communication thread: drives the socket mesh while workers execute.
   // Every received Data frame is applied to the local replica immediately —
@@ -111,39 +155,98 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   const auto comm_loop = [&](RemotePort* port) {
     Stopwatch sw;
     double last_activity = 0.0;
+    double last_data = 0.0;
     long long seen = progress.load(std::memory_order_relaxed);
+    double next_tick = opts.telemetry_interval_seconds;
+    const auto sample_telemetry = [&]() {
+      DistTelemetry t;
+      t.rank = me;
+      t.threads = opts.threads;
+      t.tasks_done = progress.load(std::memory_order_relaxed);
+      t.tasks_total = plan.tasks_on(me);
+      t.send_queue_frames = comm.send_queue_frames();
+      t.send_queue_bytes = comm.send_queue_bytes();
+      const net::CommCounters c = comm.counters_snapshot();
+      t.data_messages_sent = c.data_messages_sent;
+      t.data_messages_recv = c.data_messages_recv;
+      t.data_bytes_sent = c.data_bytes_sent;
+      t.data_bytes_recv = c.data_bytes_recv;
+      t.seconds = sw.seconds();
+      return t;
+    };
+    const auto on_msg = [&](net::Message&& m) {
+      switch (m.tag) {
+        case net::Tag::Data: {
+          apply_task_output(graph.op(m.id), f, m.payload);
+          if (opts.trace) {
+            // The arrow's head: the first local task this payload helps
+            // release (graph order makes it the earliest consumer here).
+            std::int32_t consumer = -1;
+            for (std::int32_t s : graph.successors(m.id))
+              if (plan.node_of(s) == me) {
+                consumer = s;
+                break;
+              }
+            opts.trace->record_flow_recv(m.id, m.src, me, consumer,
+                                         monotonic_seconds() - origin);
+          }
+          const double now = sw.seconds();
+          if (now - last_data > max_recv_wait) max_recv_wait = now - last_data;
+          last_data = now;
+          port->remote_complete(m.id);
+          break;
+        }
+        case net::Tag::Telemetry:
+          if (me == 0 && opts.on_telemetry &&
+              m.payload.size() == sizeof(DistTelemetry)) {
+            DistTelemetry t;
+            std::memcpy(&t, m.payload.data(), sizeof(t));
+            opts.on_telemetry(t);
+          }
+          break;
+        case net::Tag::Abort:
+          fail("rank " + std::to_string(m.src) + " aborted the run");
+          break;
+        case net::Tag::Stats:
+        case net::Tag::Gather:
+          // A peer finished its slice before we finished ours.
+          if (me == 0) {
+            pending.push_back(std::move(m));
+            break;
+          }
+          [[fallthrough]];
+        default:
+          fail("unexpected tag " +
+               std::to_string(static_cast<unsigned>(m.tag)) +
+               " during execution");
+      }
+    };
+    for (net::Message& m : held) on_msg(std::move(m));
+    held.clear();
     while (!stop.load(std::memory_order_acquire)) {
       int delivered = 0;
       try {
-        delivered = comm.pump(2, [&](net::Message&& m) {
-          switch (m.tag) {
-            case net::Tag::Data:
-              apply_task_output(graph.op(m.id), f, m.payload);
-              port->remote_complete(m.id);
-              break;
-            case net::Tag::Abort:
-              fail("rank " + std::to_string(m.src) + " aborted the run");
-              break;
-            case net::Tag::Stats:
-            case net::Tag::Gather:
-              // A peer finished its slice before we finished ours.
-              if (me == 0) {
-                pending.push_back(std::move(m));
-                break;
-              }
-              [[fallthrough]];
-            default:
-              fail("unexpected tag " +
-                   std::to_string(static_cast<unsigned>(m.tag)) +
-                   " during execution");
-          }
-        });
+        delivered = comm.pump(2, on_msg);
       } catch (const std::exception& e) {
         fail(e.what());
       }
       if (failed.load(std::memory_order_acquire)) {
         port->cancel();
         return;
+      }
+      if (opts.telemetry_interval_seconds > 0 && sw.seconds() >= next_tick) {
+        next_tick = sw.seconds() + opts.telemetry_interval_seconds;
+        const DistTelemetry t = sample_telemetry();
+        if (queue_frames_gauge) {
+          queue_frames_gauge->set(static_cast<double>(t.send_queue_frames));
+          queue_bytes_gauge->set(static_cast<double>(t.send_queue_bytes));
+        }
+        if (me == 0) {
+          // Rank 0's own heartbeat never crosses the wire.
+          if (opts.on_telemetry) opts.on_telemetry(t);
+        } else {
+          comm.post(0, net::Tag::Telemetry, me, &t, sizeof(t));
+        }
       }
       const long long p = progress.load(std::memory_order_relaxed);
       if (delivered > 0 || p != seen) {
@@ -184,9 +287,6 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   // finishing means every inbound Data frame was consumed — each one had a
   // local successor the engine waited for — so from here only control
   // traffic flows.
-  const double shutdown_timeout = opts.progress_timeout_seconds > 0
-                                      ? opts.progress_timeout_seconds
-                                      : 3600.0;
   const auto buffer_msg = [&](net::Message&& m) {
     pending.push_back(std::move(m));
   };
@@ -201,11 +301,13 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   out.local_tasks = rs.total_tasks;
   out.plan_messages = plan.messages();
   out.plan_volume_bytes = plan.model_volume_bytes(b);
+  out.clock = csync;
   out.run = rs;
 
   if (me == 0) {
     out.ranks.assign(static_cast<std::size_t>(nranks), {});
-    out.ranks[0] = local_rank_stats(0, opts, rs, comm.counters());
+    out.ranks[0] =
+        local_rank_stats(0, opts, rs, comm.counters(), max_recv_wait);
     std::vector<char> got_stats(static_cast<std::size_t>(nranks), 0);
     std::vector<char> got_gather(static_cast<std::size_t>(nranks), 0);
     got_stats[0] = got_gather[0] = 1;
@@ -225,6 +327,14 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
         apply_gather(graph, plan, m.src, m.payload, f);
         got_gather[static_cast<std::size_t>(m.src)] = 1;
         --missing;
+      } else if (m.tag == net::Tag::Telemetry) {
+        // A rank's final heartbeat can race its Stats frame; deliver it and
+        // keep collecting.
+        if (opts.on_telemetry && m.payload.size() == sizeof(DistTelemetry)) {
+          DistTelemetry t;
+          std::memcpy(&t, m.payload.data(), sizeof(t));
+          opts.on_telemetry(t);
+        }
       } else {
         HQR_CHECK(false, "unexpected tag during gather (from rank "
                              << m.src << ")");
@@ -251,7 +361,7 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
     }
   } else {
     const DistRankStats mine =
-        local_rank_stats(me, opts, rs, comm.counters());
+        local_rank_stats(me, opts, rs, comm.counters(), max_recv_wait);
     comm.post(0, net::Tag::Stats, me, &mine, sizeof(mine));
     const std::vector<std::uint8_t> g = pack_gather(graph, plan, me, f);
     comm.post(0, net::Tag::Gather, me, g.data(), g.size());
@@ -286,10 +396,21 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
     m.counter("net.control_messages_sent")
         .add(out.comm.control_messages_sent);
     m.counter("net.control_bytes_sent").add(out.comm.control_bytes_sent);
+    for (int t = 1; t < net::kTagCount; ++t) {
+      const std::string n = net::tag_name(static_cast<net::Tag>(t));
+      const auto ti = static_cast<std::size_t>(t);
+      m.counter("net.messages_sent." + n)
+          .add(out.comm.messages_sent_by_tag[ti]);
+      m.counter("net.messages_recv." + n)
+          .add(out.comm.messages_recv_by_tag[ti]);
+    }
     m.counter("dist.local_tasks").add(out.local_tasks);
     m.counter("dist.plan_messages").add(out.plan_messages);
     m.gauge("dist.plan_volume_bytes").add(out.plan_volume_bytes);
     m.gauge("dist.seconds").add(out.seconds);
+    m.gauge("dist.clock_offset_seconds").set(csync.offset_seconds);
+    m.gauge("dist.clock_rtt_seconds").set(csync.min_rtt_seconds);
+    m.gauge("dist.max_recv_wait_seconds").set(max_recv_wait);
   }
   if (stats) *stats = std::move(out);
   return f;

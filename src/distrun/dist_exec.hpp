@@ -11,15 +11,43 @@
 // simulator's prediction by construction. After the DAG drains, rank 0
 // gathers every final tile region and T factor and returns a factorization
 // bit-identical to a single-process run.
+//
+// Observability: before any Data traffic flows, ranks run the clock-sync
+// handshake (net/clock_sync.hpp) and pin their trace recorder to a common
+// origin, so per-rank trace CSVs merge into one causally consistent
+// timeline; every inter-rank message is recorded as a FlowEvent half on each
+// side; and an optional telemetry heartbeat streams per-rank progress to
+// rank 0 while the DAG executes.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "net/clock_sync.hpp"
 #include "net/comm.hpp"
 #include "runtime/executor.hpp"
 
 namespace hqr::distrun {
+
+// Live progress heartbeat shipped to rank 0 over Tag::Telemetry while the
+// DAG executes; a plain byte-copied struct (all ranks run the same binary).
+// Rank 0 synthesizes its own entries locally so the consumer sees all ranks.
+struct DistTelemetry {
+  std::int32_t rank = 0;
+  std::int32_t threads = 0;
+  long long tasks_done = 0;   // local tasks completed so far
+  long long tasks_total = 0;  // plan.tasks_on(rank)
+  // Send-queue backpressure at sample time (frames/bytes not yet written).
+  long long send_queue_frames = 0;
+  long long send_queue_bytes = 0;
+  long long data_messages_sent = 0;
+  long long data_messages_recv = 0;
+  long long data_bytes_sent = 0;
+  long long data_bytes_recv = 0;
+  double seconds = 0.0;  // since this rank started executing
+};
 
 struct DistOptions {
   int threads = 1;                  // workers per rank
@@ -30,6 +58,15 @@ struct DistOptions {
   // Abort when the rank neither executes a task nor receives a message for
   // this long (a dead peer must not hang the run, or CI); <= 0 disables.
   double progress_timeout_seconds = 60.0;
+  // Ping/pong rounds of the startup clock-sync handshake; 0 skips it (all
+  // offsets read zero, which is exact for forked single-host ranks anyway).
+  int clock_sync_rounds = 8;
+  // Ship a DistTelemetry heartbeat to rank 0 every this many seconds while
+  // executing; <= 0 disables. Delivered through on_telemetry on rank 0.
+  double telemetry_interval_seconds = 0.0;
+  // Rank 0 only: invoked once per received (or locally synthesized)
+  // heartbeat, on the communication thread — keep it cheap and thread-safe.
+  std::function<void(const DistTelemetry&)> on_telemetry;
   // Observability sinks for this rank's executor (worker lanes).
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
@@ -51,6 +88,14 @@ struct DistRankStats {
   double busy_seconds = 0.0;
   double idle_seconds = 0.0;
   double terminal_wait_seconds = 0.0;
+  // Longest gap between consecutive Data arrivals on the communication
+  // thread (from loop start to the last arrival); 0 when the rank received
+  // no Data. A large value pinpoints the rank that starved for remote input.
+  double max_recv_wait_seconds = 0.0;
+  // Wire messages by tag (net::tag_index), captured when the rank shipped
+  // its stats; Data slots equal plan.sent_by/received_by for the rank.
+  std::array<long long, net::kTagCount> messages_sent_by_tag{};
+  std::array<long long, net::kTagCount> messages_recv_by_tag{};
 };
 
 struct DistStats {
@@ -60,6 +105,7 @@ struct DistStats {
   // SimResult::messages / volume_gbytes for the same (graph, dist).
   long long plan_messages = 0;
   double plan_volume_bytes = 0.0;
+  net::ClockSync clock;    // this rank's startup clock-sync estimate
   net::CommCounters comm;  // measured wire traffic of this rank
   RunStats run;            // this rank's executor stats
   std::vector<DistRankStats> ranks;  // rank 0 only: one entry per rank

@@ -1,0 +1,110 @@
+#include "net/clock_sync.hpp"
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+
+namespace hqr::net {
+namespace {
+
+struct Pong {
+  double t0 = 0.0;  // echoed ping send time (requester clock)
+  double t1 = 0.0;  // ping receive time (responder clock)
+  double t2 = 0.0;  // pong send time (responder clock)
+};
+
+// Parks a non-sync message for the caller, or fails loudly: anything else
+// on the wire this early is a protocol violation.
+void hold(Message&& m, std::vector<Message>* held) {
+  HQR_CHECK(held != nullptr, "unexpected "
+                                 << tag_name(m.tag) << " frame from rank "
+                                 << m.src << " during clock sync");
+  held->push_back(std::move(m));
+}
+
+ClockSync serve_pings(Comm& comm, std::vector<Message>* held, int rounds,
+                      double timeout_seconds) {
+  long long need =
+      static_cast<long long>(comm.size() - 1) * static_cast<long long>(rounds);
+  Stopwatch sw;
+  while (need > 0) {
+    comm.pump(2, [&](Message&& m) {
+      if (m.tag != Tag::SyncPing) {
+        hold(std::move(m), held);
+        return;
+      }
+      Pong p;
+      p.t1 = monotonic_seconds();
+      HQR_CHECK(m.payload.size() == sizeof(double),
+                "malformed SyncPing from rank " << m.src);
+      PayloadReader r(m.payload);
+      r.f64(&p.t0, 1);
+      p.t2 = monotonic_seconds();
+      comm.post(m.src, Tag::SyncPong, m.id, &p, sizeof(p));
+      --need;
+    });
+    HQR_CHECK(sw.seconds() < timeout_seconds,
+              "clock sync timed out on rank 0 with " << need
+                                                     << " ping(s) missing");
+  }
+  while (!comm.flushed()) {
+    comm.pump(2, [&](Message&& m) { hold(std::move(m), held); });
+    HQR_CHECK(sw.seconds() < timeout_seconds,
+              "clock sync flush timed out on rank 0");
+  }
+  return {0.0, 0.0, rounds};
+}
+
+ClockSync probe_rank0(Comm& comm, std::vector<Message>* held, int rounds,
+                      double timeout_seconds) {
+  ClockSync best;
+  best.rounds = rounds;
+  best.min_rtt_seconds = -1.0;
+  Stopwatch sw;
+  for (int round = 0; round < rounds; ++round) {
+    const double t0 = monotonic_seconds();
+    comm.post(0, Tag::SyncPing, round, &t0, sizeof(t0));
+    bool got_pong = false;
+    while (!got_pong) {
+      comm.pump(2, [&](Message&& m) {
+        if (m.tag != Tag::SyncPong || m.src != 0) {
+          hold(std::move(m), held);
+          return;
+        }
+        const double t3 = monotonic_seconds();
+        HQR_CHECK(m.payload.size() == sizeof(Pong) && m.id == round,
+                  "malformed SyncPong on rank " << comm.rank());
+        Pong p;
+        PayloadReader r(m.payload);
+        r.raw(&p, sizeof(p));
+        const double rtt = (t3 - p.t0) - (p.t2 - p.t1);
+        if (best.min_rtt_seconds < 0.0 || rtt < best.min_rtt_seconds) {
+          best.min_rtt_seconds = rtt;
+          best.offset_seconds = estimate_clock_offset(p.t0, p.t1, p.t2, t3);
+        }
+        got_pong = true;
+      });
+      HQR_CHECK(sw.seconds() < timeout_seconds,
+                "clock sync timed out on rank " << comm.rank() << " (round "
+                                                << round << ")");
+    }
+  }
+  if (best.min_rtt_seconds < 0.0) best.min_rtt_seconds = 0.0;
+  return best;
+}
+
+}  // namespace
+
+double estimate_clock_offset(double t0, double t1, double t2, double t3) {
+  return ((t1 - t0) + (t2 - t3)) / 2.0;
+}
+
+ClockSync sync_clocks(Comm& comm, std::vector<Message>* held, int rounds,
+                      double timeout_seconds) {
+  HQR_CHECK(rounds >= 1, "clock sync needs at least one round");
+  if (comm.size() == 1) return {0.0, 0.0, rounds};
+  if (comm.rank() == 0)
+    return serve_pings(comm, held, rounds, timeout_seconds);
+  return probe_rank0(comm, held, rounds, timeout_seconds);
+}
+
+}  // namespace hqr::net

@@ -1,0 +1,50 @@
+// Clock-alignment handshake run at mesh setup, before any Data traffic
+// flows: every rank estimates the offset between its monotonic clock and
+// rank 0's, so per-rank trace timestamps can be fused into one causally
+// consistent cluster timeline (obs::merge_rank_traces).
+//
+// Protocol (classic NTP-style midpoint estimator): rank r sends SyncPing
+// rounds to rank 0 carrying its local send time t0; rank 0 stamps receive
+// time t1 and reply time t2 into the SyncPong; r stamps arrival t3 and
+// estimates
+//
+//   offset = ((t1 - t0) + (t2 - t3)) / 2      (rank0_clock - local_clock)
+//   rtt    = (t3 - t0) - (t2 - t1)
+//
+// keeping the sample with the smallest round-trip (least queueing noise).
+// On one host all ranks share the hardware clock, so the estimate doubles
+// as a self-check: it must come out near zero, within the socket RTT.
+#pragma once
+
+#include <vector>
+
+#include "net/comm.hpp"
+
+namespace hqr::net {
+
+struct ClockSync {
+  // Add to a local monotonic_seconds() value to land on rank 0's clock.
+  double offset_seconds = 0.0;
+  // Round-trip time of the sample the offset came from; also the error
+  // bound of the estimate (the true offset lies within ±rtt/2).
+  double min_rtt_seconds = 0.0;
+  int rounds = 0;
+};
+
+// The midpoint estimator itself, exposed for tests: offset of the
+// responder's clock relative to the requester's, from one ping/pong
+// exchange (t0 = ping send, t1 = pong-side receive, t2 = pong-side send,
+// t3 = pong receive; t0/t3 on the requester clock, t1/t2 on the responder).
+double estimate_clock_offset(double t0, double t1, double t2, double t3);
+
+// Collective over the communicator; call on every rank before any other
+// traffic. Rank 0 serves (size-1)*rounds pings and returns a zero offset;
+// every other rank runs `rounds` ping/pong exchanges against rank 0 and
+// returns its best-sample offset. Messages of any other tag arriving
+// during the handshake (a fast peer may already be executing) are parked
+// in `held` for the caller to replay; without a `held` vector they are an
+// error. Throws hqr::Error on timeout or peer failure.
+ClockSync sync_clocks(Comm& comm, std::vector<Message>* held = nullptr,
+                      int rounds = 8, double timeout_seconds = 30.0);
+
+}  // namespace hqr::net

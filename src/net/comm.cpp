@@ -34,9 +34,11 @@ void Comm::post(int dest, Tag tag, std::int32_t id, const void* payload,
   std::vector<std::uint8_t> frame(sizeof(h) + bytes);
   std::memcpy(frame.data(), &h, sizeof(h));
   if (bytes > 0) std::memcpy(frame.data() + sizeof(h), payload, bytes);
+  const long long frame_bytes = static_cast<long long>(frame.size());
   std::lock_guard<std::mutex> lk(send_mu_);
   send_[static_cast<std::size_t>(dest)].frames.push_back(std::move(frame));
   ++pending_frames_;
+  pending_bytes_ += frame_bytes;
   if (tag == Tag::Data) {
     ++counters_.data_messages_sent;
     counters_.data_bytes_sent += static_cast<long long>(bytes);
@@ -44,11 +46,29 @@ void Comm::post(int dest, Tag tag, std::int32_t id, const void* payload,
     ++counters_.control_messages_sent;
     counters_.control_bytes_sent += static_cast<long long>(bytes);
   }
+  ++counters_.messages_sent_by_tag[static_cast<std::size_t>(tag_index(tag))];
+  counters_.bytes_sent_by_tag[static_cast<std::size_t>(tag_index(tag))] +=
+      static_cast<long long>(bytes);
 }
 
 bool Comm::flushed() const {
   std::lock_guard<std::mutex> lk(send_mu_);
   return pending_frames_ == 0;
+}
+
+CommCounters Comm::counters_snapshot() const {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  return counters_;
+}
+
+long long Comm::send_queue_frames() const {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  return pending_frames_;
+}
+
+long long Comm::send_queue_bytes() const {
+  std::lock_guard<std::mutex> lk(send_mu_);
+  return pending_bytes_;
 }
 
 void Comm::flush_peer(int q) {
@@ -61,6 +81,7 @@ void Comm::flush_peer(int q) {
         write_some(peers_[static_cast<std::size_t>(q)].get(),
                    f.data() + s.offset, want);
     s.offset += static_cast<std::size_t>(wrote);
+    pending_bytes_ -= static_cast<long long>(wrote);
     if (s.offset < f.size()) return;  // kernel buffer full
     s.frames.pop_front();
     s.offset = 0;
@@ -115,6 +136,12 @@ void Comm::drain_peer(int q, std::vector<Message>& out) {
     } else {
       ++counters_.control_messages_recv;
       counters_.control_bytes_recv += static_cast<long long>(m.payload.size());
+    }
+    const int ti = tag_index(m.tag);
+    if (ti >= 0 && ti < kTagCount) {
+      ++counters_.messages_recv_by_tag[static_cast<std::size_t>(ti)];
+      counters_.bytes_recv_by_tag[static_cast<std::size_t>(ti)] +=
+          static_cast<long long>(m.payload.size());
     }
     out.push_back(std::move(m));
   }

@@ -10,6 +10,7 @@
 // thread" — and on the main thread during the gather/shutdown phases.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -24,7 +25,9 @@ namespace hqr::net {
 // Traffic counters, split exactly the way the cross-validation against the
 // cluster simulator needs them: Data frames (the tile payloads whose count
 // and dedup rule the simulator models) versus everything else (gather,
-// stats, shutdown — traffic the model does not charge for).
+// stats, shutdown — traffic the model does not charge for). The per-tag
+// arrays (indexed by the raw Tag value; slot 0 unused) break the same
+// traffic down per message kind for the tracing/telemetry layer.
 struct CommCounters {
   long long data_messages_sent = 0;
   long long data_bytes_sent = 0;  // payload bytes of Data frames
@@ -34,6 +37,10 @@ struct CommCounters {
   long long control_bytes_sent = 0;
   long long control_messages_recv = 0;
   long long control_bytes_recv = 0;
+  std::array<long long, kTagCount> messages_sent_by_tag{};
+  std::array<long long, kTagCount> bytes_sent_by_tag{};
+  std::array<long long, kTagCount> messages_recv_by_tag{};
+  std::array<long long, kTagCount> bytes_recv_by_tag{};
 };
 
 class Comm {
@@ -66,6 +73,17 @@ class Comm {
 
   const CommCounters& counters() const { return counters_; }
 
+  // Locked copy of the counters, safe to take mid-run while other threads
+  // post() (the telemetry heartbeat samples this; plain counters() is only
+  // consistent once sends quiesce).
+  CommCounters counters_snapshot() const;
+
+  // Instantaneous send-queue depth: frames posted but not yet fully written
+  // to the kernel, and the payload+header bytes they still hold. Sampled by
+  // the telemetry loop as the backpressure signal. Thread-safe.
+  long long send_queue_frames() const;
+  long long send_queue_bytes() const;
+
  private:
   struct SendState {
     std::deque<std::vector<std::uint8_t>> frames;  // header+payload
@@ -87,8 +105,9 @@ class Comm {
   std::vector<Fd> peers_;
   std::vector<SendState> send_;
   std::vector<RecvState> recv_;
-  mutable std::mutex send_mu_;  // guards send_ and pending_frames_
+  mutable std::mutex send_mu_;  // guards send_, pending_frames_/bytes_
   long long pending_frames_ = 0;
+  long long pending_bytes_ = 0;
   bool eof_ok_ = false;
   CommCounters counters_;
 };

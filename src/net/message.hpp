@@ -15,6 +15,13 @@
 //   Stats   id = sender rank; payload is a DistRankStats block.
 //   Bye     id = sender rank; empty payload (rank 0's shutdown release).
 //   Abort   id = sender rank; empty payload (peer hit an error; tear down).
+//   SyncPing/SyncPong
+//           id = round number; the clock-alignment handshake at mesh setup
+//           (net/clock_sync.hpp). Ping carries the sender's local send
+//           time; Pong echoes it plus the responder's receive/send times.
+//   Telemetry
+//           id = sender rank; payload is a DistTelemetry heartbeat shipped
+//           periodically to rank 0 while the DAG executes.
 //
 // All ranks run the same binary on the same host (forked by the launcher),
 // so scalar fields are shipped in native byte order.
@@ -32,7 +39,30 @@ enum class Tag : std::uint32_t {
   Stats = 3,
   Bye = 4,
   Abort = 5,
+  SyncPing = 6,
+  SyncPong = 7,
+  Telemetry = 8,
 };
+
+// Number of tag slots (tag values index per-tag counters directly; slot 0
+// is unused).
+inline constexpr int kTagCount = 9;
+
+inline int tag_index(Tag t) { return static_cast<int>(t); }
+
+inline const char* tag_name(Tag t) {
+  switch (t) {
+    case Tag::Data: return "Data";
+    case Tag::Gather: return "Gather";
+    case Tag::Stats: return "Stats";
+    case Tag::Bye: return "Bye";
+    case Tag::Abort: return "Abort";
+    case Tag::SyncPing: return "SyncPing";
+    case Tag::SyncPong: return "SyncPong";
+    case Tag::Telemetry: return "Telemetry";
+  }
+  return "Unknown";
+}
 
 inline constexpr std::uint32_t kMagic = 0x4851524d;  // "HQRM"
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -114,6 +115,37 @@ AnalysisReport analyze_trace(const TraceRecorder& trace,
     gaps.resize(static_cast<std::size_t>(top_k));
   rep.top_gaps = std::move(gaps);
 
+  // Per-rank breakdown, only meaningful for merged distributed traces
+  // (flows recorded; lane == rank there by merge_rank_traces' contract).
+  const std::vector<FlowEvent> flows = trace.flows();
+  if (!flows.empty()) {
+    std::map<std::int32_t, RankStat> ranks;
+    std::map<std::int32_t, std::set<std::int32_t>> workers;
+    for (const TraceEvent& e : events) {
+      RankStat& r = ranks[e.lane];
+      r.rank = e.lane;
+      ++r.tasks;
+      r.compute_seconds += e.end - e.start;
+      workers[e.lane].insert(e.sub);
+    }
+    for (const FlowEvent& fl : flows) {
+      if (!fl.complete()) continue;
+      ranks[fl.src_rank].rank = fl.src_rank;
+      ranks[fl.dest_rank].rank = fl.dest_rank;
+      ++ranks[fl.src_rank].messages_out;
+      RankStat& in = ranks[fl.dest_rank];
+      ++in.messages_in;
+      in.max_message_latency_seconds = std::max(
+          in.max_message_latency_seconds, fl.recv_time - fl.send_time);
+    }
+    for (auto& [rank, r] : ranks) {
+      r.workers = static_cast<int>(workers[rank].size());
+      r.idle_seconds =
+          std::max(0.0, r.workers * rep.makespan - r.compute_seconds);
+      rep.rank_stats.push_back(r);
+    }
+  }
+
   if (graph != nullptr) {
     realized_critical_path(events, *graph, &rep);
     rep.critical_path_fraction =
@@ -155,6 +187,23 @@ std::string AnalysisReport::to_text() const {
     os << "\nlargest pipeline stalls:\n";
     gt.print(os);
   }
+  if (!rank_stats.empty()) {
+    TextTable rt({"rank", "workers", "tasks", "compute s", "idle s",
+                  "msgs in", "msgs out", "max latency s"});
+    for (const RankStat& r : rank_stats) {
+      rt.row()
+          .add(r.rank)
+          .add(r.workers)
+          .add(r.tasks)
+          .add(r.compute_seconds, 5)
+          .add(r.idle_seconds, 5)
+          .add(r.messages_in)
+          .add(r.messages_out)
+          .add(r.max_message_latency_seconds, 6);
+    }
+    os << "\nper-rank breakdown:\n";
+    rt.print(os);
+  }
   return os.str();
 }
 
@@ -195,6 +244,18 @@ void AnalysisReport::write_json(std::ostream& os) const {
     os << (i ? "," : "") << "\n    {\"lane\": " << g.lane
        << ", \"sub\": " << g.sub << ", \"start\": " << g.start
        << ", \"end\": " << g.end << '}';
+  }
+  os << "\n  ],\n  \"rank_stats\": [";
+  for (std::size_t i = 0; i < rank_stats.size(); ++i) {
+    const RankStat& r = rank_stats[i];
+    os << (i ? "," : "") << "\n    {\"rank\": " << r.rank
+       << ", \"workers\": " << r.workers << ", \"tasks\": " << r.tasks
+       << ", \"compute_seconds\": " << r.compute_seconds
+       << ", \"idle_seconds\": " << r.idle_seconds
+       << ", \"messages_in\": " << r.messages_in
+       << ", \"messages_out\": " << r.messages_out
+       << ", \"max_message_latency_seconds\": "
+       << r.max_message_latency_seconds << '}';
   }
   os << "\n  ]\n}\n";
 }

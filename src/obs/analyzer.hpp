@@ -40,6 +40,22 @@ struct StallGap {
   double length() const { return end - start; }
 };
 
+// Per-rank comm/compute/idle breakdown of a merged distributed trace
+// (merge_rank_traces output: lane == rank, sub == worker, flows recorded).
+// Populated only when the trace carries flow events.
+struct RankStat {
+  std::int32_t rank = 0;
+  int workers = 0;  // distinct worker tracks seen on the rank
+  long long tasks = 0;
+  double compute_seconds = 0.0;  // sum of task durations on the rank
+  double idle_seconds = 0.0;     // workers * makespan - compute
+  long long messages_in = 0;     // complete inbound flows
+  long long messages_out = 0;
+  // Largest wire latency (aligned recv - send) over inbound flows: how long
+  // the slowest tile transfer into this rank spent in flight.
+  double max_message_latency_seconds = 0.0;
+};
+
 struct AnalysisReport {
   double makespan = 0.0;
   long long tasks = 0;
@@ -58,6 +74,7 @@ struct AnalysisReport {
   std::vector<KernelStat> kernels;  // sorted by total_seconds, descending
   std::vector<LaneStat> lane_stats; // sorted by (lane, sub)
   std::vector<StallGap> top_gaps;   // largest first, at most top_k
+  std::vector<RankStat> rank_stats; // distributed traces only (see RankStat)
 
   std::string to_text() const;
   void write_json(std::ostream& os) const;

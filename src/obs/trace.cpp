@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "common/check.hpp"
 
@@ -48,6 +50,55 @@ void TraceRecorder::ensure_lanes(int n) {
   if (n > lanes()) buffers_.resize(static_cast<std::size_t>(n));
 }
 
+void TraceRecorder::record_flow_send(std::int32_t producer,
+                                     std::int32_t src_rank,
+                                     std::int32_t dest_rank,
+                                     double send_time) {
+  FlowEvent f;
+  f.producer = producer;
+  f.src_rank = src_rank;
+  f.dest_rank = dest_rank;
+  f.send_time = send_time;
+  add_flow(f);
+}
+
+void TraceRecorder::record_flow_recv(std::int32_t producer,
+                                     std::int32_t src_rank,
+                                     std::int32_t dest_rank,
+                                     std::int32_t consumer,
+                                     double recv_time) {
+  FlowEvent f;
+  f.producer = producer;
+  f.src_rank = src_rank;
+  f.dest_rank = dest_rank;
+  f.consumer = consumer;
+  f.recv_time = recv_time;
+  add_flow(f);
+}
+
+void TraceRecorder::add_flow(const FlowEvent& f) {
+  std::lock_guard<std::mutex> lk(*flow_mu_);
+  flows_.push_back(f);
+}
+
+std::size_t TraceRecorder::flow_count() const {
+  std::lock_guard<std::mutex> lk(*flow_mu_);
+  return flows_.size();
+}
+
+std::size_t TraceRecorder::complete_flow_count() const {
+  std::lock_guard<std::mutex> lk(*flow_mu_);
+  std::size_t n = 0;
+  for (const FlowEvent& f : flows_)
+    if (f.complete()) ++n;
+  return n;
+}
+
+std::vector<FlowEvent> TraceRecorder::flows() const {
+  std::lock_guard<std::mutex> lk(*flow_mu_);
+  return flows_;
+}
+
 std::size_t TraceRecorder::size() const {
   std::size_t total = 0;
   for (const auto& b : buffers_) total += b.size();
@@ -78,6 +129,13 @@ void TraceRecorder::save_csv(const std::string& path) const {
   std::ofstream f = open_checked(path);
   f << "task,lane,sub,kernel,start,end,accel,row,piv,k,j\n";
   f.precision(17);
+  f << "#lanes," << lanes() << '\n';
+  f << "#clock_offset," << clock_offset_ << '\n';
+  for (const FlowEvent& fl : flows()) {
+    f << "#flow," << fl.producer << ',' << fl.src_rank << ',' << fl.dest_rank
+      << ',' << fl.consumer << ',' << fl.send_time << ',' << fl.recv_time
+      << '\n';
+  }
   for (const TraceEvent& e : sorted_events()) {
     f << e.task << ',' << e.lane << ',' << e.sub << ','
       << kernel_name(e.type) << ',' << e.start << ',' << e.end << ','
@@ -131,6 +189,42 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
        << ",\"piv\":" << e.piv << ",\"k\":" << e.k << ",\"j\":" << e.j
        << ",\"accel\":" << (e.on_accel ? "true" : "false") << "}}";
   }
+  // Flow arrows: anchor the "s" step just inside the producer task's slice
+  // and the "f" step (binding point "enclosing") just inside the consumer's,
+  // so viewers draw the arrow from the end of the producing kernel on the
+  // source rank to the start of the first releasing kernel on the
+  // destination. The wire-level timestamps ride in args.
+  std::map<std::int32_t, const TraceEvent*> by_task;
+  for (const TraceEvent& e : events)
+    if (e.task >= 0 && by_task.find(e.task) == by_task.end())
+      by_task[e.task] = &e;
+  const double eps_us = 1e-3;  // 1 ns, in trace microseconds
+  long long flow_seq = 0;
+  for (const FlowEvent& fl : flows()) {
+    if (!fl.complete()) continue;
+    auto pi = by_task.find(fl.producer);
+    auto ci = by_task.find(fl.consumer);
+    if (pi == by_task.end() || ci == by_task.end()) continue;
+    const TraceEvent& p = *pi->second;
+    const TraceEvent& c = *ci->second;
+    double ts_s = p.end * 1e6 - eps_us;
+    if (ts_s < p.start * 1e6) ts_s = (p.start + p.end) * 0.5e6;
+    double ts_f = c.start * 1e6 + eps_us;
+    if (ts_f > c.end * 1e6) ts_f = (c.start + c.end) * 0.5e6;
+    const long long id = ++flow_seq;
+    sep();
+    os << "{\"name\":\"tile\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" << id
+       << ",\"ts\":" << ts_s << ",\"pid\":" << p.lane << ",\"tid\":" << p.sub
+       << ",\"args\":{\"producer\":" << fl.producer
+       << ",\"src_rank\":" << fl.src_rank
+       << ",\"dest_rank\":" << fl.dest_rank << ",\"send\":" << fl.send_time
+       << "}}";
+    sep();
+    os << "{\"name\":\"tile\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+       << "\"id\":" << id << ",\"ts\":" << ts_f << ",\"pid\":" << c.lane
+       << ",\"tid\":" << c.sub << ",\"args\":{\"consumer\":" << fl.consumer
+       << ",\"recv\":" << fl.recv_time << "}}";
+  }
   os << "\n]}\n";
 }
 
@@ -157,6 +251,15 @@ KernelType kernel_type_from_name(const std::string& name) {
   HQR_CHECK(false, "unknown kernel name '" << name << "' in trace CSV");
 }
 
+// Splits one CSV line into exactly `n` fields.
+void split_fields(const std::string& line, const std::string& path,
+                  std::string* field, int n) {
+  std::istringstream ls(line);
+  for (int i = 0; i < n; ++i)
+    HQR_CHECK(std::getline(ls, field[i], ','),
+              "short row in " << path << ": '" << line << "'");
+}
+
 }  // namespace
 
 TraceRecorder load_trace_csv(const std::string& path) {
@@ -169,6 +272,28 @@ TraceRecorder load_trace_csv(const std::string& path) {
   TraceRecorder rec;
   while (std::getline(f, line)) {
     if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::string field[7];
+      if (line.compare(0, 7, "#lanes,") == 0) {
+        split_fields(line, path, field, 2);
+        rec.ensure_lanes(std::stoi(field[1]));
+      } else if (line.compare(0, 14, "#clock_offset,") == 0) {
+        split_fields(line, path, field, 2);
+        rec.set_clock_offset(std::stod(field[1]));
+      } else if (line.compare(0, 6, "#flow,") == 0) {
+        split_fields(line, path, field, 7);
+        FlowEvent fl;
+        fl.producer = std::stoi(field[1]);
+        fl.src_rank = std::stoi(field[2]);
+        fl.dest_rank = std::stoi(field[3]);
+        fl.consumer = std::stoi(field[4]);
+        fl.send_time = std::stod(field[5]);
+        fl.recv_time = std::stod(field[6]);
+        rec.add_flow(fl);
+      }
+      // Unknown '#' lines are forward-compatible comments: skip.
+      continue;
+    }
     std::istringstream ls(line);
     std::string field[11];
     for (int i = 0; i < 11; ++i)
@@ -186,23 +311,59 @@ TraceRecorder load_trace_csv(const std::string& path) {
     e.piv = std::stoi(field[8]);
     e.k = std::stoi(field[9]);
     e.j = std::stoi(field[10]);
-    rec.add(e);
+    HQR_CHECK(e.lane >= 0, "negative lane in " << path);
+    rec.ensure_lanes(e.lane + 1);
+    rec.record(e.lane, e);
   }
   return rec;
 }
 
 TraceRecorder merge_rank_traces(const std::vector<std::string>& csv_paths) {
+  std::vector<TraceRecorder> ranks;
+  ranks.reserve(csv_paths.size());
+  for (const std::string& p : csv_paths)
+    ranks.push_back(load_trace_csv(p));
+
+  // Normalize the per-rank clock offsets so the merged timeline keeps its
+  // origin near the earliest rank's time zero: shift rank r's timestamps by
+  // (offset_r - min_offset). When no offsets were recorded (all zero, the
+  // pre-clock-sync format) this is the identity.
+  double min_offset = 0.0;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const double o = ranks[r].clock_offset();
+    if (r == 0 || o < min_offset) min_offset = o;
+  }
+
   TraceRecorder merged;
   merged.set_labels("rank", "worker");
   merged.ensure_lanes(static_cast<int>(csv_paths.size()));
-  for (std::size_t r = 0; r < csv_paths.size(); ++r) {
-    const TraceRecorder one = load_trace_csv(csv_paths[r]);
-    for (TraceEvent e : one.sorted_events()) {
+  // Flow halves keyed by (producer, src, dest): every inter-rank message is
+  // uniquely identified by which task's output went to which rank.
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, FlowEvent>
+      paired;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const double shift = ranks[r].clock_offset() - min_offset;
+    for (TraceEvent e : ranks[r].sorted_events()) {
       e.sub = e.lane;  // worker thread becomes the thread track
       e.lane = static_cast<std::int32_t>(r);
+      e.start += shift;
+      e.end += shift;
       merged.record(static_cast<int>(r), e);
     }
+    for (FlowEvent fl : ranks[r].flows()) {
+      if (fl.send_time >= 0.0) fl.send_time += shift;
+      if (fl.recv_time >= 0.0) fl.recv_time += shift;
+      FlowEvent& slot = paired[{fl.producer, fl.src_rank, fl.dest_rank}];
+      if (slot.producer < 0) {
+        slot = fl;
+        continue;
+      }
+      if (fl.send_time >= 0.0) slot.send_time = fl.send_time;
+      if (fl.recv_time >= 0.0) slot.recv_time = fl.recv_time;
+      if (fl.consumer >= 0) slot.consumer = fl.consumer;
+    }
   }
+  for (const auto& kv : paired) merged.add_flow(kv.second);
   return merged;
 }
 

@@ -320,6 +320,7 @@ class Engine {
         view_(view),
         timed_(opts.trace != nullptr || opts.metrics != nullptr),
         remaining_(0) {
+    if (opts.trace_origin >= 0.0) clock_.set_origin(opts.trace_origin);
     local_tasks_ = graph.size();
     if (view_) {
       local_tasks_ = 0;

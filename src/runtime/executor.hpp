@@ -91,6 +91,12 @@ struct ExecutorOptions {
   // reads per task plus lock-free per-lane appends / atomic updates.
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Time zero for trace timestamps, as a monotonic_seconds() value; < 0
+  // (default) uses engine construction time. The distributed runtime pins
+  // every component of a rank — executor lanes and the communication
+  // thread's flow events — to one shared origin so the per-rank trace is
+  // internally consistent before clock alignment shifts it cluster-wide.
+  double trace_origin = -1.0;
 };
 
 // Executes all kernels of `f` (its kernel list must match `graph`'s ops) in

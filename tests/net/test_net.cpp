@@ -2,13 +2,16 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "net/clock_sync.hpp"
 #include "net/comm.hpp"
 #include "net/launcher.hpp"
 #include "net/socket.hpp"
@@ -155,6 +158,97 @@ TEST(Launcher, PropagatesFirstNonzeroExit) {
   const int rc = run_ranks(
       3, [](Comm& comm) -> int { return comm.rank() == 1 ? 7 : 0; });
   EXPECT_EQ(rc, 7);
+}
+
+TEST(Comm, PerTagCountersAndQueueDepth) {
+  CommPair p = comm_pair();
+  EXPECT_EQ(p.c0->send_queue_frames(), 0);
+  EXPECT_EQ(p.c0->send_queue_bytes(), 0);
+  const double x = 1.0;
+  p.c0->post(1, Tag::Data, 1, &x, sizeof(x));
+  p.c0->post(1, Tag::Telemetry, 0, &x, sizeof(x));
+  p.c0->post(1, Tag::Bye, 0, nullptr, 0);
+  EXPECT_EQ(p.c0->send_queue_frames(), 3);
+  // Three 24-byte headers plus two double payloads still queued.
+  EXPECT_EQ(p.c0->send_queue_bytes(),
+            3 * 24 + 2 * static_cast<long long>(sizeof(double)));
+  while (!p.c0->flushed()) p.c0->pump(1, [](Message&&) {});
+  EXPECT_EQ(p.c0->send_queue_frames(), 0);
+  EXPECT_EQ(p.c0->send_queue_bytes(), 0);
+
+  const std::vector<Message> got = pump_until(*p.c1, 3);
+  ASSERT_EQ(got.size(), 3u);
+  const CommCounters& s = p.c0->counters();
+  EXPECT_EQ(s.messages_sent_by_tag[tag_index(Tag::Data)], 1);
+  EXPECT_EQ(s.messages_sent_by_tag[tag_index(Tag::Telemetry)], 1);
+  EXPECT_EQ(s.messages_sent_by_tag[tag_index(Tag::Bye)], 1);
+  EXPECT_EQ(s.messages_sent_by_tag[tag_index(Tag::Gather)], 0);
+  EXPECT_EQ(s.bytes_sent_by_tag[tag_index(Tag::Data)],
+            static_cast<long long>(sizeof(double)));
+  const CommCounters& r = p.c1->counters();
+  EXPECT_EQ(r.messages_recv_by_tag[tag_index(Tag::Data)], 1);
+  EXPECT_EQ(r.messages_recv_by_tag[tag_index(Tag::Telemetry)], 1);
+  EXPECT_EQ(r.messages_recv_by_tag[tag_index(Tag::Bye)], 1);
+  EXPECT_EQ(r.bytes_recv_by_tag[tag_index(Tag::Bye)], 0);
+  // The locked snapshot sees the same totals once traffic quiesced.
+  EXPECT_EQ(p.c0->counters_snapshot().messages_sent_by_tag[tag_index(
+                Tag::Telemetry)],
+            1);
+}
+
+TEST(ClockSync, MidpointEstimatorRecoversKnownOffset) {
+  // Responder clock runs 5 s ahead; 1 s each way on the wire, symmetric:
+  // ping sent at 100 arrives at responder time 106, reply leaves 106.5 and
+  // lands at requester time 102.5.
+  EXPECT_DOUBLE_EQ(estimate_clock_offset(100.0, 106.0, 106.5, 102.5), 5.0);
+  EXPECT_DOUBLE_EQ(estimate_clock_offset(0.0, 0.0, 0.0, 0.0), 0.0);
+  // Pure symmetric delay with equal clocks estimates zero.
+  EXPECT_DOUBLE_EQ(estimate_clock_offset(10.0, 11.0, 11.0, 12.0), 0.0);
+}
+
+TEST(ClockSync, TwoRankHandshakeBoundsOffsetByHalfRtt) {
+  CommPair p = comm_pair();
+  ClockSync r1;
+  std::thread t1([&] { r1 = sync_clocks(*p.c1, nullptr, 8, 20.0); });
+  const ClockSync r0 = sync_clocks(*p.c0, nullptr, 8, 20.0);
+  t1.join();
+  // Rank 0 is the reference: zero offset by definition.
+  EXPECT_EQ(r0.offset_seconds, 0.0);
+  EXPECT_EQ(r1.rounds, 8);
+  EXPECT_GT(r1.min_rtt_seconds, 0.0);
+  // Both endpoints share one hardware clock here, so the estimate must sit
+  // within the estimator's own error bound around zero.
+  EXPECT_LE(std::abs(r1.offset_seconds), r1.min_rtt_seconds / 2 + 1e-12);
+}
+
+TEST(ClockSync, ParksForeignMessagesArrivingMidHandshake) {
+  CommPair p = comm_pair();
+  // Rank 1 fires a Data frame before syncing: socket order delivers it to
+  // rank 0 ahead of the pings, mid-handshake.
+  const double x = 3.5;
+  p.c1->post(0, Tag::Data, 99, &x, sizeof(x));
+  std::vector<Message> held0, held1;
+  ClockSync r1;
+  std::thread t1([&] { r1 = sync_clocks(*p.c1, &held1, 4, 20.0); });
+  const ClockSync r0 = sync_clocks(*p.c0, &held0, 4, 20.0);
+  t1.join();
+  EXPECT_EQ(r0.rounds, 4);
+  ASSERT_EQ(held0.size(), 1u);
+  EXPECT_EQ(held0[0].tag, Tag::Data);
+  EXPECT_EQ(held0[0].id, 99);
+  ASSERT_EQ(held0[0].payload.size(), sizeof(double));
+  double back = 0.0;
+  std::memcpy(&back, held0[0].payload.data(), sizeof(back));
+  EXPECT_EQ(back, 3.5);
+  EXPECT_TRUE(held1.empty());
+}
+
+TEST(ClockSync, SingleRankIsANoOp) {
+  std::vector<Fd> self(1);
+  Comm solo(0, std::move(self));
+  const ClockSync r = sync_clocks(solo);
+  EXPECT_EQ(r.offset_seconds, 0.0);
+  EXPECT_EQ(r.min_rtt_seconds, 0.0);
 }
 
 TEST(Launcher, UncaughtErrorBecomesExitOne) {

@@ -151,5 +151,60 @@ TEST(Analyzer, ReportExportsParseAndAgree) {
   EXPECT_DOUBLE_EQ(root->at("tasks").num, 2.0);
 }
 
+// A merged distributed trace (lane == rank, sub == worker, flows present)
+// gains a per-rank comm/compute/idle breakdown.
+TEST(Analyzer, RankBreakdownFromMergedDistributedTrace) {
+  TraceRecorder trace;
+  trace.ensure_lanes(2);
+  // Rank 0: two workers, tasks on each. Rank 1: one worker.
+  trace.record(0, {.task = 0, .lane = 0, .sub = 0, .start = 0.0, .end = 1.0});
+  trace.record(0, {.task = 1, .lane = 0, .sub = 1, .start = 0.0, .end = 0.5});
+  trace.record(1, {.task = 2, .lane = 1, .sub = 0, .start = 1.2, .end = 2.0});
+  // Task 0's tile goes to rank 1 (in-flight 1.0 -> 1.2); task 2's reply
+  // flow is still incomplete and must not be counted.
+  trace.add_flow({.producer = 0,
+                  .src_rank = 0,
+                  .dest_rank = 1,
+                  .consumer = 2,
+                  .send_time = 1.0,
+                  .recv_time = 1.2});
+  trace.add_flow({.producer = 2, .src_rank = 1, .dest_rank = 0,
+                  .send_time = 2.0});
+
+  AnalysisReport rep = analyze_trace(trace);
+  ASSERT_EQ(rep.rank_stats.size(), 2u);
+  const obs::RankStat& r0 = rep.rank_stats[0];
+  const obs::RankStat& r1 = rep.rank_stats[1];
+  EXPECT_EQ(r0.rank, 0);
+  EXPECT_EQ(r0.workers, 2);
+  EXPECT_EQ(r0.tasks, 2);
+  EXPECT_DOUBLE_EQ(r0.compute_seconds, 1.5);
+  // 2 workers * 2.0 makespan - 1.5 compute.
+  EXPECT_DOUBLE_EQ(r0.idle_seconds, 2.5);
+  EXPECT_EQ(r0.messages_out, 1);
+  EXPECT_EQ(r0.messages_in, 0);
+  EXPECT_EQ(r1.rank, 1);
+  EXPECT_EQ(r1.workers, 1);
+  EXPECT_EQ(r1.tasks, 1);
+  EXPECT_EQ(r1.messages_in, 1);
+  EXPECT_EQ(r1.messages_out, 0);  // its flow half is incomplete
+  EXPECT_NEAR(r1.max_message_latency_seconds, 0.2, 1e-12);
+
+  // Both exports carry the breakdown.
+  EXPECT_NE(rep.to_text().find("per-rank"), std::string::npos);
+  std::ostringstream os;
+  rep.write_json(os);
+  auto root = testjson::parse(os.str());
+  ASSERT_TRUE(root->has("rank_stats"));
+  EXPECT_EQ(root->at("rank_stats").arr.size(), 2u);
+}
+
+TEST(Analyzer, TraceWithoutFlowsHasNoRankStats) {
+  TraceRecorder trace;
+  trace.add({.task = 0, .end = 1.0});
+  AnalysisReport rep = analyze_trace(trace);
+  EXPECT_TRUE(rep.rank_stats.empty());
+}
+
 }  // namespace
 }  // namespace hqr

@@ -180,7 +180,7 @@ TEST(Trace, CsvAndJsonAgreeOnEventCount) {
   std::string line;
   int csv_rows = -1;  // skip header
   while (std::getline(csv, line))
-    if (!line.empty()) ++csv_rows;
+    if (!line.empty() && line[0] != '#') ++csv_rows;  // skip metadata
   EXPECT_EQ(csv_rows, 5);
   std::ifstream js(dir + "agree.json");
   std::stringstream ss;
@@ -273,6 +273,151 @@ TEST(Trace, MergeRankTracesRemapsWorkerLanesUnderRanks) {
     EXPECT_EQ(e.lane, e.task / 2);  // rank the event came from
     EXPECT_EQ(e.sub, e.task % 2);   // original worker lane
   }
+}
+
+TEST(Trace, ClockOffsetAndFlowsSurviveCsvRoundTrip) {
+  TraceRecorder rec;
+  rec.ensure_lanes(2);
+  rec.set_clock_offset(1234.56789012345678);
+  rec.record(0, {.task = 3, .lane = 0, .type = KernelType::GEQRT, .end = 0.5});
+  rec.add_flow({.producer = 3,
+                .src_rank = 0,
+                .dest_rank = 1,
+                .consumer = 9,
+                .send_time = 0.25,
+                .recv_time = 0.75});
+  rec.record_flow_send(4, 0, 2, 0.5);  // unmatched half: recv_time stays -1
+  const std::string path = ::testing::TempDir() + "flows.csv";
+  rec.save_csv(path);
+
+  const TraceRecorder back = obs::load_trace_csv(path);
+  EXPECT_DOUBLE_EQ(back.clock_offset(), rec.clock_offset());
+  ASSERT_EQ(back.flow_count(), 2u);
+  EXPECT_EQ(back.complete_flow_count(), 1u);
+  const auto flows = back.flows();
+  EXPECT_EQ(flows[0].producer, 3);
+  EXPECT_EQ(flows[0].src_rank, 0);
+  EXPECT_EQ(flows[0].dest_rank, 1);
+  EXPECT_EQ(flows[0].consumer, 9);
+  EXPECT_DOUBLE_EQ(flows[0].send_time, 0.25);
+  EXPECT_DOUBLE_EQ(flows[0].recv_time, 0.75);
+  EXPECT_EQ(flows[1].producer, 4);
+  EXPECT_FALSE(flows[1].complete());
+}
+
+TEST(Trace, CsvPreservesIdleLanesWithAsymmetricThreadCounts) {
+  // A rank can have worker lanes that never ran a task (e.g. 3 threads but
+  // all local work fit on one). The #lanes metadata keeps the lane count
+  // through a round trip so the merged trace shows the idle workers too.
+  TraceRecorder rec;
+  rec.ensure_lanes(3);
+  rec.record(1, {.task = 0, .lane = 1, .type = KernelType::GEQRT, .end = 0.5});
+  const std::string path = ::testing::TempDir() + "idle_lanes.csv";
+  rec.save_csv(path);
+  const TraceRecorder back = obs::load_trace_csv(path);
+  EXPECT_EQ(back.lanes(), 3);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.sorted_events()[0].lane, 1);
+}
+
+TEST(Trace, MergeAlignsClocksAndPairsFlowHalves) {
+  // Rank 0 (clock offset 5.0) runs producer task 1 and stamps the send
+  // half; rank 1 (offset 5.2) runs consumer task 2 and stamps the recv
+  // half. In raw local time recv (0.4) < send (0.5) — causality appears
+  // violated. After the merge shifts rank 1 by +0.2, the paired flow must
+  // be causally ordered: send 0.5 < recv 0.6.
+  const std::string dir = ::testing::TempDir();
+  TraceRecorder r0;
+  r0.ensure_lanes(1);
+  r0.set_clock_offset(5.0);
+  r0.record(0, {.task = 1, .lane = 0, .type = KernelType::GEQRT,
+                .start = 0.1, .end = 0.5});
+  r0.record_flow_send(1, 0, 1, 0.5);
+  r0.save_csv(dir + "align0.csv");
+
+  TraceRecorder r1;
+  r1.ensure_lanes(1);
+  r1.set_clock_offset(5.2);
+  r1.record(0, {.task = 2, .lane = 0, .type = KernelType::TSQRT,
+                .start = 0.45, .end = 0.9});
+  r1.record_flow_recv(1, 0, 1, 2, 0.4);
+  r1.save_csv(dir + "align1.csv");
+
+  const TraceRecorder merged =
+      obs::merge_rank_traces({dir + "align0.csv", dir + "align1.csv"});
+  ASSERT_EQ(merged.complete_flow_count(), 1u);
+  const obs::FlowEvent fl = merged.flows()[0];
+  EXPECT_EQ(fl.producer, 1);
+  EXPECT_EQ(fl.src_rank, 0);
+  EXPECT_EQ(fl.dest_rank, 1);
+  EXPECT_EQ(fl.consumer, 2);
+  EXPECT_DOUBLE_EQ(fl.send_time, 0.5);   // rank 0 holds the min offset
+  EXPECT_NEAR(fl.recv_time, 0.6, 1e-12);  // 0.4 + (5.2 - 5.0)
+  EXPECT_LT(fl.send_time, fl.recv_time);
+
+  // Task events shifted by the same per-rank amount.
+  for (const TraceEvent& e : merged.sorted_events()) {
+    if (e.lane == 0) {
+      EXPECT_DOUBLE_EQ(e.start, 0.1);
+    } else {
+      EXPECT_NEAR(e.start, 0.65, 1e-12);
+    }
+  }
+}
+
+TEST(Trace, ChromeJsonDrawsFlowArrowsInsideTaskSlices) {
+  TraceRecorder rec;
+  rec.ensure_lanes(2);
+  rec.record(0, {.task = 1, .lane = 0, .type = KernelType::GEQRT,
+                 .start = 0.0, .end = 0.5});
+  rec.record(1, {.task = 2, .lane = 1, .sub = 0, .type = KernelType::TSMQR,
+                 .start = 0.7, .end = 1.0});
+  rec.add_flow({.producer = 1,
+                .src_rank = 0,
+                .dest_rank = 1,
+                .consumer = 2,
+                .send_time = 0.5,
+                .recv_time = 0.65});
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+
+  auto root = testjson::parse(os.str());
+  const testjson::Value* start = nullptr;
+  const testjson::Value* finish = nullptr;
+  for (const auto& ev : root->at("traceEvents").arr) {
+    const std::string& ph = ev->at("ph").str;
+    if (ph == "s") start = ev.get();
+    if (ph == "f") finish = ev.get();
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  EXPECT_EQ(start->at("cat").str, "flow");
+  EXPECT_EQ(start->at("id").num, finish->at("id").num);
+  EXPECT_EQ(finish->at("bp").str, "e");  // bind to the enclosing slice
+  // The "s" anchor sits inside the producer slice on rank 0's track, the
+  // "f" anchor inside the consumer slice on rank 1's — and in order.
+  EXPECT_EQ(static_cast<int>(start->at("pid").num), 0);
+  EXPECT_GE(start->at("ts").num, 0.0);
+  EXPECT_LE(start->at("ts").num, 0.5 * 1e6);
+  EXPECT_EQ(static_cast<int>(finish->at("pid").num), 1);
+  EXPECT_GE(finish->at("ts").num, 0.7 * 1e6);
+  EXPECT_LE(finish->at("ts").num, 1.0 * 1e6);
+  EXPECT_LT(start->at("ts").num, finish->at("ts").num);
+  // Wire timestamps ride in args for tooling.
+  EXPECT_DOUBLE_EQ(start->at("args").at("send").num, 0.5);
+  EXPECT_DOUBLE_EQ(finish->at("args").at("recv").num, 0.65);
+}
+
+TEST(Trace, IncompleteFlowsProduceNoArrows) {
+  TraceRecorder rec;
+  rec.ensure_lanes(1);
+  rec.record(0, {.task = 1, .lane = 0, .type = KernelType::GEQRT, .end = 0.5});
+  rec.record_flow_send(1, 0, 1, 0.5);  // recv half never arrived
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  auto root = testjson::parse(os.str());
+  for (const auto& ev : root->at("traceEvents").arr)
+    EXPECT_NE(ev->at("ph").str, "s");
 }
 
 }  // namespace

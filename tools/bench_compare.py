@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and fail on throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+The CI perf gate runs this against the checked-in baseline (BENCH_*.json)
+and a freshly measured candidate. Records are matched by their identity
+keys (everything that is not a measurement), and each shared measure is
+classified as higher-better (gflops, speedup, throughput) or lower-better
+(seconds, bytes-ish time fields). A matched measure regresses when it is
+worse than the baseline by more than the threshold fraction; the script
+prints every comparison and exits 1 if any regressed.
+
+Supported schemas: hqr-bench-kernels-v1 (results/speedups/end_to_end),
+hqr-bench-dist-v1/v2 and hqr-bench-runtime-v1 are handled by the same
+generic record walker — any JSON whose "results" entries mix identity
+fields (strings/ints) with float measures works.
+"""
+
+import argparse
+import json
+import sys
+
+# Measures and their direction; anything not listed here is treated as an
+# identity key when integral/string, and ignored when float but unknown.
+HIGHER_BETTER = {"gflops", "speedup", "packed_gflops", "naive_gflops",
+                 "tasks_per_second"}
+LOWER_BETTER = {"seconds", "packed_seconds", "naive_seconds",
+                "makespan_seconds"}
+MEASURES = HIGHER_BETTER | LOWER_BETTER
+
+
+def identity(record):
+    """Hashable identity of a record: its non-measure scalar fields."""
+    key = []
+    for name in sorted(record):
+        value = record[name]
+        if name in MEASURES or isinstance(value, (list, dict)):
+            continue
+        key.append((name, value))
+    return tuple(key)
+
+
+def fmt_id(ident):
+    return "/".join(f"{k}={v}" for k, v in ident) or "<root>"
+
+
+def walk(doc):
+    """Yield (section, record) for every measured record in a bench JSON."""
+    for section in ("results", "speedups"):
+        for record in doc.get(section, []):
+            yield section, record
+    if isinstance(doc.get("end_to_end"), dict):
+        yield "end_to_end", doc["end_to_end"]
+
+
+def compare(baseline, candidate, threshold, measures=MEASURES):
+    """Return (comparisons, regressions) across all matched records."""
+    base_index = {}
+    for section, record in walk(baseline):
+        base_index[(section, identity(record))] = record
+
+    comparisons = []
+    regressions = []
+    for section, record in walk(candidate):
+        base = base_index.get((section, identity(record)))
+        if base is None:
+            continue
+        for measure in sorted(set(record) & set(base) & measures):
+            new, old = record[measure], base[measure]
+            if not isinstance(new, (int, float)) or not isinstance(
+                    old, (int, float)) or old == 0:
+                continue
+            if measure in HIGHER_BETTER:
+                regressed = new < old * (1.0 - threshold)
+                change = new / old - 1.0
+            else:
+                regressed = new > old * (1.0 + threshold)
+                change = old / new - 1.0 if new else 0.0
+            row = (section, fmt_id(identity(record)), measure, old, new,
+                   change, regressed)
+            comparisons.append(row)
+            if regressed:
+                regressions.append(row)
+    return comparisons, regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--measures", default="",
+                    help="comma-separated allowlist of measures to gate on "
+                         "(default: all known measures). On shared/noisy "
+                         "machines, gate on ratio measures like 'speedup' — "
+                         "they compare two rates from the same run, so "
+                         "machine load cancels out.")
+    args = ap.parse_args()
+
+    measures = MEASURES
+    if args.measures:
+        measures = set(args.measures.split(",")) & MEASURES
+        if not measures:
+            print(f"no known measures in --measures={args.measures} "
+                  f"(known: {sorted(MEASURES)})", file=sys.stderr)
+            return 2
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.candidate) as f:
+        candidate = json.load(f)
+
+    bschema = baseline.get("schema", "?")
+    cschema = candidate.get("schema", "?")
+    if bschema.rsplit("-", 1)[0] != cschema.rsplit("-", 1)[0]:
+        print(f"schema mismatch: {bschema} vs {cschema}", file=sys.stderr)
+        return 2
+
+    comparisons, regressions = compare(baseline, candidate, args.threshold,
+                                       measures)
+    if not comparisons:
+        print("no comparable records found", file=sys.stderr)
+        return 2
+
+    for section, ident, measure, old, new, change, regressed in comparisons:
+        marker = "REGRESSED" if regressed else "ok"
+        print(f"{marker:9s} {section}: {ident} {measure} "
+              f"{old:.6g} -> {new:.6g} ({change:+.1%})")
+
+    print(f"\n{len(comparisons)} measures compared, "
+          f"{len(regressions)} regressed (threshold {args.threshold:.0%})")
+    if regressions:
+        print("FAIL: performance regression detected", file=sys.stderr)
+        return 1
+    print("OK: no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,15 @@
 // calibration (KernelRates) encodes.
 //
 // Pass --json[=PATH] to additionally write machine-readable results
-// (default PATH: BENCH_kernels.json; see DESIGN.md for the schema):
+// (default PATH: BENCH_kernels.json; see DESIGN.md for the schema). The
+// hqr-bench-kernels-v2 schema carries a machine identity block (cpu id,
+// supported ISA tiers, the dispatched micro-kernel) and per-result
+// "isa"/"shape" fields recording which micro-kernel produced the number:
 //   {"kernel": "tsmqr", "b": 200, "ib": 32, "backend": "packed",
-//    "gflops": ...}
+//    "isa": "avx512", "shape": "16x8", "gflops": ...}
 // plus packed-vs-naive speedups for every (kernel, b, ib) measured under
-// both backends.
+// both backends. tools/bench_compare.py refuses to gate files from
+// different machines unless told otherwise (--allow-cross-host).
 #include <benchmark/benchmark.h>
 
 #include <cctype>
@@ -27,6 +31,8 @@
 #include "kernels/ib_kernels.hpp"
 #include "kernels/tile_kernels.hpp"
 #include "kernels/weights.hpp"
+#include "linalg/kernel_tuning.hpp"
+#include "linalg/micro_kernel.hpp"
 #include "linalg/random_matrix.hpp"
 
 namespace hqr {
@@ -37,6 +43,8 @@ struct BenchResult {
   int b = 0;
   int ib = 0;
   std::string backend;
+  std::string isa;    // micro-kernel ISA tier active during the run
+  std::string shape;  // its MR x NR register tile, e.g. "16x8"
   double gflops = 0.0;
 };
 
@@ -63,6 +71,9 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       r.b = static_cast<int>(run.counters.at("b"));
       r.ib = static_cast<int>(run.counters.at("ib"));
       r.backend = run.counters.at("naive") != 0 ? "naive" : "packed";
+      const MicroKernel& mk = active_micro_kernel();
+      r.isa = mk.isa;
+      r.shape = std::to_string(mk.mr) + "x" + std::to_string(mk.nr);
       r.gflops = run.counters.at("GFlop/s");
       collected().push_back(r);
     }
@@ -76,12 +87,25 @@ void write_json(const std::string& path) {
     std::cerr << "bench_kernels: cannot write " << path << "\n";
     return;
   }
-  out << "{\n  \"schema\": \"hqr-bench-kernels-v1\",\n  \"results\": [\n";
+  const MicroKernel& mk = active_micro_kernel();
+  out << "{\n  \"schema\": \"hqr-bench-kernels-v2\",\n";
+  // Machine identity: bench numbers only compare within one host, so the
+  // comparison tooling can refuse cross-host gating.
+  out << "  \"machine\": {\"cpu\": \"" << tuning_cpu_id()
+      << "\", \"isa_supported\": [";
+  bool first = true;
+  for (const char* tier : {"portable", "avx2", "avx512"}) {
+    if (!micro_kernel_isa_supported(tier)) continue;
+    out << (first ? "" : ", ") << "\"" << tier << "\"";
+    first = false;
+  }
+  out << "], \"kernel\": \"" << mk.name << "\"},\n  \"results\": [\n";
   const std::vector<BenchResult>& rs = collected();
   for (std::size_t i = 0; i < rs.size(); ++i) {
     const BenchResult& r = rs[i];
     out << "    {\"kernel\": \"" << r.kernel << "\", \"b\": " << r.b
         << ", \"ib\": " << r.ib << ", \"backend\": \"" << r.backend
+        << "\", \"isa\": \"" << r.isa << "\", \"shape\": \"" << r.shape
         << "\", \"gflops\": " << r.gflops << "}"
         << (i + 1 < rs.size() ? "," : "") << "\n";
   }
@@ -271,16 +295,22 @@ void BM_Ttmqr(benchmark::State& state) {
   report(state, KernelType::TTMQR);
 }
 
-// Coverage: packed plain kernels across tile sizes (the historical sweep),
-// the production ib configuration (b = 200, ib = 32) under both backends
-// (the bench-gated speedup pair), and the paper's b = 280 ib-blocked point.
+// Coverage: every reported (b, ib) point under both backends, so the
+// packed/naive speedup ratio — the load-insensitive quantity the CI gate
+// checks — is defined everywhere: the plain-kernel tile-size sweep, the
+// production ib configuration (b = 200, ib = 32), and the paper's b = 280
+// point both plain and ib-blocked.
 void configure(benchmark::internal::Benchmark* bench) {
   bench->Args({64, 0, 0})
+      ->Args({64, 0, 1})
       ->Args({128, 0, 0})
+      ->Args({128, 0, 1})
       ->Args({280, 0, 0})
+      ->Args({280, 0, 1})
       ->Args({200, 32, 0})
       ->Args({200, 32, 1})
       ->Args({280, 32, 0})
+      ->Args({280, 32, 1})
       ->Unit(benchmark::kMillisecond);
 }
 

@@ -1,4 +1,5 @@
 #include "linalg/householder.hpp"
+#include "kernels/panel_util.hpp"
 #include "kernels/tile_kernels.hpp"
 
 namespace hqr {
@@ -8,19 +9,50 @@ void geqrt(MatrixView a, MatrixView t, TileWorkspace& ws) {
   HQR_CHECK(a.rows == b && a.cols == b && t.rows == b && t.cols == b,
             "geqrt expects b x b tiles");
   MatrixView work = ws.vec();
+  const int pw = detail::panel_width(b);
 
-  for (int j = 0; j < b; ++j) {
-    const int below = b - j;
-    double alpha = a(j, j);
-    MatrixView x = below > 1 ? a.block(j + 1, j, below - 1, 1)
-                             : MatrixView(nullptr, 0, 1, 1);
-    const double tau = larfg(below, alpha, x);
-    a(j, j) = alpha;
-    if (j + 1 < b && tau != 0.0) {
-      MatrixView c = a.block(j, j + 1, below, b - j - 1);
-      larf_left(tau, x, c, work);
+  for (int j0 = 0; j0 < b; j0 += pw) {
+    const int w = std::min(pw, b - j0);
+    MatrixView tp = t.block(j0, j0, w, w);
+    detail::zero_block(tp);
+
+    // Factor the panel column-by-column; larf updates stay inside the
+    // panel, the trailing columns get one blocked larfb below.
+    ConstMatrixView vpanel = a.block(j0, j0, b - j0, w);
+    for (int jl = 0; jl < w; ++jl) {
+      const int j = j0 + jl;
+      const int below = b - j;
+      double alpha = a(j, j);
+      MatrixView x = below > 1 ? a.block(j + 1, j, below - 1, 1)
+                               : MatrixView(nullptr, 0, 1, 1);
+      const double tau = larfg(below, alpha, x);
+      a(j, j) = alpha;
+      if (jl + 1 < w && tau != 0.0) {
+        MatrixView c = a.block(j, j + 1, below, w - jl - 1);
+        larf_left(tau, x, c, work);
+      }
+      larft_column(vpanel, jl, tau, tp);
     }
-    larft_column(a, j, tau, t);
+
+    if (j0 > 0) {
+      // S = V1(j0:b, :)^T * Vp as an explicit trapezoid (implicit units,
+      // zeroed upper): rows above j0 of V1 never meet Vp's support.
+      MatrixView vtrap = ws.w2().block(0, 0, b - j0, w);
+      for (int c = 0; c < w; ++c)
+        for (int r = 0; r < b - j0; ++r)
+          vtrap(r, c) = r > c ? a(j0 + r, j0 + c) : (r == c ? 1.0 : 0.0);
+      MatrixView s = ws.w1().block(0, 0, j0, w);
+      gemm(Trans::Yes, Trans::No, 1.0, a.block(j0, 0, b - j0, j0), vtrap, 0.0,
+           s, ws.gemm_ws());
+      detail::merge_cross_t(t, j0, w, s, ws.gemm_ws());
+    }
+
+    const int nc = b - j0 - w;
+    if (nc > 0) {
+      larfb_left(Trans::Yes, a.block(j0, j0, b - j0, w), tp,
+                 a.block(j0, j0 + w, b - j0, nc), ws.w1().block(0, 0, w, nc),
+                 &ws.gemm_ws());
+    }
   }
 }
 

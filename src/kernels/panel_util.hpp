@@ -1,0 +1,47 @@
+// Shared helpers for the blocked full-T (ib = 0) factorization kernels.
+//
+// GEQRT/TSQRT/TTQRT with ib = 0 build one T for the whole tile. The blocked
+// forms factor panels of `panel_width()` columns (scalar larfg/larf inside
+// the panel), apply each panel's compact-WY reflector to the trailing
+// columns through the packed GEMM core, and stitch the panel T factors into
+// the full T with the merge formula
+//
+//   T(0:j0, j0:j0+w) = -T1 * S * Tp,   S = V(:, 0:j0)^T V(:, j0:j0+w),
+//
+// which is the standard cross-block of larft: the same compact-WY factors
+// as the column-by-column construction, just accumulated blockwise.
+#pragma once
+
+#include <algorithm>
+
+#include "linalg/blas.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/micro_kernel.hpp"
+
+namespace hqr {
+namespace detail {
+
+inline int panel_width(int b) {
+  return std::max(1, std::min(householder_panel(), b));
+}
+
+inline void zero_block(MatrixView m) {
+  for (int j = 0; j < m.cols; ++j)
+    for (int i = 0; i < m.rows; ++i) m(i, j) = 0.0;
+}
+
+// Stitches panel T (already in t(j0:j0+w, j0:j0+w), strict lower zeroed)
+// into the full T: t(0:j0, j0:j0+w) = -T1 * s * Tp. `s` is the j0 x w
+// cross-Gram block V(:, 0:j0)^T V(:, j0:j0+w), computed by the caller from
+// its reflector storage layout.
+inline void merge_cross_t(MatrixView t, int j0, int w, ConstMatrixView s,
+                          GemmWorkspace& gws) {
+  MatrixView tb = t.block(0, j0, j0, w);
+  gemm(Trans::No, Trans::No, -1.0, s, t.block(j0, j0, w, w), 0.0, tb, gws);
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+            ConstMatrixView(t.data, j0, j0, t.ld), tb);
+}
+
+}  // namespace detail
+}  // namespace hqr

@@ -21,6 +21,7 @@
 #pragma once
 
 #include "linalg/blas.hpp"
+#include "linalg/kernel_tuning.hpp"
 #include "linalg/matrix.hpp"
 
 namespace hqr {
@@ -32,6 +33,9 @@ class TileWorkspace {
  public:
   explicit TileWorkspace(int b) : b_(b), w1_(b, b), w2_(b, b), vec_(b, 1) {
     HQR_CHECK(b >= 1, "tile size must be >= 1");
+    // First workspace in the process pulls in the per-host tuning cache
+    // (kernel shape, blocking, panel width) before sizing pack buffers.
+    ensure_tuning_applied();
     gemm_.reserve(b, b, b);
   }
 

@@ -1,4 +1,5 @@
 #include "linalg/householder.hpp"
+#include "kernels/panel_util.hpp"
 #include "kernels/tile_kernels.hpp"
 
 namespace hqr {
@@ -8,44 +9,79 @@ void tsqrt(MatrixView a1, MatrixView a2, MatrixView t, TileWorkspace& ws) {
   HQR_CHECK(a1.rows == b && a1.cols == b && a2.rows == b && a2.cols == b &&
                 t.rows == b && t.cols == b,
             "tsqrt expects b x b tiles");
+  const int pw = detail::panel_width(b);
 
-  for (int j = 0; j < b; ++j) {
-    // Householder for the pencil column [a1(j,j); a2(:, j)] of length b + 1.
-    double alpha = a1(j, j);
-    MatrixView v2j = a2.col(j);
-    const double tau = larfg(b + 1, alpha, v2j);
-    a1(j, j) = alpha;
+  for (int j0 = 0; j0 < b; j0 += pw) {
+    const int w = std::min(pw, b - j0);
+    MatrixView tp = t.block(j0, j0, w, w);
+    detail::zero_block(tp);
 
-    if (tau != 0.0) {
-      // Update trailing columns jj > j of the pencil. The reflector is
-      // v = [e_j; v2j]; only row j of A1 participates.
-      for (int jj = j + 1; jj < b; ++jj) {
-        double w = a1(j, jj);
-        const double* c2 = a2.data + static_cast<std::size_t>(jj) * a2.ld;
-        const double* vj = a2.data + static_cast<std::size_t>(j) * a2.ld;
-        for (int i = 0; i < b; ++i) w += vj[i] * c2[i];
-        w *= tau;
-        a1(j, jj) -= w;
-        double* c2m = a2.data + static_cast<std::size_t>(jj) * a2.ld;
-        for (int i = 0; i < b; ++i) c2m[i] -= w * vj[i];
+    for (int jl = 0; jl < w; ++jl) {
+      const int j = j0 + jl;
+      // Householder for the pencil column [a1(j,j); a2(:, j)] of length
+      // b + 1. The reflector is v = [e_j; v2j]; only row j of A1
+      // participates in updates.
+      double alpha = a1(j, j);
+      MatrixView v2j = a2.col(j);
+      const double tau = larfg(b + 1, alpha, v2j);
+      a1(j, j) = alpha;
+
+      if (tau != 0.0) {
+        // Update the remaining panel columns; trailing columns past the
+        // panel get one blocked application below.
+        for (int jj = j + 1; jj < j0 + w; ++jj) {
+          double wv = a1(j, jj);
+          const double* c2 = a2.data + static_cast<std::size_t>(jj) * a2.ld;
+          const double* vj = a2.data + static_cast<std::size_t>(j) * a2.ld;
+          for (int i = 0; i < b; ++i) wv += vj[i] * c2[i];
+          wv *= tau;
+          a1(j, jj) -= wv;
+          double* c2m = a2.data + static_cast<std::size_t>(jj) * a2.ld;
+          for (int i = 0; i < b; ++i) c2m[i] -= wv * vj[i];
+        }
       }
+
+      // Panel T column jl: Tp(0:jl, jl) = -tau * Tp * (V2 panel^T v2j); the
+      // identity blocks of V are mutually orthogonal and contribute nothing.
+      for (int il = 0; il < jl; ++il) {
+        const double* vi =
+            a2.data + static_cast<std::size_t>(j0 + il) * a2.ld;
+        const double* vj = a2.data + static_cast<std::size_t>(j) * a2.ld;
+        double s = 0.0;
+        for (int r = 0; r < b; ++r) s += vi[r] * vj[r];
+        tp(il, jl) = -tau * s;
+      }
+      if (jl > 0) {
+        MatrixView tj = tp.block(0, jl, jl, 1);
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView(tp.data, jl, jl, tp.ld), tj);
+      }
+      tp(jl, jl) = tau;
     }
 
-    // T column j: T(0:j, j) = -tau * T(0:j,0:j) * (V2(:,0:j)^T v2j). The
-    // top identity block of V contributes nothing (e_i^T e_j = 0, i < j).
-    for (int i = 0; i < j; ++i) {
-      const double* vi = a2.data + static_cast<std::size_t>(i) * a2.ld;
-      const double* vj = a2.data + static_cast<std::size_t>(j) * a2.ld;
-      double s = 0.0;
-      for (int r = 0; r < b; ++r) s += vi[r] * vj[r];
-      t(i, j) = -tau * s;
+    ConstMatrixView v2p = a2.block(0, j0, b, w);
+    const int nc = b - j0 - w;
+    if (nc > 0) {
+      // Blocked trailing update: W = C1(panel rows) + V2p^T C2; W = T^T W;
+      // C1 -= W; C2 -= V2p W.
+      MatrixView wk = ws.w1().block(0, 0, w, nc);
+      copy(a1.block(j0, j0 + w, w, nc), wk);
+      gemm(Trans::Yes, Trans::No, 1.0, v2p, a2.block(0, j0 + w, b, nc), 1.0,
+           wk, ws.gemm_ws());
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, tp, wk);
+      axpy(-1.0, wk, a1.block(j0, j0 + w, w, nc));
+      gemm(Trans::No, Trans::No, -1.0, v2p, wk, 1.0,
+           a2.block(0, j0 + w, b, nc), ws.gemm_ws());
     }
-    if (j > 0) {
-      MatrixView tj = t.block(0, j, j, 1);
-      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                ConstMatrixView(t.data, j, j, t.ld), tj);
+
+    if (j0 > 0) {
+      // Cross-Gram S = V2(:, 0:j0)^T V2p (the identity parts of V are
+      // orthogonal, so only the dense A2 blocks meet).
+      MatrixView s = ws.w2().block(0, 0, j0, w);
+      gemm(Trans::Yes, Trans::No, 1.0, a2.block(0, 0, b, j0), v2p, 0.0, s,
+           ws.gemm_ws());
+      detail::merge_cross_t(t, j0, w, s, ws.gemm_ws());
     }
-    t(j, j) = tau;
   }
 }
 

@@ -1,4 +1,5 @@
 #include "linalg/householder.hpp"
+#include "kernels/panel_util.hpp"
 #include "kernels/tile_kernels.hpp"
 
 namespace hqr {
@@ -8,39 +9,81 @@ void ttqrt(MatrixView a1, MatrixView a2, MatrixView t, TileWorkspace& ws) {
   HQR_CHECK(a1.rows == b && a1.cols == b && a2.rows == b && a2.cols == b &&
                 t.rows == b && t.cols == b,
             "ttqrt expects b x b tiles");
+  const int pw = detail::panel_width(b);
 
-  for (int j = 0; j < b; ++j) {
-    // Column j of the triangle-on-triangle pencil: pivot a1(j,j), entries
-    // a2(0:j+1, j) (the upper triangle of A2 holds R2 then V2).
-    double alpha = a1(j, j);
-    MatrixView v2j = a2.block(0, j, j + 1, 1);
-    const double tau = larfg(j + 2, alpha, v2j);
-    a1(j, j) = alpha;
+  for (int j0 = 0; j0 < b; j0 += pw) {
+    const int w = std::min(pw, b - j0);
+    MatrixView tp = t.block(j0, j0, w, w);
+    detail::zero_block(tp);
 
-    if (tau != 0.0) {
-      // Update trailing columns jj > j: only row j of A1 and rows 0..j of A2
-      // participate (the reflector support).
-      for (int jj = j + 1; jj < b; ++jj) {
-        double w = a1(j, jj);
-        for (int i = 0; i <= j; ++i) w += a2(i, j) * a2(i, jj);
-        w *= tau;
-        a1(j, jj) -= w;
-        for (int i = 0; i <= j; ++i) a2(i, jj) -= w * a2(i, j);
+    for (int jl = 0; jl < w; ++jl) {
+      const int j = j0 + jl;
+      // Column j of the triangle-on-triangle pencil: pivot a1(j,j), entries
+      // a2(0:j+1, j) (the upper triangle of A2 holds R2 then V2).
+      double alpha = a1(j, j);
+      MatrixView v2j = a2.block(0, j, j + 1, 1);
+      const double tau = larfg(j + 2, alpha, v2j);
+      a1(j, j) = alpha;
+
+      if (tau != 0.0) {
+        // Update the remaining panel columns (reflector support is row j of
+        // A1 and rows 0..j of A2); trailing columns get one blocked
+        // application below.
+        for (int jj = j + 1; jj < j0 + w; ++jj) {
+          double wv = a1(j, jj);
+          for (int i = 0; i <= j; ++i) wv += a2(i, j) * a2(i, jj);
+          wv *= tau;
+          a1(j, jj) -= wv;
+          for (int i = 0; i <= j; ++i) a2(i, jj) -= wv * a2(i, j);
+        }
       }
+
+      // Panel T column jl over the triangular V2 (column i has rows 0..i).
+      for (int il = 0; il < jl; ++il) {
+        double s = 0.0;
+        for (int r = 0; r <= j0 + il; ++r) s += a2(r, j0 + il) * a2(r, j);
+        tp(il, jl) = -tau * s;
+      }
+      if (jl > 0) {
+        MatrixView tj = tp.block(0, jl, jl, 1);
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView(tp.data, jl, jl, tp.ld), tj);
+      }
+      tp(jl, jl) = tau;
     }
 
-    // T column j over the triangular V2 (column i has rows 0..i).
-    for (int i = 0; i < j; ++i) {
-      double s = 0.0;
-      for (int r = 0; r <= i; ++r) s += a2(r, i) * a2(r, j);
-      t(i, j) = -tau * s;
+    // Panel reflectors as an explicit trapezoid: column cl has support rows
+    // 0..j0+cl (stored diagonal); entries below that belong to the victim's
+    // own GEQRT reflectors and must read as zero.
+    const int mh = j0 + w;
+    MatrixView vtrap = ws.w2().block(0, 0, mh, w);
+    for (int c = 0; c < w; ++c)
+      for (int r = 0; r < mh; ++r)
+        vtrap(r, c) = r <= j0 + c ? a2(r, j0 + c) : 0.0;
+
+    const int nc = b - j0 - w;
+    if (nc > 0) {
+      // Blocked trailing update over the support rows 0..mh of A2.
+      MatrixView wk = ws.w1().block(0, 0, w, nc);
+      copy(a1.block(j0, j0 + w, w, nc), wk);
+      gemm(Trans::Yes, Trans::No, 1.0, vtrap, a2.block(0, j0 + w, mh, nc),
+           1.0, wk, ws.gemm_ws());
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, tp, wk);
+      axpy(-1.0, wk, a1.block(j0, j0 + w, w, nc));
+      gemm(Trans::No, Trans::No, -1.0, vtrap, wk, 1.0,
+           a2.block(0, j0 + w, mh, nc), ws.gemm_ws());
     }
-    if (j > 0) {
-      MatrixView tj = t.block(0, j, j, 1);
-      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                ConstMatrixView(t.data, j, j, t.ld), tj);
+
+    if (j0 > 0) {
+      // Cross-Gram S = V2(:, 0:j0)^T Vp: the left columns live in the
+      // upper triangle of A2(0:j0, 0:j0) (stored diagonal), and only their
+      // rows 0..j0 meet the panel's support.
+      MatrixView s = ws.w1().block(0, 0, j0, w);
+      copy(a2.block(0, j0, j0, w), s);
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit,
+                ConstMatrixView(a2.data, j0, j0, a2.ld), s);
+      detail::merge_cross_t(t, j0, w, s, ws.gemm_ws());
     }
-    t(j, j) = tau;
   }
 }
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "linalg/micro_kernel.hpp"
+
 namespace hqr {
 namespace {
 
@@ -14,11 +16,9 @@ namespace {
 #define HQR_RESTRICT
 #endif
 
-// Micro-tile shape: kMR x kNR accumulators live in registers across the k
-// loop. 8 x 6 keeps the accumulator file within 16 vector registers on
-// AVX2 (2 ymm per column x 6 columns + operands) and well within AVX-512.
-constexpr int kMR = 8;
-constexpr int kNR = 6;
+// The micro-tile shape (mr x nr) comes from the runtime-dispatched
+// micro-kernel (linalg/micro_kernel.hpp): the registry picks the widest
+// accumulator file the CPU supports, overridable with HQR_KERNEL_ISA.
 constexpr std::size_t kAlign = 64;
 
 // HQR_GEMM_BACKEND=naive drops every binary (benches included) onto the
@@ -33,6 +33,7 @@ GemmBackend initial_backend() {
 
 GemmBlocking g_blocking{};
 std::atomic<GemmBackend> g_backend{initial_backend()};
+std::atomic<bool> g_blocking_was_set{false};
 
 constexpr int round_up(int x, int to) { return (x + to - 1) / to * to; }
 
@@ -43,14 +44,14 @@ double op_at(Trans t, ConstMatrixView a, int i, int j) {
   return t == Trans::No ? a(i, j) : a(j, i);
 }
 
-std::size_t a_pack_doubles(int m, int k, const GemmBlocking& bl) {
-  const int mc = std::min(round_up(m, kMR), std::max(round_up(bl.mc, kMR), kMR));
+std::size_t a_pack_doubles(int m, int k, const GemmBlocking& bl, int mr) {
+  const int mc = std::min(round_up(m, mr), std::max(round_up(bl.mc, mr), mr));
   const int kc = std::min(k, std::max(bl.kc, 1));
   return static_cast<std::size_t>(mc) * static_cast<std::size_t>(kc);
 }
 
-std::size_t b_pack_doubles(int n, int k, const GemmBlocking& bl) {
-  const int nc = std::min(round_up(n, kNR), std::max(round_up(bl.nc, kNR), kNR));
+std::size_t b_pack_doubles(int n, int k, const GemmBlocking& bl, int nr) {
+  const int nc = std::min(round_up(n, nr), std::max(round_up(bl.nc, nr), nr));
   const int kc = std::min(k, std::max(bl.kc, 1));
   return static_cast<std::size_t>(nc) * static_cast<std::size_t>(kc);
 }
@@ -69,20 +70,20 @@ void scale_c(double beta, MatrixView c) {
   }
 }
 
-// Packs op(A)(i0:i0+mc, p0:p0+kc) into kMR-row panels: panel ir holds, for
-// each l, the kMR contiguous entries op(A)(i0+ir .. i0+ir+kMR, p0+l),
+// Packs op(A)(i0:i0+mc, p0:p0+kc) into kmr-row panels: panel ir holds, for
+// each l, the kmr contiguous entries op(A)(i0+ir .. i0+ir+kmr, p0+l),
 // zero-padded past the fringe. Trans is resolved here, once per block.
 void pack_a(Trans ta, ConstMatrixView a, int i0, int p0, int mc, int kc,
-            double* HQR_RESTRICT ap) {
-  for (int ir = 0; ir < mc; ir += kMR) {
-    const int mr = std::min(kMR, mc - ir);
+            int kmr, double* HQR_RESTRICT ap) {
+  for (int ir = 0; ir < mc; ir += kmr) {
+    const int mr = std::min(kmr, mc - ir);
     if (ta == Trans::No) {
       for (int l = 0; l < kc; ++l) {
         const double* HQR_RESTRICT src =
             a.data + static_cast<std::size_t>(p0 + l) * a.ld + i0 + ir;
-        double* HQR_RESTRICT dst = ap + static_cast<std::size_t>(l) * kMR;
+        double* HQR_RESTRICT dst = ap + static_cast<std::size_t>(l) * kmr;
         for (int i = 0; i < mr; ++i) dst[i] = src[i];
-        for (int i = mr; i < kMR; ++i) dst[i] = 0.0;
+        for (int i = mr; i < kmr; ++i) dst[i] = 0.0;
       }
     } else {
       // op(A)(i, l) = a(p0+l, i0+i): column i0+ir+i of `a` is contiguous
@@ -91,140 +92,96 @@ void pack_a(Trans ta, ConstMatrixView a, int i0, int p0, int mc, int kc,
         const double* HQR_RESTRICT src =
             a.data + static_cast<std::size_t>(i0 + ir + i) * a.ld + p0;
         for (int l = 0; l < kc; ++l)
-          ap[static_cast<std::size_t>(l) * kMR + i] = src[l];
+          ap[static_cast<std::size_t>(l) * kmr + i] = src[l];
       }
-      for (int i = mr; i < kMR; ++i)
+      for (int i = mr; i < kmr; ++i)
         for (int l = 0; l < kc; ++l)
-          ap[static_cast<std::size_t>(l) * kMR + i] = 0.0;
+          ap[static_cast<std::size_t>(l) * kmr + i] = 0.0;
     }
-    ap += static_cast<std::size_t>(kc) * kMR;
+    ap += static_cast<std::size_t>(kc) * kmr;
   }
 }
 
-// Packs op(B)(p0:p0+kc, j0:j0+nc) into kNR-column panels: panel jr holds,
-// for each l, the kNR entries op(B)(p0+l, j0+jr .. j0+jr+kNR), zero-padded.
+// Packs op(B)(p0:p0+kc, j0:j0+nc) into knr-column panels: panel jr holds,
+// for each l, the knr entries op(B)(p0+l, j0+jr .. j0+jr+knr), zero-padded.
 void pack_b(Trans tb, ConstMatrixView b, int p0, int j0, int kc, int nc,
-            double* HQR_RESTRICT bp) {
-  for (int jr = 0; jr < nc; jr += kNR) {
-    const int nr = std::min(kNR, nc - jr);
+            int knr, double* HQR_RESTRICT bp) {
+  for (int jr = 0; jr < nc; jr += knr) {
+    const int nr = std::min(knr, nc - jr);
     if (tb == Trans::No) {
       // op(B)(l, j) = b(p0+l, j0+j): column j0+jr+j contiguous in l.
       for (int j = 0; j < nr; ++j) {
         const double* HQR_RESTRICT src =
             b.data + static_cast<std::size_t>(j0 + jr + j) * b.ld + p0;
         for (int l = 0; l < kc; ++l)
-          bp[static_cast<std::size_t>(l) * kNR + j] = src[l];
+          bp[static_cast<std::size_t>(l) * knr + j] = src[l];
       }
-      for (int j = nr; j < kNR; ++j)
+      for (int j = nr; j < knr; ++j)
         for (int l = 0; l < kc; ++l)
-          bp[static_cast<std::size_t>(l) * kNR + j] = 0.0;
+          bp[static_cast<std::size_t>(l) * knr + j] = 0.0;
     } else {
       // op(B)(l, j) = b(j0+j, p0+l): row slice of column p0+l, contiguous
       // in j.
       for (int l = 0; l < kc; ++l) {
         const double* HQR_RESTRICT src =
             b.data + static_cast<std::size_t>(p0 + l) * b.ld + j0 + jr;
-        double* HQR_RESTRICT dst = bp + static_cast<std::size_t>(l) * kNR;
+        double* HQR_RESTRICT dst = bp + static_cast<std::size_t>(l) * knr;
         for (int j = 0; j < nr; ++j) dst[j] = src[j];
-        for (int j = nr; j < kNR; ++j) dst[j] = 0.0;
+        for (int j = nr; j < knr; ++j) dst[j] = 0.0;
       }
     }
-    bp += static_cast<std::size_t>(kc) * kNR;
+    bp += static_cast<std::size_t>(kc) * knr;
   }
 }
 
-// acc(kMR x kNR, column-major) = sum_l ap(:, l) * bp(l, :) over the packed
-// panels. The accumulator block lives in registers across the k loop.
-#if defined(__GNUC__) || defined(__clang__)
-// One kMR-wide vector per micro-tile column: the compiler lowers it to the
-// widest available ISA (1 zmm on AVX-512, 2 ymm on AVX2, 4 xmm on SSE2).
-typedef double VecMR __attribute__((vector_size(kMR * sizeof(double))));
-
-inline void micro_kernel(int kc, const double* HQR_RESTRICT ap,
-                         const double* HQR_RESTRICT bp,
-                         double* HQR_RESTRICT acc) {
-  VecMR c0 = {}, c1 = {}, c2 = {}, c3 = {}, c4 = {}, c5 = {};
-  static_assert(kNR == 6, "accumulator count is tied to kNR");
-  for (int l = 0; l < kc; ++l) {
-    // Panels are 64-byte aligned and each l-slice of A is kMR doubles, so
-    // this load is aligned.
-    const VecMR av = *reinterpret_cast<const VecMR*>(
-        __builtin_assume_aligned(ap + static_cast<std::size_t>(l) * kMR, 64));
-    const double* HQR_RESTRICT bl = bp + static_cast<std::size_t>(l) * kNR;
-    c0 += av * bl[0];
-    c1 += av * bl[1];
-    c2 += av * bl[2];
-    c3 += av * bl[3];
-    c4 += av * bl[4];
-    c5 += av * bl[5];
-  }
-  VecMR* out = reinterpret_cast<VecMR*>(__builtin_assume_aligned(acc, 64));
-  out[0] = c0;
-  out[1] = c1;
-  out[2] = c2;
-  out[3] = c3;
-  out[4] = c4;
-  out[5] = c5;
-}
-#else
-inline void micro_kernel(int kc, const double* HQR_RESTRICT ap,
-                         const double* HQR_RESTRICT bp,
-                         double* HQR_RESTRICT acc) {
-  for (int j = 0; j < kMR * kNR; ++j) acc[j] = 0.0;
-  for (int l = 0; l < kc; ++l) {
-    const double* HQR_RESTRICT al = ap + static_cast<std::size_t>(l) * kMR;
-    const double* HQR_RESTRICT bl = bp + static_cast<std::size_t>(l) * kNR;
-    for (int j = 0; j < kNR; ++j) {
-      const double bv = bl[j];
-      for (int i = 0; i < kMR; ++i) acc[j * kMR + i] += al[i] * bv;
-    }
-  }
-}
-#endif
-
-// The blocked core: C += alpha * op(A) op(B), beta already applied.
+// The blocked core: C += alpha * op(A) op(B), beta already applied. The
+// micro-kernel (and thus the register-tile shape) is the runtime-dispatched
+// active kernel.
 void packed_impl(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                  ConstMatrixView b, MatrixView c, int m, int n, int k,
                  GemmWorkspace& ws) {
+  const MicroKernel& mk = active_micro_kernel();
+  const int kmr = mk.mr;
+  const int knr = mk.nr;
   const GemmBlocking bl = gemm_blocking();
-  const int mc_max = std::max(round_up(bl.mc, kMR), kMR);
+  const int mc_max = std::max(round_up(bl.mc, kmr), kmr);
   const int kc_max = std::max(bl.kc, 1);
-  const int nc_max = std::max(round_up(bl.nc, kNR), kNR);
-  double* const ap = ws.a_pack(a_pack_doubles(m, k, bl));
-  double* const bp = ws.b_pack(b_pack_doubles(n, k, bl));
+  const int nc_max = std::max(round_up(bl.nc, knr), knr);
+  double* const ap = ws.a_pack(a_pack_doubles(m, k, bl, kmr));
+  double* const bp = ws.b_pack(b_pack_doubles(n, k, bl, knr));
 
   for (int jc = 0; jc < n; jc += nc_max) {
     const int nc = std::min(nc_max, n - jc);
     for (int pc = 0; pc < k; pc += kc_max) {
       const int kc = std::min(kc_max, k - pc);
-      pack_b(tb, b, pc, jc, kc, nc, bp);
+      pack_b(tb, b, pc, jc, kc, nc, knr, bp);
       for (int ic = 0; ic < m; ic += mc_max) {
         const int mc = std::min(mc_max, m - ic);
-        pack_a(ta, a, ic, pc, mc, kc, ap);
-        for (int jr = 0; jr < nc; jr += kNR) {
-          const int nr = std::min(kNR, nc - jr);
+        pack_a(ta, a, ic, pc, mc, kc, kmr, ap);
+        for (int jr = 0; jr < nc; jr += knr) {
+          const int nr = std::min(knr, nc - jr);
           const double* bpanel =
-              bp + static_cast<std::size_t>(jr / kNR) * kc * kNR;
-          for (int ir = 0; ir < mc; ir += kMR) {
-            const int mr = std::min(kMR, mc - ir);
+              bp + static_cast<std::size_t>(jr / knr) * kc * knr;
+          for (int ir = 0; ir < mc; ir += kmr) {
+            const int mr = std::min(kmr, mc - ir);
             const double* apanel =
-                ap + static_cast<std::size_t>(ir / kMR) * kc * kMR;
-            alignas(64) double acc[kMR * kNR];
-            micro_kernel(kc, apanel, bpanel, acc);
+                ap + static_cast<std::size_t>(ir / kmr) * kc * kmr;
+            alignas(64) double acc[kMaxMicroMR * kMaxMicroNR];
+            mk.fn(kc, apanel, bpanel, acc);
             double* cb =
                 c.data + static_cast<std::size_t>(jc + jr) * c.ld + ic + ir;
-            if (mr == kMR && nr == kNR) {
-              for (int j = 0; j < kNR; ++j) {
+            if (mr == kmr && nr == knr) {
+              for (int j = 0; j < knr; ++j) {
                 double* HQR_RESTRICT cj =
                     cb + static_cast<std::size_t>(j) * c.ld;
-                const double* HQR_RESTRICT accj = acc + j * kMR;
-                for (int i = 0; i < kMR; ++i) cj[i] += alpha * accj[i];
+                const double* HQR_RESTRICT accj = acc + j * kmr;
+                for (int i = 0; i < kmr; ++i) cj[i] += alpha * accj[i];
               }
             } else {
               for (int j = 0; j < nr; ++j)
                 for (int i = 0; i < mr; ++i)
                   cb[static_cast<std::size_t>(j) * c.ld + i] +=
-                      alpha * acc[j * kMR + i];
+                      alpha * acc[j * kmr + i];
             }
           }
         }
@@ -281,8 +238,11 @@ void small_impl(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   }
 }
 
+// Kernel-independent thresholds: the packed/small split must not depend on
+// which micro-kernel is active, or forcing HQR_KERNEL_ISA=portable would
+// change the accumulation order and break bit-identity with the SIMD path.
 bool small_case(int m, int n, int k) {
-  return m < kMR || n < kNR || k < 4 ||
+  return m < 8 || n < 4 || k < 4 ||
          static_cast<long long>(m) * n * k < 32768;
 }
 
@@ -300,9 +260,14 @@ void set_gemm_blocking(const GemmBlocking& blocking) {
   HQR_CHECK(blocking.mc >= 1 && blocking.kc >= 1 && blocking.nc >= 1,
             "gemm blocking parameters must be >= 1");
   g_blocking = blocking;
+  g_blocking_was_set.store(true, std::memory_order_relaxed);
 }
 
 GemmBlocking gemm_blocking() { return g_blocking; }
+
+bool gemm_blocking_was_set() {
+  return g_blocking_was_set.load(std::memory_order_relaxed);
+}
 
 void set_gemm_backend(GemmBackend backend) {
   g_backend.store(backend, std::memory_order_relaxed);
@@ -328,8 +293,10 @@ void GemmWorkspace::reserve(int m, int n, int k) {
   HQR_CHECK(m >= 0 && n >= 0 && k >= 0, "negative dimension");
   if (m == 0 || n == 0 || k == 0) return;
   const GemmBlocking bl = gemm_blocking();
-  a_.ensure(a_pack_doubles(m, k, bl));
-  b_.ensure(b_pack_doubles(n, k, bl));
+  // Size for the widest registered shape so a later kernel switch (autotune,
+  // HQR_KERNEL_ISA) never forces a realloc mid-run.
+  a_.ensure(a_pack_doubles(m, k, bl, kMaxMicroMR));
+  b_.ensure(b_pack_doubles(n, k, bl, kMaxMicroNR));
 }
 
 void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,

@@ -45,6 +45,11 @@ struct GemmBlocking {
 void set_gemm_blocking(const GemmBlocking& blocking);
 GemmBlocking gemm_blocking();
 
+// True once set_gemm_blocking has been called in this process. The lazy
+// tuning-cache hook (kernel_tuning.hpp) checks this so a deliberate
+// blocking choice made before the first TileWorkspace is never clobbered.
+bool gemm_blocking_was_set();
+
 // Backend selector for benchmarking and differential testing: Packed is
 // the production cache-blocked core, Naive the retained reference loops.
 // Setting HQR_GEMM_BACKEND=naive in the environment selects Naive at

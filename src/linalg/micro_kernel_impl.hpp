@@ -1,0 +1,77 @@
+// Shared implementation template for the GEMM micro-kernel variants.
+//
+// Included only by the per-ISA translation units (micro_kernels_*.cpp),
+// each of which is compiled with exactly the ISA flags its instantiations
+// need. MR x NR accumulators are held as MR/VL GCC extension vectors of VL
+// doubles per column; with constant template bounds the loops fully unroll
+// and the accumulator array lives in registers across the k loop.
+//
+// Determinism contract (relied on by the dispatch differential tests):
+// every output element acc(i, j) is one multiply-add chain over l in
+// ascending order. The per-ISA TUs are all compiled with
+// -ffp-contract=fast, so on FMA hardware every variant — any MR/NR/VL —
+// produces bit-identical accumulators for the same packed panels.
+#pragma once
+
+#include <cstddef>
+
+namespace hqr {
+namespace detail {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HQR_MK_RESTRICT __restrict__
+#else
+#define HQR_MK_RESTRICT
+#endif
+
+template <int MR, int NR, int VL>
+struct MicroKernelImpl {
+  static_assert(MR % VL == 0, "rows must be a whole number of vectors");
+  static constexpr int kRV = MR / VL;
+
+#if defined(__GNUC__) || defined(__clang__)
+  typedef double Vec __attribute__((vector_size(VL * sizeof(double))));
+
+  static void run(int kc, const double* HQR_MK_RESTRICT ap,
+                  const double* HQR_MK_RESTRICT bp,
+                  double* HQR_MK_RESTRICT acc) {
+    Vec c[kRV][NR] = {};
+    for (int l = 0; l < kc; ++l) {
+      // Panels are 64-byte aligned and each l-slice of A is MR doubles
+      // (MR % VL == 0), so every vector load below is VL*8-aligned.
+      const double* HQR_MK_RESTRICT al =
+          ap + static_cast<std::size_t>(l) * MR;
+      const double* HQR_MK_RESTRICT bl =
+          bp + static_cast<std::size_t>(l) * NR;
+      Vec a[kRV];
+      for (int r = 0; r < kRV; ++r)
+        a[r] = *static_cast<const Vec*>(
+            __builtin_assume_aligned(al + r * VL, VL * sizeof(double)));
+      for (int j = 0; j < NR; ++j)
+        for (int r = 0; r < kRV; ++r) c[r][j] += a[r] * bl[j];
+    }
+    for (int j = 0; j < NR; ++j)
+      for (int r = 0; r < kRV; ++r)
+        *static_cast<Vec*>(__builtin_assume_aligned(
+            acc + static_cast<std::size_t>(j) * MR + r * VL,
+            VL * sizeof(double))) = c[r][j];
+  }
+#else
+  static void run(int kc, const double* HQR_MK_RESTRICT ap,
+                  const double* HQR_MK_RESTRICT bp,
+                  double* HQR_MK_RESTRICT acc) {
+    for (int j = 0; j < MR * NR; ++j) acc[j] = 0.0;
+    for (int l = 0; l < kc; ++l) {
+      const double* al = ap + static_cast<std::size_t>(l) * MR;
+      const double* bl = bp + static_cast<std::size_t>(l) * NR;
+      for (int j = 0; j < NR; ++j) {
+        const double bv = bl[j];
+        for (int i = 0; i < MR; ++i) acc[j * MR + i] += al[i] * bv;
+      }
+    }
+  }
+#endif
+};
+
+}  // namespace detail
+}  // namespace hqr

@@ -1,0 +1,21 @@
+// AVX2+FMA micro-kernels (this TU is compiled with -mavx2 -mfma even in
+// baseline builds; runtime cpuid dispatch guards execution).
+//
+// 16 ymm registers budget the shapes: 8x6 uses 12 accumulators + 2 A
+// vectors + 1 broadcast; 12x4 uses 12 accumulators + 3 A vectors + 1
+// broadcast (a taller tile for matrices with few columns).
+#include "linalg/micro_kernel_impl.hpp"
+
+namespace hqr {
+namespace detail {
+
+void mk_avx2_8x6(int kc, const double* ap, const double* bp, double* acc) {
+  MicroKernelImpl<8, 6, 4>::run(kc, ap, bp, acc);
+}
+
+void mk_avx2_12x4(int kc, const double* ap, const double* bp, double* acc) {
+  MicroKernelImpl<12, 4, 4>::run(kc, ap, bp, acc);
+}
+
+}  // namespace detail
+}  // namespace hqr

@@ -1,0 +1,23 @@
+// AVX-512 micro-kernels (this TU is compiled with -mavx512f -mavx512dq
+// -mfma even in baseline builds; runtime cpuid dispatch guards execution).
+//
+// 32 zmm registers allow wide accumulator files — the portable 8x6 shape
+// keeps only 6 independent FMA chains per zmm column, which stalls on FMA
+// latency (4-5 cycles x 2 pipes wants >= 8-10 chains). 16x8 holds 16
+// accumulators + 2 A vectors; 24x8 holds 24 accumulators + 3 A vectors
+// (the classic BLIS dgemm shape for this register file).
+#include "linalg/micro_kernel_impl.hpp"
+
+namespace hqr {
+namespace detail {
+
+void mk_avx512_16x8(int kc, const double* ap, const double* bp, double* acc) {
+  MicroKernelImpl<16, 8, 8>::run(kc, ap, bp, acc);
+}
+
+void mk_avx512_24x8(int kc, const double* ap, const double* bp, double* acc) {
+  MicroKernelImpl<24, 8, 8>::run(kc, ap, bp, acc);
+}
+
+}  // namespace detail
+}  // namespace hqr

@@ -1,0 +1,16 @@
+// Portable micro-kernel: the original 8x6 GCC-vector shape, compiled with
+// the build's baseline architecture flags so it runs on any target. One
+// vector_size(64) accumulator per column — the compiler lowers it to
+// whatever the baseline ISA provides (4 xmm on SSE2, 2 ymm on AVX2, 1 zmm
+// on AVX-512 under -march=native).
+#include "linalg/micro_kernel_impl.hpp"
+
+namespace hqr {
+namespace detail {
+
+void mk_portable_8x6(int kc, const double* ap, const double* bp, double* acc) {
+  MicroKernelImpl<8, 6, 8>::run(kc, ap, bp, acc);
+}
+
+}  // namespace detail
+}  // namespace hqr

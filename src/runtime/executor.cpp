@@ -51,6 +51,8 @@ struct WorkerStats {
   long long steals = 0;
   long long steal_fails = 0;
   long long overflow_pops = 0;
+  long long locality_hits = 0;
+  long long locality_misses = 0;
   long long depth_samples = 0;
   long long depth_samples_sum = 0;
   std::array<long long, kKernelTypeCount> tasks_by_kernel{};
@@ -160,6 +162,23 @@ class StealPolicy {
         lanes_(static_cast<std::size_t>(opts.threads)) {
     for (std::size_t t = 0; t < lanes_.size(); ++t)
       lanes_[t].rng = 0x9e3779b97f4a7c15ULL * (t + 1) + 1;
+    // Producer lane per task, written at release time. Roots and external
+    // (remote) releases keep -1: no local producer, never a locality hit.
+    producer_ = std::make_unique<std::atomic<int>[]>(depth.size());
+    for (std::size_t i = 0; i < depth.size(); ++i)
+      producer_[i].store(-1, std::memory_order_relaxed);
+    if (opts.locality_stealing && opts.threads > 1) {
+      if (opts.topology != nullptr && opts.topology->workers == opts.threads) {
+        topo_ = opts.topology;
+      } else if (opts.topology == nullptr) {
+        host_topo_ = WorkerTopology::build(CpuTopology::detect(), opts.threads);
+        topo_ = &host_topo_;
+      }
+      // On a single-domain machine the near-first order cannot differ from
+      // the plain randomized sweep, so keep the latter (topo_ still feeds
+      // the locality counters).
+      use_victim_order_ = topo_ != nullptr && topo_->multi_domain;
+    }
   }
 
   void seed(const std::vector<std::int32_t>& roots) {
@@ -190,6 +209,10 @@ class StealPolicy {
                 if (depth_[x] != depth_[y]) return depth_[x] < depth_[y];
                 return x > y;
               });
+    // Tag each task with its producing lane before it becomes visible to
+    // thieves; the tag drives the locality hit/miss accounting at acquire.
+    for (std::int32_t idx : batch)
+      producer_[idx].store(lane, std::memory_order_release);
     StealDeque& own = deques_[static_cast<std::size_t>(lane)];
     for (std::int32_t idx : batch)
       if (!own.push(idx)) spill(idx);
@@ -211,30 +234,40 @@ class StealPolicy {
         ++ws.queue_pops;
         ++ws.depth_samples;
         ws.depth_samples_sum += own.size();
+        count_locality(lane, idx, ws);
         return idx;
       }
       if (remaining_.load(std::memory_order_acquire) == 0 ||
           cancelled_.load(std::memory_order_acquire))
         return -1;
       if (overflow_size_.load(std::memory_order_acquire) > 0 &&
-          (idx = pop_overflow(ws)) >= 0)
+          (idx = pop_overflow(lane, ws)) >= 0)
         return idx;
-      // Steal sweep: randomized victim order, a couple of passes over the
-      // other workers before giving up and blocking.
+      // Steal sweep: topology-near victims first when the machine has
+      // distinct cache domains, the plain randomized order otherwise; a
+      // couple of passes over the other workers before giving up and
+      // blocking.
+      const std::vector<int>* order =
+          use_victim_order_
+              ? &topo_->victim_order[static_cast<std::size_t>(lane)]
+              : nullptr;
       for (int attempt = 0; nw > 1 && attempt < 2 * nw; ++attempt) {
         if (remaining_.load(std::memory_order_acquire) == 0 ||
             cancelled_.load(std::memory_order_acquire))
           return -1;
-        const int victim = pick_victim(lane, nw);
+        const int victim =
+            order ? (*order)[static_cast<std::size_t>(attempt) % order->size()]
+                  : pick_victim(lane, nw);
         idx = deques_[static_cast<std::size_t>(victim)].steal();
         if (idx >= 0) {
           ++ws.steals;
           ++ws.queue_pops;
+          count_locality(lane, idx, ws);
           return idx;
         }
         ++ws.steal_fails;
         if (overflow_size_.load(std::memory_order_acquire) > 0 &&
-            (idx = pop_overflow(ws)) >= 0)
+            (idx = pop_overflow(lane, ws)) >= 0)
           return idx;
       }
       // Nothing visible anywhere: block until a release (or completion)
@@ -276,16 +309,32 @@ class StealPolicy {
                          std::memory_order_release);
   }
 
-  std::int32_t pop_overflow(WorkerStats& ws) {
-    std::lock_guard<std::mutex> lk(overflow_mu_);
-    if (overflow_.empty()) return -1;
-    const std::int32_t idx = overflow_.top().idx;
-    overflow_.pop();
-    overflow_size_.store(static_cast<std::int64_t>(overflow_.size()),
-                         std::memory_order_release);
+  std::int32_t pop_overflow(int lane, WorkerStats& ws) {
+    std::int32_t idx = -1;
+    {
+      std::lock_guard<std::mutex> lk(overflow_mu_);
+      if (overflow_.empty()) return -1;
+      idx = overflow_.top().idx;
+      overflow_.pop();
+      overflow_size_.store(static_cast<std::int64_t>(overflow_.size()),
+                           std::memory_order_release);
+    }
     ++ws.overflow_pops;
     ++ws.queue_pops;
+    count_locality(lane, idx, ws);
     return idx;
+  }
+
+  // Every successful pop is classified: hit when the producing lane shares
+  // the acquirer's LLC domain, miss otherwise (untagged tasks — roots and
+  // remote releases — always miss).
+  void count_locality(int lane, std::int32_t idx, WorkerStats& ws) {
+    if (topo_ == nullptr) return;
+    const int p = producer_[idx].load(std::memory_order_acquire);
+    if (p >= 0 && topo_->near(lane, p))
+      ++ws.locality_hits;
+    else
+      ++ws.locality_misses;
   }
 
   const std::vector<double>& depth_;
@@ -294,6 +343,10 @@ class StealPolicy {
   const std::atomic<bool>& cancelled_;
   std::vector<StealDeque> deques_;
   std::vector<LaneState> lanes_;
+  std::unique_ptr<std::atomic<int>[]> producer_;
+  const WorkerTopology* topo_ = nullptr;
+  WorkerTopology host_topo_;
+  bool use_victim_order_ = false;
 
   std::mutex overflow_mu_;
   std::priority_queue<ReadyTask> overflow_;
@@ -540,6 +593,8 @@ RunStats run_graph_impl(const TaskGraph& graph, int b,
     stats.steals += w.steals;
     stats.steal_fails += w.steal_fails;
     stats.overflow_pops += w.overflow_pops;
+    stats.locality_hits += w.locality_hits;
+    stats.locality_misses += w.locality_misses;
     depth_sum += w.depth_samples_sum;
     depth_samples += w.depth_samples;
     for (int t = 0; t < kKernelTypeCount; ++t) {
@@ -566,6 +621,8 @@ RunStats run_graph_impl(const TaskGraph& graph, int b,
     m.counter("exec.steals").add(stats.steals);
     m.counter("exec.steal_fails").add(stats.steal_fails);
     m.counter("exec.overflow_pops").add(stats.overflow_pops);
+    m.counter("exec.locality_hits").add(stats.locality_hits);
+    m.counter("exec.locality_misses").add(stats.locality_misses);
     m.gauge("exec.seconds").add(stats.seconds);
     m.gauge("exec.avg_ready_depth").set(stats.avg_ready_depth);
     for (std::size_t t = 0; t < per_thread.size(); ++t) {

@@ -20,6 +20,7 @@
 #include "dag/task_graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/topology.hpp"
 
 namespace hqr {
 
@@ -53,6 +54,19 @@ struct RunStats {
   long long steals = 0;         // stolen from another worker's deque
   long long steal_fails = 0;    // empty-victim or lost-race steal attempts
   long long overflow_pops = 0;  // taken from the shared overflow heap
+
+  // Locality accounting (Steal backend only): every queue pop is a hit when
+  // the task's producing worker shares the acquiring worker's LLC domain
+  // (own-deque pops included), a miss otherwise (including tasks with no
+  // local producer, e.g. roots and remote releases).
+  long long locality_hits = 0;
+  long long locality_misses = 0;
+  double locality_hit_rate() const {
+    const long long total = locality_hits + locality_misses;
+    return total > 0
+               ? static_cast<double>(locality_hits) / static_cast<double>(total)
+               : 0.0;
+  }
   double avg_ready_depth = 0.0;  // mean ready-depth sampled at local pops
   std::array<long long, kKernelTypeCount> tasks_by_kernel{};
 
@@ -87,6 +101,13 @@ struct ExecutorOptions {
   // Ready-task backend: per-worker stealing deques (default) or the single
   // locked priority queue baseline.
   SchedulerKind scheduler = SchedulerKind::Steal;
+  // Locality-aware stealing (Steal backend): order steal victims
+  // topology-near-first so stolen tasks are more likely to have warm tiles.
+  // Degrades to the plain randomized sweep on single-domain machines.
+  bool locality_stealing = true;
+  // Worker topology override for tests/benchmarks; null = detect the host
+  // topology once and pin lanes round-robin.
+  const WorkerTopology* topology = nullptr;
   // Observability sinks (obs/). Null = disabled; enabling costs two clock
   // reads per task plus lock-free per-lane appends / atomic updates.
   obs::TraceRecorder* trace = nullptr;

@@ -1,0 +1,138 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace hqr {
+namespace {
+
+bool read_int_file(const std::string& path, int& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  int v = -1;
+  in >> v;
+  if (!in || v < 0) return false;
+  out = v;
+  return true;
+}
+
+bool read_line_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::getline(in, out);
+  return !out.empty();
+}
+
+std::string cpu_dir(int cpu) {
+  return "/sys/devices/system/cpu/cpu" + std::to_string(cpu);
+}
+
+// LLC domain id for one cpu: the smallest cpu id sharing the deepest
+// cache level (index3 if present, else index2). -1 when unreadable.
+int llc_domain(int cpu) {
+  for (const char* index : {"/cache/index3", "/cache/index2"}) {
+    std::string text;
+    if (!read_line_file(cpu_dir(cpu) + index + "/shared_cpu_list", text))
+      continue;
+    const std::vector<int> shared = parse_cpulist(text);
+    if (!shared.empty()) return *std::min_element(shared.begin(), shared.end());
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    while (!tok.empty() &&
+           std::isspace(static_cast<unsigned char>(tok.back())))
+      tok.pop_back();
+    if (tok.empty()) return {};
+    const std::size_t dash = tok.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(tok));
+      } else {
+        const int lo = std::stoi(tok.substr(0, dash));
+        const int hi = std::stoi(tok.substr(dash + 1));
+        if (lo > hi || hi - lo > 4096) return {};
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      return {};
+    }
+  }
+  return cpus;
+}
+
+CpuTopology CpuTopology::detect() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n = hw > 0 ? static_cast<int>(hw) : 1;
+  CpuTopology topo;
+  topo.package.assign(static_cast<std::size_t>(n), 0);
+  topo.llc.assign(static_cast<std::size_t>(n), 0);
+  for (int c = 0; c < n; ++c) {
+    int pkg = 0;
+    read_int_file(cpu_dir(c) + "/topology/physical_package_id", pkg);
+    topo.package[static_cast<std::size_t>(c)] = pkg;
+    const int llc = llc_domain(c);
+    topo.llc[static_cast<std::size_t>(c)] = llc >= 0 ? llc : pkg;
+  }
+  return topo;
+}
+
+WorkerTopology WorkerTopology::build(const CpuTopology& topo, int workers) {
+  WorkerTopology wt;
+  wt.workers = workers;
+  if (workers <= 0) return wt;
+  const int ncpu = std::max(topo.cpus(), 1);
+  const auto cpu_of = [&](int lane) { return lane % ncpu; };
+  const auto pkg = [&](int cpu) {
+    return topo.cpus() > 0 ? topo.package[static_cast<std::size_t>(cpu)] : 0;
+  };
+  const auto llc = [&](int cpu) {
+    return topo.cpus() > 0 ? topo.llc[static_cast<std::size_t>(cpu)] : 0;
+  };
+
+  wt.distance.assign(
+      static_cast<std::size_t>(workers) * static_cast<std::size_t>(workers),
+      0);
+  for (int a = 0; a < workers; ++a) {
+    for (int b = 0; b < workers; ++b) {
+      const int ca = cpu_of(a), cb = cpu_of(b);
+      int d = 3;
+      if (ca == cb)
+        d = 0;
+      else if (llc(ca) == llc(cb) && pkg(ca) == pkg(cb))
+        d = 1;
+      else if (pkg(ca) == pkg(cb))
+        d = 2;
+      wt.distance[static_cast<std::size_t>(a) *
+                      static_cast<std::size_t>(workers) +
+                  static_cast<std::size_t>(b)] = d;
+    }
+  }
+
+  wt.victim_order.resize(static_cast<std::size_t>(workers));
+  for (int a = 0; a < workers; ++a) {
+    std::vector<int>& order = wt.victim_order[static_cast<std::size_t>(a)];
+    order.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int off = 1; off < workers; ++off)
+      order.push_back((a + off) % workers);  // ring: stable within a class
+    std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+      return wt.dist(a, x) < wt.dist(a, y);
+    });
+    if (!order.empty() &&
+        wt.dist(a, order.front()) != wt.dist(a, order.back()))
+      wt.multi_domain = true;
+  }
+  return wt;
+}
+
+}  // namespace hqr

@@ -1,0 +1,61 @@
+// CPU topology detection for locality-aware stealing.
+//
+// The stealing executor prefers victims whose deque is topology-near the
+// thief: a task produced on a core sharing the thief's last-level cache
+// still has warm tiles, while a cross-socket steal pays coherence traffic
+// for every tile it touches. Topology comes from sysfs
+// (/sys/devices/system/cpu/cpuN/topology + cache/index*); on machines
+// where it cannot be read — or that have a single cache domain — the
+// policy degrades to the plain randomized sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hqr {
+
+// Per-logical-cpu locality domains. Parallel arrays indexed by cpu id;
+// tests build these directly to emulate multi-socket machines.
+struct CpuTopology {
+  std::vector<int> package;  // physical package (socket) per cpu
+  std::vector<int> llc;      // last-level-cache domain per cpu (CCX/L3)
+
+  int cpus() const { return static_cast<int>(package.size()); }
+
+  // Reads sysfs; falls back to a single-domain topology (every cpu in
+  // package 0 / llc 0) when the files are absent (non-Linux, containers).
+  static CpuTopology detect();
+};
+
+// Distance classes between two worker lanes (round-robin pinned onto the
+// cpus of a CpuTopology): 0 = same cpu, 1 = same LLC domain, 2 = same
+// package, 3 = remote package.
+struct WorkerTopology {
+  int workers = 0;
+  // distance[a][b]: flattened workers x workers matrix.
+  std::vector<int> distance;
+  // Per lane: every other lane ordered nearest-first (stable within a
+  // distance class so near victims are swept in a deterministic ring).
+  std::vector<std::vector<int>> victim_order;
+  // True when at least two lanes are in different distance classes from
+  // some thief — i.e. locality ordering can change a decision at all.
+  bool multi_domain = false;
+
+  int dist(int a, int b) const {
+    return distance[static_cast<std::size_t>(a) *
+                        static_cast<std::size_t>(workers) +
+                    static_cast<std::size_t>(b)];
+  }
+  // Near = shares this lane's LLC (distance <= 1): the granularity at
+  // which a stolen task's tiles can still be cache-warm.
+  bool near(int a, int b) const { return dist(a, b) <= 1; }
+
+  // Lanes are assigned to cpus round-robin (lane i -> cpu i % cpus).
+  static WorkerTopology build(const CpuTopology& topo, int workers);
+};
+
+// Parses a sysfs cpulist string ("0-3,8,10-11") into cpu ids; returns an
+// empty vector on malformed input. Exposed for tests.
+std::vector<int> parse_cpulist(const std::string& text);
+
+}  // namespace hqr

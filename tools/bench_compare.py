@@ -2,17 +2,23 @@
 """Compare two benchmark JSON files and fail on throughput regressions.
 
 Usage:
-    bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+    bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
 
 The CI perf gate runs this against the checked-in baseline (BENCH_*.json)
 and a freshly measured candidate. Records are matched by their identity
 keys (everything that is not a measurement), and each shared measure is
 classified as higher-better (gflops, speedup, throughput) or lower-better
 (seconds, bytes-ish time fields). A matched measure regresses when it is
-worse than the baseline by more than the threshold fraction; the script
+worse than the baseline by more than the tolerance fraction; the script
 prints every comparison and exits 1 if any regressed.
 
-Supported schemas: hqr-bench-kernels-v1 (results/speedups/end_to_end),
+Files carrying a machine identity block (hqr-bench-kernels-v2's
+"machine": {"cpu": ...}) are refused when the cpu ids differ — absolute
+rates from different machines gate on hardware, not regressions. Pass
+--allow-cross-host to compare anyway (e.g. CI runners vs the dedicated
+box that produced the checked-in baseline, gating on ratio measures).
+
+Supported schemas: hqr-bench-kernels-v1/v2 (results/speedups/end_to_end),
 hqr-bench-dist-v1/v2 and hqr-bench-runtime-v1 are handled by the same
 generic record walker — any JSON whose "results" entries mix identity
 fields (strings/ints) with float measures works.
@@ -30,13 +36,20 @@ LOWER_BETTER = {"seconds", "packed_seconds", "naive_seconds",
                 "makespan_seconds"}
 MEASURES = HIGHER_BETTER | LOWER_BETTER
 
+# Provenance annotations, not identity: the v2 kernel bench records which
+# micro-kernel produced each number. Two runs still measure the same thing
+# when the dispatched kernel differs (that difference is the measurement),
+# and v1 baselines lack the fields entirely.
+PROVENANCE = {"isa", "shape"}
+
 
 def identity(record):
     """Hashable identity of a record: its non-measure scalar fields."""
     key = []
     for name in sorted(record):
         value = record[name]
-        if name in MEASURES or isinstance(value, (list, dict)):
+        if name in MEASURES or name in PROVENANCE or isinstance(
+                value, (list, dict)):
             continue
         key.append((name, value))
     return tuple(key)
@@ -90,8 +103,14 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
     ap.add_argument("candidate")
-    ap.add_argument("--threshold", type=float, default=0.15,
-                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="allowed fractional regression (default 0.10)")
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="deprecated alias for --tolerance")
+    ap.add_argument("--allow-cross-host", action="store_true",
+                    help="compare files whose machine identities differ "
+                         "(absolute rates then reflect hardware, not "
+                         "regressions; combine with --measures speedup)")
     ap.add_argument("--measures", default="",
                     help="comma-separated allowlist of measures to gate on "
                          "(default: all known measures). On shared/noisy "
@@ -99,6 +118,9 @@ def main():
                          "they compare two rates from the same run, so "
                          "machine load cancels out.")
     args = ap.parse_args()
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = args.threshold if args.threshold is not None else 0.10
 
     measures = MEASURES
     if args.measures:
@@ -119,7 +141,21 @@ def main():
         print(f"schema mismatch: {bschema} vs {cschema}", file=sys.stderr)
         return 2
 
-    comparisons, regressions = compare(baseline, candidate, args.threshold,
+    bcpu = (baseline.get("machine") or {}).get("cpu")
+    ccpu = (candidate.get("machine") or {}).get("cpu")
+    if bcpu and ccpu and bcpu != ccpu:
+        if not args.allow_cross_host:
+            print(f"machine mismatch: baseline measured on '{bcpu}', "
+                  f"candidate on '{ccpu}' — absolute rates are not "
+                  f"comparable across hosts. Re-baseline on this machine, "
+                  f"or pass --allow-cross-host (ideally with "
+                  f"--measures speedup, which gates on load-insensitive "
+                  f"ratios).", file=sys.stderr)
+            return 2
+        print(f"warning: cross-host comparison ('{bcpu}' vs '{ccpu}')",
+              file=sys.stderr)
+
+    comparisons, regressions = compare(baseline, candidate, tolerance,
                                        measures)
     if not comparisons:
         print("no comparable records found", file=sys.stderr)
@@ -131,7 +167,7 @@ def main():
               f"{old:.6g} -> {new:.6g} ({change:+.1%})")
 
     print(f"\n{len(comparisons)} measures compared, "
-          f"{len(regressions)} regressed (threshold {args.threshold:.0%})")
+          f"{len(regressions)} regressed (tolerance {tolerance:.0%})")
     if regressions:
         print("FAIL: performance regression detected", file=sys.stderr)
         return 1

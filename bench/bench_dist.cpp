@@ -9,7 +9,9 @@
 // per_rank breakdown with busy/idle seconds, the longest Data-starvation
 // gap (max_recv_wait_seconds) and wire message counts by tag. Pass
 // --progress to stream live per-rank telemetry to stderr while each
-// configuration runs.
+// configuration runs. --transport=unix|tcp picks the rank mesh wiring and
+// --bcast=binomial|eager the tile broadcast shape (see dist_exec.hpp);
+// neither changes the total message count, only where time and sends land.
 //
 // Every configuration runs in forked children, so results cross process
 // boundaries via a small fragment file written by rank 0 and re-read by
@@ -178,6 +180,8 @@ int main(int argc, char** argv) {
                        {"high", "fibonacci"},
                        {"domino", "true"},
                        {"ib", "0"},
+                       {"transport", "unix"},
+                       {"bcast", "binomial"},
                        {"timeout", "300"},
                        {"json", ""},
                        {"csv", ""},
@@ -212,6 +216,8 @@ int main(int argc, char** argv) {
       distrun::DistOptions opts;
       opts.threads = threads;
       opts.ib = static_cast<int>(cli.integer("ib"));
+      opts.broadcast = cli.str("bcast") == "eager" ? BroadcastKind::Eager
+                                                   : BroadcastKind::Binomial;
       opts.progress_timeout_seconds =
           static_cast<double>(cli.integer("timeout"));
       // Attach a metrics sink so the executor records per-worker busy/idle
@@ -242,6 +248,7 @@ int main(int argc, char** argv) {
 
     net::LaunchOptions lopts;
     lopts.timeout_seconds = 2.0 * static_cast<double>(cli.integer("timeout"));
+    lopts.transport.kind = cli.str("transport");
     const int rc = net::run_ranks(ranks, rank_main, lopts);
     HQR_CHECK(rc == 0, "distributed run failed for ranks=" << ranks
                                                            << " (exit " << rc

@@ -8,8 +8,17 @@
 //                     [--dist=2d|block1d|cyclic1d] [--grid-p=2] [--grid-q=2]
 //                     [--p=4] [--a=2] [--low=greedy] [--high=fibonacci]
 //                     [--threads=2] [--sched=steal|global] [--ib=0]
+//                     [--transport=unix|tcp] [--bcast=binomial|eager]
 //                     [--timeout=120] [--seed=42]
 //                     [--trace=dist_trace] [--progress]
+//
+// --transport picks how the rank mesh is wired: "unix" (default) forks over
+// pre-connected socketpairs, "tcp" runs the loopback rendezvous + all-pairs
+// TCP mesh that a multi-host launcher would use. --bcast picks how a
+// completed tile reaches its consumer ranks: "binomial" (default) relays
+// down a broadcast tree, "eager" posts every copy from the producer. Both
+// choices leave the factors and the total message count bit-for-bit
+// unchanged — only the wiring and the per-rank send counts move.
 //
 // With --trace (or its older spelling --trace-prefix), every rank writes
 // <prefix>.rank<r>.csv — clock-aligned via the startup sync handshake and
@@ -80,6 +89,12 @@ bool bit_identical(const QRFactors& x, const QRFactors& y) {
   return true;
 }
 
+BroadcastKind bcast_from_name(const std::string& name) {
+  if (name == "binomial") return BroadcastKind::Binomial;
+  if (name == "eager") return BroadcastKind::Eager;
+  HQR_CHECK(false, "unknown --bcast '" << name << "' (want binomial|eager)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,6 +113,8 @@ int main(int argc, char** argv) {
                        {"threads", "2"},
                        {"sched", "steal"},
                        {"ib", "0"},
+                       {"transport", "unix"},
+                       {"bcast", "binomial"},
                        {"timeout", "120"},
                        {"seed", "42"},
                        {"trace", ""},
@@ -107,6 +124,7 @@ int main(int argc, char** argv) {
   const int m = static_cast<int>(cli.integer("m"));
   const int n = static_cast<int>(cli.integer("n"));
   const int b = static_cast<int>(cli.integer("b"));
+  const BroadcastKind bcast = bcast_from_name(cli.str("bcast"));
   const double timeout = static_cast<double>(cli.integer("timeout"));
   const std::string trace_prefix =
       !cli.str("trace").empty() ? cli.str("trace") : cli.str("trace-prefix");
@@ -135,6 +153,7 @@ int main(int argc, char** argv) {
     opts.threads = static_cast<int>(cli.integer("threads"));
     opts.scheduler = scheduler_kind_from_name(cli.str("sched"));
     opts.ib = static_cast<int>(cli.integer("ib"));
+    opts.broadcast = bcast;
     opts.progress_timeout_seconds = timeout;
     if (!trace_prefix.empty()) opts.trace = &trace;
     if (progress) {
@@ -164,6 +183,8 @@ int main(int argc, char** argv) {
               << " x " << probe.nt() << " tiles of " << b << "\n"
               << "ranks: " << ranks << " (" << dist.describe() << "), "
               << opts.threads << " thread(s) each\n"
+              << "transport: " << cli.str("transport") << ", broadcast: "
+              << cli.str("bcast") << "\n"
               << "factorized in " << stats.seconds << " s\n";
 
     TextTable t({"rank", "tasks", "msgs sent", "bytes sent", "msgs recv"});
@@ -184,6 +205,7 @@ int main(int argc, char** argv) {
     TaskGraph graph(kernels, probe.mt(), probe.nt());
     SimOptions sopts;
     sopts.b = b;
+    sopts.broadcast = bcast;
     const SimResult sim = simulate_qr(graph, dist, m, n, sopts);
     std::cout << "messages: measured " << measured_msgs << ", planned "
               << stats.plan_messages << ", simulated " << sim.messages << "\n"
@@ -214,6 +236,7 @@ int main(int argc, char** argv) {
 
   net::LaunchOptions lopts;
   lopts.timeout_seconds = timeout > 0 ? timeout * 2 : 0;
+  lopts.transport.kind = cli.str("transport");
   const int rc = net::run_ranks(ranks, rank_main, lopts);
   if (rc != 0) {
     std::cerr << "distributed run failed (exit " << rc << ")\n";
@@ -243,7 +266,7 @@ int main(int argc, char** argv) {
     const Distribution dist = make_distribution(cli, ranks, mt);
     const KernelList kernels = expand_to_kernels(list, mt, nt);
     const TaskGraph graph(kernels, mt, nt);
-    const CommPlan plan(graph, dist);
+    const CommPlan plan(graph, dist, bcast_from_name(cli.str("bcast")));
 
     long long complete = 0, causal = 0;
     for (const obs::FlowEvent& fl : merged.flows()) {

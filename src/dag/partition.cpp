@@ -22,7 +22,9 @@ int task_node(const KernelOp& op, const Distribution& dist) {
   HQR_CHECK(false, "unreachable kernel type");
 }
 
-CommPlan::CommPlan(const TaskGraph& graph, const Distribution& dist) {
+CommPlan::CommPlan(const TaskGraph& graph, const Distribution& dist,
+                   BroadcastKind kind)
+    : kind_(kind) {
   const std::int32_t n = graph.size();
   const int nranks = dist.nodes();
   node_.resize(static_cast<std::size_t>(n));
@@ -61,11 +63,48 @@ CommPlan::CommPlan(const TaskGraph& graph, const Distribution& dist) {
     }
     const std::int64_t first = send_offsets_[static_cast<std::size_t>(t)];
     std::sort(send_dests_.data() + first, send_dests_.data() + cursor);
-    sent_by_rank_[static_cast<std::size_t>(node_[t])] += cursor - first;
+    // Each consumer receives exactly once under either broadcast kind; only
+    // who sends it differs (g - 1 edges total either way).
     for (std::int64_t i = first; i < cursor; ++i)
       ++recv_by_rank_[static_cast<std::size_t>(
           send_dests_[static_cast<std::size_t>(i)])];
+    const int g = static_cast<int>(cursor - first) + 1;  // root + consumers
+    if (kind_ == BroadcastKind::Eager) {
+      sent_by_rank_[static_cast<std::size_t>(node_[t])] += g - 1;
+    } else {
+      for (int v = 0; v < g; ++v) {
+        const std::int32_t rank =
+            v == 0 ? node_[static_cast<std::size_t>(t)]
+                   : send_dests_[static_cast<std::size_t>(first + v - 1)];
+        for_each_binomial_child(v, g, [&](int) {
+          ++sent_by_rank_[static_cast<std::size_t>(rank)];
+        });
+      }
+    }
   }
+}
+
+std::vector<std::int32_t> CommPlan::bcast_children(int task, int rank) const {
+  const std::span<const std::int32_t> d = dests(task);
+  const int g = static_cast<int>(d.size()) + 1;
+  std::vector<std::int32_t> out;
+  if (g == 1) return out;
+  if (kind_ == BroadcastKind::Eager) {
+    if (rank == node_of(task)) out.assign(d.begin(), d.end());
+    return out;
+  }
+  int v;  // this rank's virtual index in the broadcast group
+  if (rank == node_of(task)) {
+    v = 0;
+  } else {
+    const auto it = std::lower_bound(d.begin(), d.end(), rank);
+    if (it == d.end() || *it != rank) return out;  // not a group member
+    v = static_cast<int>(it - d.begin()) + 1;
+  }
+  for_each_binomial_child(v, g, [&](int c) {
+    out.push_back(d[static_cast<std::size_t>(c - 1)]);
+  });
+  return out;
 }
 
 }  // namespace hqr

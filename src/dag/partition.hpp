@@ -20,21 +20,54 @@ namespace hqr {
 // kernels) or updates in place (update kernels).
 int task_node(const KernelOp& op, const Distribution& dist);
 
+// How a producer's output reaches its consuming ranks.
+//
+//   Eager     The producer posts one frame per consuming rank itself.
+//   Binomial  Consuming ranks form a binomial broadcast tree rooted at the
+//             producer (group = producer, then consumers ascending);
+//             intermediate ranks re-post the payload to their subtree.
+//
+// Either way every consuming rank receives the payload exactly once, so
+// the total message count is the group size minus one for both kinds —
+// only *who sends* changes. The tree bounds any one rank's sends per
+// broadcast by ceil(log2(group)) instead of group-1, which is what keeps a
+// hot producer's NIC from serializing a wide broadcast.
+enum class BroadcastKind { Eager, Binomial };
+
+// Children of virtual rank v in a binomial tree over g members, where
+// parent(v) clears v's lowest set bit: v + 2^j for every 2^j below that
+// bit (below g's power-of-two ceiling for the root). Emitted highest
+// first, so the payload reaches the deepest subtree earliest — the same
+// order the distributed runtime posts forwards and the simulator
+// serializes them on the sender's NIC.
+template <typename Emit>
+void for_each_binomial_child(int v, int g, Emit&& emit) {
+  int top = 1;
+  while (top < g) top <<= 1;
+  const int lsb = v == 0 ? top : (v & -v);
+  for (int mask = lsb >> 1; mask >= 1; mask >>= 1)
+    if (v + mask < g) emit(v + mask);
+}
+
 // Cross-rank communication plan of a task graph under `dist`, with the
 // producer-to-node broadcast dedup both the simulator and the runtime
 // apply: a producer's output is shipped to each consuming node once, no
 // matter how many consumers that node hosts. `messages` therefore equals
 // SimResult::messages for the same (graph, dist) by construction; the
-// distributed runtime sends exactly `dests(t)` per completed task, making
-// the simulator's communication model a falsifiable prediction.
+// distributed runtime sends exactly `bcast_children(t, rank)` per rank per
+// broadcast, making the simulator's communication model a falsifiable
+// prediction under either broadcast kind.
 class CommPlan {
  public:
-  CommPlan(const TaskGraph& graph, const Distribution& dist);
+  CommPlan(const TaskGraph& graph, const Distribution& dist,
+           BroadcastKind kind = BroadcastKind::Eager);
 
   int ranks() const { return static_cast<int>(tasks_by_rank_.size()); }
   // Executing rank of each task.
   const std::vector<std::int32_t>& node() const { return node_; }
   int node_of(int task) const { return node_[static_cast<std::size_t>(task)]; }
+
+  BroadcastKind kind() const { return kind_; }
 
   // Distinct remote ranks that consume the output of `task` (ascending).
   std::span<const std::int32_t> dests(int task) const {
@@ -43,6 +76,13 @@ class CommPlan {
                 send_offsets_[static_cast<std::size_t>(task) + 1] -
                 send_offsets_[static_cast<std::size_t>(task)])};
   }
+
+  // Ranks that `rank` must ship `task`'s output to once it holds the
+  // payload (as producer or after receiving it). Eager: the producer sends
+  // to every dest, everyone else sends nothing. Binomial: each broadcast
+  // group member forwards to its subtree children. Empty when `rank` is
+  // not in the broadcast group.
+  std::vector<std::int32_t> bcast_children(int task, int rank) const;
 
   // Total inter-rank messages (== simulator's SimResult::messages).
   long long messages() const { return messages_; }
@@ -63,6 +103,7 @@ class CommPlan {
   }
 
  private:
+  BroadcastKind kind_ = BroadcastKind::Eager;
   std::vector<std::int32_t> node_;
   std::vector<std::int64_t> send_offsets_;  // CSR over tasks
   std::vector<std::int32_t> send_dests_;

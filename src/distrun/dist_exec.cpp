@@ -62,7 +62,7 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   const int mt = tiled.mt(), nt = tiled.nt();
   KernelList kernels = expand_to_kernels(list, mt, nt);
   TaskGraph graph(kernels, mt, nt);
-  CommPlan plan(graph, dist);
+  CommPlan plan(graph, dist, opts.broadcast);
   QRFactors f(std::move(tiled), std::move(kernels), opts.ib);
 
   const double shutdown_timeout = opts.progress_timeout_seconds > 0
@@ -111,17 +111,18 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   view.my_rank = me;
   view.on_complete = [&](std::int32_t idx) {
     progress.fetch_add(1, std::memory_order_relaxed);
-    const auto dests = plan.dests(idx);
-    if (dests.empty()) return;
-    // One pack, one frame per consuming rank: the broadcast dedup the
-    // simulator's message model assumes.
+    // One pack, one frame per broadcast-tree child (Eager: every consuming
+    // rank; Binomial: this producer's direct children — the rest is
+    // relayed by intermediate consumers as the payload arrives there).
+    const std::vector<std::int32_t> kids = plan.bcast_children(idx, me);
+    if (kids.empty()) return;
     std::vector<std::uint8_t> payload;
     pack_task_output(graph.op(idx), f, payload);
     // Stamp the send BEFORE posting: the frame can reach the receiver (and
     // be stamped there) while this worker is descheduled, and a post-post
     // stamp would then violate send < recv on the merged timeline.
     const double t = opts.trace ? monotonic_seconds() - origin : 0.0;
-    for (std::int32_t d : dests) {
+    for (std::int32_t d : kids) {
       comm.post(d, net::Tag::Data, idx, payload.data(), payload.size());
       if (opts.trace) opts.trace->record_flow_send(idx, me, d, t);
     }
@@ -150,7 +151,14 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
   // Every received Data frame is applied to the local replica immediately —
   // any local task that could touch those regions is either an ancestor of
   // the producer (finished everywhere already) or an unreleased successor.
+  // Under tree broadcasts it is also re-posted to this rank's subtree
+  // children first, so a relay never waits on local compute.
   std::thread comm_thread;
+  // Producers whose Data frame already arrived (comm thread only): each
+  // tree member has exactly one parent so duplicates are protocol bugs,
+  // but a dedup keyed by producer id keeps a misbehaving peer from
+  // double-applying updates or amplifying forwards.
+  std::vector<char> seen_data(static_cast<std::size_t>(graph.size()), 0);
   std::atomic<bool> stop{false};
   const auto comm_loop = [&](RemotePort* port) {
     Stopwatch sw;
@@ -177,6 +185,21 @@ QRFactors dist_qr_factorize(net::Comm& comm, const Matrix& a, int b,
     const auto on_msg = [&](net::Message&& m) {
       switch (m.tag) {
         case net::Tag::Data: {
+          HQR_CHECK(m.id >= 0 && m.id < graph.size(),
+                    "Data frame names unknown task " << m.id);
+          if (seen_data[static_cast<std::size_t>(m.id)]) break;
+          seen_data[static_cast<std::size_t>(m.id)] = 1;
+          // Relay down the broadcast tree before touching local state: the
+          // subtree's latency is the payload's, not this rank's.
+          const std::vector<std::int32_t> kids = plan.bcast_children(m.id, me);
+          if (!kids.empty()) {
+            const double t = opts.trace ? monotonic_seconds() - origin : 0.0;
+            for (std::int32_t d : kids) {
+              comm.post(d, net::Tag::Data, m.id, m.payload.data(),
+                        m.payload.size());
+              if (opts.trace) opts.trace->record_flow_send(m.id, me, d, t);
+            }
+          }
           apply_task_output(graph.op(m.id), f, m.payload);
           if (opts.trace) {
             // The arrow's head: the first local task this payload helps

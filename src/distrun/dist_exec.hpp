@@ -5,10 +5,12 @@
 // rebuilds the same kernel list, task graph and communication plan
 // (dag/partition.hpp), and executes the owner-computes slice of the DAG on
 // the shared-memory work-stealing executor. Remote dependencies flow as
-// eager tile messages driven by a dedicated communication thread; a
-// completed task's output regions are posted once per consuming rank
-// (broadcast dedup), which makes the measured Data message count equal the
-// simulator's prediction by construction. After the DAG drains, rank 0
+// tagged tile messages driven by a dedicated communication thread; a
+// completed task's output regions reach each consuming rank exactly once,
+// either posted directly by the producer or relayed down a binomial
+// broadcast tree of the consumers (DistOptions::broadcast), which makes
+// the measured Data message count equal the simulator's prediction by
+// construction under either kind. After the DAG drains, rank 0
 // gathers every final tile region and T factor and returns a factorization
 // bit-identical to a single-process run.
 //
@@ -24,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "dag/partition.hpp"
 #include "dist/distribution.hpp"
 #include "net/clock_sync.hpp"
 #include "net/comm.hpp"
@@ -55,6 +58,12 @@ struct DistOptions {
   bool data_reuse = true;
   int ib = 0;
   SchedulerKind scheduler = SchedulerKind::Steal;
+  // How a completed task's output reaches its consuming ranks. Binomial
+  // (default) forwards through intermediate consumers so no producer's
+  // send queue serializes a wide broadcast; Eager posts every frame from
+  // the producer. Total Data messages are identical (the plan's invariant);
+  // per-rank sent counts redistribute. All ranks must agree.
+  BroadcastKind broadcast = BroadcastKind::Binomial;
   // Abort when the rank neither executes a task nor receives a message for
   // this long (a dead peer must not hang the run, or CI); <= 0 disables.
   double progress_timeout_seconds = 60.0;

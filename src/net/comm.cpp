@@ -31,9 +31,9 @@ void Comm::post(int dest, Tag tag, std::int32_t id, const void* payload,
   h.src = rank_;
   h.id = id;
   h.bytes = bytes;
-  std::vector<std::uint8_t> frame(sizeof(h) + bytes);
-  std::memcpy(frame.data(), &h, sizeof(h));
-  if (bytes > 0) std::memcpy(frame.data() + sizeof(h), payload, bytes);
+  std::vector<std::uint8_t> frame(kFrameHeaderBytes + bytes);
+  encode_header(h, frame.data());
+  if (bytes > 0) std::memcpy(frame.data() + kFrameHeaderBytes, payload, bytes);
   const long long frame_bytes = static_cast<long long>(frame.size());
   std::lock_guard<std::mutex> lk(send_mu_);
   send_[static_cast<std::size_t>(dest)].frames.push_back(std::move(frame));
@@ -93,10 +93,9 @@ void Comm::drain_peer(int q, std::vector<Message>& out) {
   RecvState& r = recv_[static_cast<std::size_t>(q)];
   const int fd = peers_[static_cast<std::size_t>(q)].get();
   for (;;) {
-    if (r.header_got < sizeof(FrameHeader)) {
-      auto* dst = reinterpret_cast<std::uint8_t*>(&r.header) + r.header_got;
-      const std::ptrdiff_t got =
-          read_some(fd, dst, sizeof(FrameHeader) - r.header_got);
+    if (r.header_got < kFrameHeaderBytes) {
+      const std::ptrdiff_t got = read_some(fd, r.header_raw + r.header_got,
+                                           kFrameHeaderBytes - r.header_got);
       if (got == 0) return;
       if (got < 0) {
         HQR_CHECK(eof_ok_ && r.header_got == 0,
@@ -105,9 +104,24 @@ void Comm::drain_peer(int q, std::vector<Message>& out) {
         return;
       }
       r.header_got += static_cast<std::size_t>(got);
-      if (r.header_got < sizeof(FrameHeader)) return;
-      HQR_CHECK(r.header.magic == kMagic,
-                "bad frame magic from rank " << q);
+      if (r.header_got < kFrameHeaderBytes) return;
+      r.header = decode_header(r.header_raw);
+      HQR_CHECK(r.header.magic != kMagicSwapped,
+                "frame magic from rank "
+                    << q << " is byte-swapped: peer serialized with the "
+                    << "opposite byte order (pre-v2 wire format?)");
+      HQR_CHECK(r.header.magic == kMagic, "bad frame magic from rank " << q);
+      HQR_CHECK(r.header.version == kWireVersion,
+                "wire version mismatch: rank " << q << " speaks v"
+                                               << r.header.version
+                                               << ", this build speaks v"
+                                               << kWireVersion);
+      HQR_CHECK(r.header.header_bytes == kFrameHeaderBytes,
+                "frame header size mismatch from rank "
+                    << q << " (" << r.header.header_bytes << " != "
+                    << kFrameHeaderBytes << ")");
+      HQR_CHECK(valid_tag(r.header.tag),
+                "unknown tag " << r.header.tag << " from rank " << q);
       HQR_CHECK(r.header.bytes < (1ull << 34),
                 "implausible frame size from rank " << q);
       r.payload.resize(static_cast<std::size_t>(r.header.bytes));
@@ -130,17 +144,22 @@ void Comm::drain_peer(int q, std::vector<Message>& out) {
     r.payload.clear();
     r.header_got = 0;
     r.payload_got = 0;
-    if (m.tag == Tag::Data) {
-      ++counters_.data_messages_recv;
-      counters_.data_bytes_recv += static_cast<long long>(m.payload.size());
-    } else {
-      ++counters_.control_messages_recv;
-      counters_.control_bytes_recv += static_cast<long long>(m.payload.size());
-    }
-    const int ti = tag_index(m.tag);
-    if (ti >= 0 && ti < kTagCount) {
-      ++counters_.messages_recv_by_tag[static_cast<std::size_t>(ti)];
-      counters_.bytes_recv_by_tag[static_cast<std::size_t>(ti)] +=
+    {
+      // Same lock post() bumps the send counters under: the telemetry
+      // heartbeat snapshots counters mid-run from another thread, and an
+      // unlocked recv-side update here could be observed torn.
+      std::lock_guard<std::mutex> lk(send_mu_);
+      if (m.tag == Tag::Data) {
+        ++counters_.data_messages_recv;
+        counters_.data_bytes_recv += static_cast<long long>(m.payload.size());
+      } else {
+        ++counters_.control_messages_recv;
+        counters_.control_bytes_recv +=
+            static_cast<long long>(m.payload.size());
+      }
+      const auto ti = static_cast<std::size_t>(tag_index(m.tag));
+      ++counters_.messages_recv_by_tag[ti];
+      counters_.bytes_recv_by_tag[ti] +=
           static_cast<long long>(m.payload.size());
     }
     out.push_back(std::move(m));
@@ -167,8 +186,16 @@ int Comm::pump(int timeout_ms, const std::function<void(Message&&)>& on_msg) {
   }
   if (fds.empty()) return 0;
   const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
-  HQR_CHECK(rc >= 0 || errno == EINTR, "poll: " << std::strerror(errno));
-  if (rc <= 0) return 0;
+  if (rc < 0) {
+    HQR_CHECK(errno == EINTR, "poll: " << std::strerror(errno));
+    // A signal cut the wait short, and the pollfd snapshot above may
+    // predate frames post()ed while we slept (their fds would then lack
+    // POLLOUT). Flush whatever is pending now instead of stranding those
+    // sends until the next unrelated wakeup.
+    for (const int q : who) flush_peer(q);
+    return 0;
+  }
+  if (rc == 0) return 0;
 
   std::vector<Message> delivered;
   for (std::size_t i = 0; i < fds.size(); ++i) {

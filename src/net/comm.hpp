@@ -90,6 +90,7 @@ class Comm {
     std::size_t offset = 0;                        // into frames.front()
   };
   struct RecvState {
+    std::uint8_t header_raw[kFrameHeaderBytes];  // wire bytes, decoded when full
     FrameHeader header;
     std::size_t header_got = 0;
     std::vector<std::uint8_t> payload;
@@ -105,7 +106,11 @@ class Comm {
   std::vector<Fd> peers_;
   std::vector<SendState> send_;
   std::vector<RecvState> recv_;
-  mutable std::mutex send_mu_;  // guards send_, pending_frames_/bytes_
+  // Guards send_, pending_frames_/bytes_, and every counters_ mutation:
+  // send-side counters bump under it in post(), recv-side in drain_peer()
+  // — so counters_snapshot() taken from the telemetry thread can never
+  // observe a torn counter.
+  mutable std::mutex send_mu_;
   long long pending_frames_ = 0;
   long long pending_bytes_ = 0;
   bool eof_ok_ = false;

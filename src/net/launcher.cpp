@@ -20,23 +20,7 @@ namespace hqr::net {
 
 namespace {
 
-// mesh[r][q] is rank r's socket to rank q (invalid when r == q).
-std::vector<std::vector<Fd>> build_mesh(int nranks) {
-  std::vector<std::vector<Fd>> mesh(static_cast<std::size_t>(nranks));
-  for (auto& row : mesh) row.resize(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    for (int q = r + 1; q < nranks; ++q) {
-      auto [a, b] = stream_pair();
-      mesh[static_cast<std::size_t>(r)][static_cast<std::size_t>(q)] =
-          std::move(a);
-      mesh[static_cast<std::size_t>(q)][static_cast<std::size_t>(r)] =
-          std::move(b);
-    }
-  }
-  return mesh;
-}
-
-[[noreturn]] void child_main(int rank, std::vector<Fd> peers,
+[[noreturn]] void child_main(int rank, Transport& transport,
                              const std::function<int(Comm&)>& rank_main) {
 #ifdef __linux__
   // Die with the parent: nothing a rank does should outlive the launcher.
@@ -44,7 +28,11 @@ std::vector<std::vector<Fd>> build_mesh(int nranks) {
 #endif
   int code = 1;
   try {
-    Comm comm(rank, std::move(peers));
+    // Mesh wiring happens inside the guard: a transport that cannot reach
+    // its peers (rendezvous timeout, refused connect) exits nonzero and
+    // the parent reports it, instead of unwinding into the fork's copy of
+    // the parent stack.
+    Comm comm(rank, transport.connect_rank(rank));
     code = rank_main(comm);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[rank %d] fatal: %s\n", rank, e.what());
@@ -66,22 +54,18 @@ std::vector<std::vector<Fd>> build_mesh(int nranks) {
 int run_ranks(int nranks, const std::function<int(Comm&)>& rank_main,
               const LaunchOptions& opts) {
   HQR_CHECK(nranks >= 1, "need at least one rank, got " << nranks);
-  auto mesh = build_mesh(nranks);
+  std::unique_ptr<Transport> transport = make_transport(opts.transport);
+  transport->prepare(nranks);
 
   std::fflush(nullptr);  // don't duplicate buffered output into children
   std::vector<pid_t> pids(static_cast<std::size_t>(nranks), -1);
   for (int r = 0; r < nranks; ++r) {
     const pid_t pid = ::fork();
     HQR_CHECK(pid >= 0, "fork failed for rank " << r);
-    if (pid == 0) {
-      // Child: keep only this rank's row of the mesh.
-      std::vector<Fd> peers = std::move(mesh[static_cast<std::size_t>(r)]);
-      mesh.clear();
-      child_main(r, std::move(peers), rank_main);  // never returns
-    }
+    if (pid == 0) child_main(r, *transport, rank_main);  // never returns
     pids[static_cast<std::size_t>(r)] = pid;
   }
-  mesh.clear();  // parent holds no mesh descriptors
+  transport->parent_release();  // parent holds no mesh descriptors
 
   const auto deadline =
       std::chrono::steady_clock::now() +

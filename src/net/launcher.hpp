@@ -1,28 +1,34 @@
-// Rank launcher: forks R worker processes connected by a fully wired
-// socketpair mesh and supervises them.
+// Rank launcher: forks R worker processes connected by a transport-built
+// socket mesh and supervises them.
 //
-// The mesh (one AF_UNIX socketpair per unordered rank pair) is created in
-// the parent *before* any fork, so every child inherits all descriptors;
-// each child keeps only its own row of the mesh and closes the rest. The
-// parent closes everything and watches the children: the first nonzero
-// exit, killing signal, or deadline overrun makes it SIGKILL the whole
-// group and report failure — a crashed or wedged rank can never hang the
-// caller (or CI).
+// The transport (net/transport.hpp) decides how the mesh exists: the
+// default `unix` backend creates one AF_UNIX socketpair per unordered rank
+// pair in the parent *before* any fork, so every child inherits all
+// descriptors and keeps only its own row; the `tcp` backend hands children
+// a rendezvous port and they wire the mesh themselves after fork. Either
+// way the parent closes everything and watches the children: the first
+// nonzero exit, killing signal, or deadline overrun makes it SIGKILL the
+// whole group and report failure — a crashed or wedged rank can never hang
+// the caller (or CI).
 #pragma once
 
 #include <functional>
 
 #include "net/comm.hpp"
+#include "net/transport.hpp"
 
 namespace hqr::net {
 
 struct LaunchOptions {
   // Wall-clock budget for the whole run; <= 0 means no deadline.
   double timeout_seconds = 0.0;
+  // How ranks reach each other; defaults to the AF_UNIX socketpair mesh.
+  TransportOptions transport;
 };
 
 // Forks `nranks` children; each runs `rank_main` with its communicator and
-// exits with its return value (uncaught hqr exceptions become exit code 1).
+// exits with its return value (uncaught hqr exceptions — including a
+// transport that cannot wire the mesh in time — become exit code 1).
 // Returns 0 when every rank exited 0, otherwise the first failing rank's
 // exit code (or 1 for signals/timeouts). Must be called before the calling
 // process spawns threads — fork() only carries the calling thread into the

@@ -1,6 +1,6 @@
 // Wire format of the message-passing layer: framed, tagged messages.
 //
-// Every frame is a fixed 24-byte header followed by `bytes` of payload.
+// Every frame is a fixed 32-byte header followed by `bytes` of payload.
 // The header carries the message tag, the sender's rank and a 32-bit id
 // whose meaning depends on the tag:
 //
@@ -9,7 +9,9 @@
 //           writer, the producer id *is* the (tile, version) key: the
 //           receiver derives which tile regions the payload holds from the
 //           producer's KernelOp, and which local tasks it releases from the
-//           graph's successor lists.
+//           graph's successor lists. Under tree broadcasts a frame's src is
+//           the rank that *forwarded* it (its tree parent), not necessarily
+//           the producer's rank — the id alone identifies the payload.
 //   Gather  id = sender rank; payload holds the sender's final-version tile
 //           regions and T factors (the end-of-run collect onto rank 0).
 //   Stats   id = sender rank; payload is a DistRankStats block.
@@ -23,13 +25,20 @@
 //           id = sender rank; payload is a DistTelemetry heartbeat shipped
 //           periodically to rank 0 while the DAG executes.
 //
-// All ranks run the same binary on the same host (forked by the launcher),
-// so scalar fields are shipped in native byte order.
+// The header is serialized explicitly little-endian and carries its own
+// version and size, so a peer built against a different wire revision — or
+// one whose native byte order differs — is rejected loudly at the first
+// frame instead of corrupting state silently. Payload scalars (tile
+// doubles, POD stats blocks) still travel in native order; the transport
+// handshake (net/transport.hpp) verifies both sides agree on that order
+// before any frame flows.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace hqr::net {
 
@@ -50,6 +59,10 @@ inline constexpr int kTagCount = 9;
 
 inline int tag_index(Tag t) { return static_cast<int>(t); }
 
+// True when the raw header tag names a Tag this build understands; frames
+// with anything else are rejected before the value is cast to Tag.
+inline bool valid_tag(std::uint32_t raw) { return raw >= 1 && raw < kTagCount; }
+
 inline const char* tag_name(Tag t) {
   switch (t) {
     case Tag::Data: return "Data";
@@ -65,15 +78,86 @@ inline const char* tag_name(Tag t) {
 }
 
 inline constexpr std::uint32_t kMagic = 0x4851524d;  // "HQRM"
+// What kMagic looks like when a peer serialized it with the opposite byte
+// order (an old memcpy-framed build): detected and reported as an
+// endianness mismatch rather than a generic bad frame.
+inline constexpr std::uint32_t kMagicSwapped = 0x4d525148;
+
+// Bumped whenever the header layout or the meaning of a field changes.
+inline constexpr std::uint16_t kWireVersion = 2;
+// Serialized header size; rides in the header itself so a peer with a
+// larger (newer) layout is rejected instead of desynchronizing the stream.
+inline constexpr std::size_t kFrameHeaderBytes = 32;
 
 struct FrameHeader {
   std::uint32_t magic = kMagic;
+  std::uint16_t version = kWireVersion;
+  std::uint16_t header_bytes = static_cast<std::uint16_t>(kFrameHeaderBytes);
   std::uint32_t tag = 0;
   std::int32_t src = -1;
   std::int32_t id = -1;
-  std::uint64_t bytes = 0;  // payload length
+  std::uint32_t reserved = 0;  // keeps `bytes` 8-aligned; always zero
+  std::uint64_t bytes = 0;     // payload length
 };
-static_assert(sizeof(FrameHeader) == 24, "wire header must be packed");
+
+namespace wire {
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace wire
+
+// Explicit little-endian serialization: identical bytes on every host, so
+// the header itself can never be the thing that differs between peers.
+inline void encode_header(const FrameHeader& h,
+                          std::uint8_t out[kFrameHeaderBytes]) {
+  wire::put_u32(out + 0, h.magic);
+  wire::put_u16(out + 4, h.version);
+  wire::put_u16(out + 6, h.header_bytes);
+  wire::put_u32(out + 8, h.tag);
+  wire::put_u32(out + 12, static_cast<std::uint32_t>(h.src));
+  wire::put_u32(out + 16, static_cast<std::uint32_t>(h.id));
+  wire::put_u32(out + 20, h.reserved);
+  wire::put_u64(out + 24, h.bytes);
+}
+
+inline FrameHeader decode_header(const std::uint8_t in[kFrameHeaderBytes]) {
+  FrameHeader h;
+  h.magic = wire::get_u32(in + 0);
+  h.version = wire::get_u16(in + 4);
+  h.header_bytes = wire::get_u16(in + 6);
+  h.tag = wire::get_u32(in + 8);
+  h.src = static_cast<std::int32_t>(wire::get_u32(in + 12));
+  h.id = static_cast<std::int32_t>(wire::get_u32(in + 16));
+  h.reserved = wire::get_u32(in + 20);
+  h.bytes = wire::get_u64(in + 24);
+  return h;
+}
 
 // A fully received message, as handed to the progress-loop handler.
 struct Message {
@@ -101,13 +185,19 @@ class PayloadWriter {
   std::vector<std::uint8_t>& out_;
 };
 
-// Sequential reader over a received payload; throws nothing, callers bound
-// the reads by construction and verify totals with remaining().
+// Sequential reader over a received payload. Every read is bounds-checked
+// against the buffer — a truncated or malformed frame throws hqr::Error
+// instead of reading past the payload; callers verify totals with
+// remaining().
 class PayloadReader {
  public:
   explicit PayloadReader(const std::vector<std::uint8_t>& in) : in_(in) {}
 
   void raw(void* p, std::size_t n) {
+    HQR_CHECK(n <= in_.size() - pos_,
+              "malformed payload: read of " << n << " bytes at offset " << pos_
+                                            << " overruns " << in_.size()
+                                            << "-byte buffer");
     std::memcpy(p, in_.data() + pos_, n);
     pos_ += n;
   }

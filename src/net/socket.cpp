@@ -3,11 +3,16 @@
 #include <cerrno>
 #include <cstring>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/check.hpp"
+#include "common/stopwatch.hpp"
 
 namespace hqr::net {
 
@@ -47,6 +52,147 @@ std::ptrdiff_t read_some(int fd, void* p, std::size_t n) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
     HQR_CHECK(false, "socket read: " << std::strerror(errno));
+  }
+}
+
+namespace {
+
+sockaddr_in ipv4_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  HQR_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+            "'" << host << "' is not a numeric IPv4 address");
+  return addr;
+}
+
+// Remaining poll budget in whole milliseconds, at least 1 while the
+// deadline has not passed (so a sub-millisecond budget still polls once).
+int budget_ms(double deadline) {
+  const double left = deadline - monotonic_seconds();
+  if (left <= 0.0) return 0;
+  const double ms = left * 1e3;
+  return ms < 1.0 ? 1 : (ms > 60000.0 ? 60000 : static_cast<int>(ms));
+}
+
+void poll_for(int fd, short events, double deadline, const char* what) {
+  for (;;) {
+    const int ms = budget_ms(deadline);
+    HQR_CHECK(ms > 0, "" << what << " timed out");
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, ms);
+    if (rc < 0) {
+      HQR_CHECK(errno == EINTR,
+                "" << what << ": poll: " << std::strerror(errno));
+      continue;
+    }
+    if (rc > 0) return;
+  }
+}
+
+}  // namespace
+
+Fd tcp_listen(const std::string& host, std::uint16_t* port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  HQR_CHECK(fd.valid(), "socket(AF_INET): " << std::strerror(errno));
+  const int one = 1;
+  HQR_CHECK(::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one)) == 0,
+            "setsockopt(SO_REUSEADDR): " << std::strerror(errno));
+  sockaddr_in addr = ipv4_addr(host, *port);
+  HQR_CHECK(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) == 0,
+            "bind " << host << ":" << *port << ": " << std::strerror(errno));
+  HQR_CHECK(::listen(fd.get(), SOMAXCONN) == 0,
+            "listen: " << std::strerror(errno));
+  // Nonblocking, so tcp_accept can never wedge past its deadline when a
+  // pending connection aborts between poll and accept.
+  set_nonblocking(fd.get());
+  socklen_t len = sizeof(addr);
+  HQR_CHECK(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0,
+            "getsockname: " << std::strerror(errno));
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Fd tcp_accept(int listener, double deadline) {
+  for (;;) {
+    poll_for(listener, POLLIN, deadline, "tcp accept");
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    // The connection can vanish between poll and accept; keep waiting.
+    HQR_CHECK(errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+                  errno == ECONNABORTED,
+              "accept: " << std::strerror(errno));
+  }
+}
+
+Fd tcp_connect(const std::string& host, std::uint16_t port, double deadline) {
+  const sockaddr_in addr = ipv4_addr(host, port);
+  for (;;) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    HQR_CHECK(fd.valid(), "socket(AF_INET): " << std::strerror(errno));
+    set_nonblocking(fd.get());
+    const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      HQR_CHECK(errno == EINTR || errno == ECONNREFUSED,
+                "connect " << host << ":" << port << ": "
+                           << std::strerror(errno));
+      // Refused usually means the listener is not up *yet* (the mesh wires
+      // itself while ranks are still starting); retry until the deadline.
+      HQR_CHECK(budget_ms(deadline) > 0,
+                "connect " << host << ":" << port << " timed out");
+      ::poll(nullptr, 0, 20);  // back off instead of hammering the port
+      continue;
+    }
+    if (rc != 0) poll_for(fd.get(), POLLOUT, deadline, "tcp connect");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    HQR_CHECK(::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) == 0,
+              "getsockopt(SO_ERROR): " << std::strerror(errno));
+    if (err == 0) return fd;
+    HQR_CHECK(err == ECONNREFUSED || err == ETIMEDOUT,
+              "connect " << host << ":" << port << ": " << std::strerror(err));
+    HQR_CHECK(budget_ms(deadline) > 0,
+              "connect " << host << ":" << port << " timed out");
+    ::poll(nullptr, 0, 20);
+  }
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0)
+    return;
+  // AF_UNIX peers reach here through the shared Comm setup; Nagle does not
+  // exist there, so "not a TCP socket" is fine and anything else is not.
+  HQR_CHECK(errno == EOPNOTSUPP || errno == ENOPROTOOPT || errno == EINVAL,
+            "setsockopt(TCP_NODELAY): " << std::strerror(errno));
+}
+
+void write_all(int fd, const void* p, std::size_t n, double deadline) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::ptrdiff_t w = write_some(fd, b + done, n - done);
+    done += static_cast<std::size_t>(w);
+    if (done < n && w == 0)
+      poll_for(fd, POLLOUT, deadline, "handshake write");
+  }
+}
+
+void read_all(int fd, void* p, std::size_t n, double deadline) {
+  auto* b = static_cast<std::uint8_t*>(p);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::ptrdiff_t r = read_some(fd, b + done, n - done);
+    HQR_CHECK(r >= 0, "handshake read: peer closed after " << done << " of "
+                                                           << n << " bytes");
+    done += static_cast<std::size_t>(r);
+    if (done < n && r == 0) poll_for(fd, POLLIN, deadline, "handshake read");
   }
 }
 

@@ -1,12 +1,20 @@
 // Thin RAII + error-checked wrappers over the POSIX stream sockets the
-// message-passing layer runs on. The rank mesh uses AF_UNIX socketpairs
-// (created by the launcher before fork): reliable, ordered byte streams
-// with kernel buffering, no address setup, and automatic teardown when a
-// peer dies — exactly the transport the eager-send protocol needs on one
-// machine.
+// message-passing layer runs on. Two families of primitives live here:
+//
+//  * AF_UNIX socketpairs (created by the launcher before fork) — reliable,
+//    ordered byte streams with kernel buffering, no address setup, and
+//    automatic teardown when a peer dies; the `unix` transport's mesh.
+//  * TCP sockets (listen/accept/connect with deadlines, TCP_NODELAY) — the
+//    `tcp` transport's rendezvous and mesh links, usable over loopback or
+//    real interfaces.
+//
+// Everything returns the same nonblocking-friendly Fd, so Comm never knows
+// which transport produced its peers.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <utility>
 
 namespace hqr::net {
@@ -54,5 +62,33 @@ void set_nonblocking(int fd);
 // only). Throws hqr::Error on a hard socket error.
 std::ptrdiff_t write_some(int fd, const void* p, std::size_t n);
 std::ptrdiff_t read_some(int fd, void* p, std::size_t n);
+
+// --- TCP primitives (net/transport.hpp builds the rank mesh on these) ---
+
+// Binds a listening TCP socket on `host` (numeric IPv4, e.g. "127.0.0.1");
+// `*port` selects the port (0 asks the kernel for an ephemeral one) and
+// receives the port actually bound. Throws hqr::Error on failure.
+Fd tcp_listen(const std::string& host, std::uint16_t* port);
+
+// Accepts one connection, waiting at most until `deadline` (a
+// monotonic_seconds() instant). Throws hqr::Error on timeout or error.
+Fd tcp_accept(int listener, double deadline);
+
+// Connects to host:port, waiting at most until `deadline`. The returned
+// socket is nonblocking. Throws hqr::Error on timeout, refusal, or error.
+Fd tcp_connect(const std::string& host, std::uint16_t port, double deadline);
+
+// Disables Nagle batching. Control frames (Bye/Abort/Telemetry, tree
+// forwards of small tiles) are latency-sensitive and the Comm layer writes
+// whole frames at once, so there is nothing for Nagle to usefully coalesce.
+// Throws hqr::Error on failure; no-op on non-TCP sockets.
+void set_tcp_nodelay(int fd);
+
+// Blocking-style exact-count transfer with a deadline, usable on sockets in
+// any blocking mode (poll-driven). Setup handshakes only — the Comm pump
+// keeps using the nonblocking some-variants. Throws hqr::Error on timeout,
+// EOF, or error.
+void write_all(int fd, const void* p, std::size_t n, double deadline);
+void read_all(int fd, void* p, std::size_t n, double deadline);
 
 }  // namespace hqr::net

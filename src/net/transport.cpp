@@ -1,0 +1,239 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "net/message.hpp"
+
+namespace hqr::net {
+
+namespace {
+
+// Probe value shipped via memcpy in native order. Tile payloads and POD
+// stats blocks travel in native order too, so two ranks whose probes
+// disagree would corrupt every double they exchange — reject at handshake.
+constexpr std::uint32_t kOrderProbe = 0x01020304;
+
+// Rendezvous hello, rank -> rank 0. Everything but the probe is explicit
+// little-endian so the *hello itself* parses on any host.
+//   [0..3]  magic (LE)
+//   [4..5]  wire version (LE)
+//   [6..7]  mesh listener port (LE)
+//   [8..11] sender rank (LE)
+//   [12..15] native byte-order probe (memcpy)
+constexpr std::size_t kHelloBytes = 16;
+
+void encode_hello(std::uint8_t out[kHelloBytes], int rank,
+                  std::uint16_t mesh_port) {
+  wire::put_u32(out + 0, kMagic);
+  wire::put_u16(out + 4, kWireVersion);
+  wire::put_u16(out + 6, mesh_port);
+  wire::put_u32(out + 8, static_cast<std::uint32_t>(rank));
+  std::memcpy(out + 12, &kOrderProbe, sizeof(kOrderProbe));
+}
+
+void check_magic_version_order(const std::uint8_t* p, const char* who) {
+  const std::uint32_t magic = wire::get_u32(p + 0);
+  HQR_CHECK(magic == kMagic, "tcp rendezvous: bad magic from " << who);
+  const std::uint16_t version = wire::get_u16(p + 4);
+  HQR_CHECK(version == kWireVersion,
+            "tcp rendezvous: " << who << " speaks wire v" << version
+                               << ", this build speaks v" << kWireVersion);
+  std::uint32_t probe = 0;
+  std::memcpy(&probe, p + 12, sizeof(probe));
+  HQR_CHECK(probe == kOrderProbe,
+            "tcp rendezvous: " << who
+                               << " has a different native byte order; "
+                               << "payload doubles would corrupt silently");
+}
+
+// Address-book reply, rank 0 -> every rank: the same magic/version/probe
+// header (so joiners validate rank 0 too) followed by nranks LE ports.
+std::vector<std::uint8_t> encode_book(const std::vector<std::uint16_t>& ports) {
+  std::vector<std::uint8_t> out(kHelloBytes + 2 * ports.size());
+  encode_hello(out.data(), /*rank=*/0, /*mesh_port=*/ports[0]);
+  for (std::size_t q = 0; q < ports.size(); ++q)
+    wire::put_u16(out.data() + kHelloBytes + 2 * q, ports[q]);
+  return out;
+}
+
+// Mesh-link hello, dialer -> acceptor: magic + dialer rank, both LE.
+constexpr std::size_t kMeshHelloBytes = 8;
+
+void send_mesh_hello(int fd, int rank, double deadline) {
+  std::uint8_t buf[kMeshHelloBytes];
+  wire::put_u32(buf + 0, kMagic);
+  wire::put_u32(buf + 4, static_cast<std::uint32_t>(rank));
+  write_all(fd, buf, sizeof(buf), deadline);
+}
+
+int recv_mesh_hello(int fd, double deadline) {
+  std::uint8_t buf[kMeshHelloBytes];
+  read_all(fd, buf, sizeof(buf), deadline);
+  HQR_CHECK(wire::get_u32(buf + 0) == kMagic,
+            "tcp mesh: bad hello magic from dialing peer");
+  return static_cast<int>(wire::get_u32(buf + 4));
+}
+
+// Accept the mesh links from every rank in (rank, nranks) — dialers always
+// have the *higher* rank — identifying each by its hello.
+void accept_mesh_links(int listener, int rank, int nranks, double deadline,
+                       std::vector<Fd>& peers) {
+  for (int i = rank + 1; i < nranks; ++i) {
+    Fd fd = tcp_accept(listener, deadline);
+    const int who = recv_mesh_hello(fd.get(), deadline);
+    HQR_CHECK(who > rank && who < nranks && !peers[static_cast<std::size_t>(who)].valid(),
+              "tcp mesh: unexpected hello from rank " << who << " on rank "
+                                                      << rank);
+    set_tcp_nodelay(fd.get());
+    peers[static_cast<std::size_t>(who)] = std::move(fd);
+  }
+}
+
+class UnixTransport final : public Transport {
+ public:
+  const char* name() const override { return "unix"; }
+
+  void prepare(int nranks) override {
+    mesh_.resize(static_cast<std::size_t>(nranks));
+    for (auto& row : mesh_) row.resize(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      for (int q = r + 1; q < nranks; ++q) {
+        auto [a, b] = stream_pair();
+        mesh_[static_cast<std::size_t>(r)][static_cast<std::size_t>(q)] =
+            std::move(a);
+        mesh_[static_cast<std::size_t>(q)][static_cast<std::size_t>(r)] =
+            std::move(b);
+      }
+  }
+
+  std::vector<Fd> connect_rank(int rank) override {
+    // The child inherited the whole mesh; keep only this rank's row.
+    std::vector<Fd> peers = std::move(mesh_[static_cast<std::size_t>(rank)]);
+    mesh_.clear();
+    return peers;
+  }
+
+  void parent_release() override { mesh_.clear(); }
+
+ private:
+  // mesh_[r][q] is rank r's socket to rank q (invalid when r == q).
+  std::vector<std::vector<Fd>> mesh_;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(const TransportOptions& opts) : opts_(opts) {}
+
+  const char* name() const override { return "tcp"; }
+
+  void prepare(int nranks) override {
+    nranks_ = nranks;
+    if (nranks > 1) {
+      port_ = 0;
+      listener_ = tcp_listen(opts_.host, &port_);
+    }
+  }
+
+  std::vector<Fd> connect_rank(int rank) override {
+    if (nranks_ <= 1) return std::vector<Fd>(1);
+    if (rank == 0) return tcp_mesh_rank0(std::move(listener_), nranks_, opts_);
+    listener_.reset();  // inherited rendezvous socket belongs to rank 0
+    return tcp_mesh_join(rank, nranks_, opts_.host, port_, opts_);
+  }
+
+  void parent_release() override { listener_.reset(); }
+
+ private:
+  TransportOptions opts_;
+  int nranks_ = 0;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace
+
+std::vector<Fd> tcp_mesh_rank0(Fd listener, int nranks,
+                               const TransportOptions& opts) {
+  const double deadline =
+      monotonic_seconds() + opts.connect_timeout_seconds;
+  std::vector<std::uint16_t> ports(static_cast<std::size_t>(nranks), 0);
+  std::uint16_t mesh_port = 0;
+  Fd mesh_listener = tcp_listen(opts.host, &mesh_port);
+  ports[0] = mesh_port;
+
+  // Collect one hello per joining rank; the connections stay open until
+  // every rank reported, then all receive the completed address book.
+  std::vector<Fd> rendezvous(static_cast<std::size_t>(nranks));
+  for (int i = 1; i < nranks; ++i) {
+    Fd c = tcp_accept(listener.get(), deadline);
+    std::uint8_t hello[kHelloBytes];
+    read_all(c.get(), hello, sizeof(hello), deadline);
+    check_magic_version_order(hello, "a joining rank");
+    const int who = static_cast<int>(wire::get_u32(hello + 8));
+    HQR_CHECK(who >= 1 && who < nranks &&
+                  !rendezvous[static_cast<std::size_t>(who)].valid(),
+              "tcp rendezvous: duplicate or out-of-range rank " << who);
+    ports[static_cast<std::size_t>(who)] = wire::get_u16(hello + 6);
+    rendezvous[static_cast<std::size_t>(who)] = std::move(c);
+  }
+  const std::vector<std::uint8_t> book = encode_book(ports);
+  for (int q = 1; q < nranks; ++q)
+    write_all(rendezvous[static_cast<std::size_t>(q)].get(), book.data(),
+              book.size(), deadline);
+  rendezvous.clear();
+  listener.reset();
+
+  // Rank 0 dials nobody: every other rank connects here.
+  std::vector<Fd> peers(static_cast<std::size_t>(nranks));
+  accept_mesh_links(mesh_listener.get(), 0, nranks, deadline, peers);
+  return peers;
+}
+
+std::vector<Fd> tcp_mesh_join(int rank, int nranks, const std::string& host,
+                              std::uint16_t port,
+                              const TransportOptions& opts) {
+  HQR_CHECK(rank >= 1 && rank < nranks,
+            "tcp_mesh_join: bad rank " << rank << " of " << nranks);
+  const double deadline =
+      monotonic_seconds() + opts.connect_timeout_seconds;
+  std::uint16_t mesh_port = 0;
+  Fd mesh_listener = tcp_listen(opts.host, &mesh_port);
+
+  Fd rendezvous = tcp_connect(host, port, deadline);
+  std::uint8_t hello[kHelloBytes];
+  encode_hello(hello, rank, mesh_port);
+  write_all(rendezvous.get(), hello, sizeof(hello), deadline);
+
+  std::vector<std::uint8_t> book(kHelloBytes +
+                                 2 * static_cast<std::size_t>(nranks));
+  read_all(rendezvous.get(), book.data(), book.size(), deadline);
+  check_magic_version_order(book.data(), "rank 0");
+  rendezvous.reset();
+  std::vector<std::uint16_t> ports(static_cast<std::size_t>(nranks), 0);
+  for (int q = 0; q < nranks; ++q)
+    ports[static_cast<std::size_t>(q)] =
+        wire::get_u16(book.data() + kHelloBytes + 2 * q);
+
+  // Every listener already existed when rank 0 published the book (each
+  // rank binds before it says hello), so dialing lower ranks cannot race.
+  std::vector<Fd> peers(static_cast<std::size_t>(nranks));
+  for (int q = 0; q < rank; ++q) {
+    Fd fd = tcp_connect(host, ports[static_cast<std::size_t>(q)], deadline);
+    send_mesh_hello(fd.get(), rank, deadline);
+    set_tcp_nodelay(fd.get());
+    peers[static_cast<std::size_t>(q)] = std::move(fd);
+  }
+  accept_mesh_links(mesh_listener.get(), rank, nranks, deadline, peers);
+  return peers;
+}
+
+std::unique_ptr<Transport> make_transport(const TransportOptions& opts) {
+  if (opts.kind == "unix") return std::make_unique<UnixTransport>();
+  if (opts.kind == "tcp") return std::make_unique<TcpTransport>(opts);
+  HQR_CHECK(false, "unknown transport '" << opts.kind << "' (want unix|tcp)");
+}
+
+}  // namespace hqr::net

@@ -1,0 +1,80 @@
+// Transport abstraction: how a rank obtains its connected peer sockets.
+//
+// The launcher (net/launcher.hpp) forks R rank processes and every rank
+// needs peers[q] — one reliable, ordered byte stream per other rank — to
+// hand to Comm. How that mesh comes to exist is the transport's business:
+//
+//   unix  The original backend: one AF_UNIX socketpair per unordered rank
+//         pair, all created in the parent *before* fork so every child
+//         inherits them; each child keeps its own row and closes the rest.
+//         Zero address setup, single-host only.
+//
+//   tcp   A rank-0 rendezvous: the parent binds one listening socket and
+//         passes its port to every child. Each rank binds its own mesh
+//         listener, dials the rendezvous, and sends a hello carrying its
+//         rank, mesh port, the wire version and a native byte-order probe;
+//         rank 0 collects all hellos, rejects version or byte-order
+//         mismatches loudly, and replies with the full port table. Ranks
+//         then wire the all-pairs mesh directly (r dials q for q < r,
+//         accepts q > r) with TCP_NODELAY on every link. Works over
+//         loopback today and is the shape that spans real hosts: only the
+//         rendezvous address must be known in advance.
+//
+// Both backends produce plain stream sockets, so Comm, the framing and the
+// whole runtime above are transport-blind.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace hqr::net {
+
+struct TransportOptions {
+  std::string kind = "unix";  // "unix" | "tcp"
+  // tcp: numeric IPv4 interface the rendezvous and mesh listeners bind and
+  // dialers target. Loopback keeps everything on one host; a real address
+  // lets ranks span machines.
+  std::string host = "127.0.0.1";
+  // tcp: wall-clock budget for the whole mesh setup (rendezvous + wiring).
+  // A rank that cannot reach its peers in time throws, exits nonzero, and
+  // the launcher tears the job down instead of hanging.
+  double connect_timeout_seconds = 20.0;
+};
+
+// Lifecycle mirrors the launcher's fork dance: prepare() in the parent
+// before any fork (allocate what children must inherit), connect_rank() in
+// each child (produce that rank's peers, drop everything else), and
+// parent_release() in the parent once every child is running.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual const char* name() const = 0;
+  virtual void prepare(int nranks) = 0;
+  // Returns peers where peers[q] talks to rank q and peers[rank] is
+  // invalid. Throws hqr::Error when the mesh cannot be wired in time.
+  virtual std::vector<Fd> connect_rank(int rank) = 0;
+  virtual void parent_release() = 0;
+};
+
+// Builds the backend named by opts.kind; throws hqr::Error on an unknown
+// kind.
+std::unique_ptr<Transport> make_transport(const TransportOptions& opts = {});
+
+// --- tcp rendezvous building blocks, exposed for in-process tests and for
+// --- future cross-host launchers that are not fork-based ---
+
+// Serve the rendezvous on `listener` as rank 0 and wire rank 0's mesh row.
+std::vector<Fd> tcp_mesh_rank0(Fd listener, int nranks,
+                               const TransportOptions& opts);
+
+// Join as rank `rank` (>= 1): dial the rendezvous at host:port, exchange
+// hellos, and wire this rank's mesh row.
+std::vector<Fd> tcp_mesh_join(int rank, int nranks, const std::string& host,
+                              std::uint16_t port,
+                              const TransportOptions& opts);
+
+}  // namespace hqr::net

@@ -148,12 +148,41 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
   std::vector<double> recv_free(static_cast<std::size_t>(nnodes), 0.0);
   res.nic_send_busy_seconds.assign(static_cast<std::size_t>(nnodes), 0.0);
   res.nic_recv_busy_seconds.assign(static_cast<std::size_t>(nnodes), 0.0);
+  res.node_messages_sent.assign(static_cast<std::size_t>(nnodes), 0);
+  res.node_messages_recv.assign(static_cast<std::size_t>(nnodes), 0);
   const double wire = tile_bytes / opts.platform.bandwidth;
   // Outstanding communication-thread CPU debt per node (seconds); drained by
   // stretching running kernels, capped at one core's share of node time.
   std::vector<double> comm_debt(static_cast<std::size_t>(nnodes), 0.0);
   const double msg_cpu =
       opts.comm_cpu_per_msg + tile_bytes * opts.comm_cpu_per_byte;
+
+  // Schedule one tile transfer from `from` to `to` starting no earlier than
+  // `avail`; charges NICs, counters and comm-thread CPU on both endpoints
+  // and returns the arrival time.
+  auto charge_edge = [&](int from, int to, double avail) {
+    double arr;
+    if (opts.nic_contention) {
+      const double start = std::max({avail, send_free[from], recv_free[to]});
+      arr = start + opts.platform.latency + wire;
+      send_free[from] = start + wire;
+      recv_free[to] = start + wire;
+    } else {
+      arr = avail + opts.platform.transfer_seconds(tile_bytes);
+    }
+    ++res.messages;
+    ++res.node_messages_sent[static_cast<std::size_t>(from)];
+    ++res.node_messages_recv[static_cast<std::size_t>(to)];
+    res.volume_gbytes += tile_bytes / 1e9;
+    // Wire time occupies both endpoints' NICs whether or not the contention
+    // model serializes it.
+    res.nic_send_busy_seconds[static_cast<std::size_t>(from)] += wire;
+    res.nic_recv_busy_seconds[static_cast<std::size_t>(to)] += wire;
+    comm_debt[static_cast<std::size_t>(from)] += msg_cpu;  // pack + progress
+    comm_debt[static_cast<std::size_t>(to)] += msg_cpu;    // match + unpack
+    res.comm_cpu_charged_seconds += 2.0 * msg_cpu;
+    return arr;
+  };
 
   auto record = [&](std::int32_t t, int nd, double start, double finish,
                     bool accel) {
@@ -232,30 +261,37 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
     else
       ++idle[nd];
     if (opts.trace != nullptr) free_units[nd].push_back(unit_of[ev.task]);
+    if (opts.broadcast == BroadcastKind::Binomial) {
+      // Pre-schedule the whole broadcast tree: collect the distinct
+      // consumer nodes (ascending, CommPlan's group order), then walk
+      // parents in tree order so no edge starts before its parent's
+      // arrival; each parent's sends still serialize on its NIC.
+      for (std::int32_t s : graph.successors(ev.task)) {
+        const int sn = node[s];
+        if (sn != nd && arrival[sn] < 0.0) {
+          arrival[sn] = 0.0;
+          touched.push_back(sn);
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      const int g = static_cast<int>(touched.size()) + 1;
+      const auto node_at = [&](int v) -> int {
+        return v == 0 ? nd : touched[static_cast<std::size_t>(v - 1)];
+      };
+      for (int v = 0; v < g; ++v) {
+        const double avail = v == 0 ? now : arrival[node_at(v)];
+        for_each_binomial_child(v, g, [&](int c) {
+          arrival[node_at(c)] = charge_edge(node_at(v), node_at(c), avail);
+        });
+      }
+    }
     for (std::int32_t s : graph.successors(ev.task)) {
       const int sn = node[s];
       double avail = now;
       if (sn != nd) {
-        if (arrival[sn] < 0.0) {
-          if (opts.nic_contention) {
-            const double start =
-                std::max({now, send_free[nd], recv_free[sn]});
-            arrival[sn] = start + opts.platform.latency + wire;
-            send_free[nd] = start + wire;
-            recv_free[sn] = start + wire;
-          } else {
-            arrival[sn] = now + opts.platform.transfer_seconds(tile_bytes);
-          }
+        if (arrival[sn] < 0.0) {  // Eager: lazy per-dest dedup
+          arrival[sn] = charge_edge(nd, sn, now);
           touched.push_back(sn);
-          ++res.messages;
-          res.volume_gbytes += tile_bytes / 1e9;
-          // Wire time occupies both endpoints' NICs whether or not the
-          // contention model serializes it.
-          res.nic_send_busy_seconds[nd] += wire;
-          res.nic_recv_busy_seconds[sn] += wire;
-          comm_debt[nd] += msg_cpu;  // sender-side pack + progress
-          comm_debt[sn] += msg_cpu;  // receiver-side match + unpack
-          res.comm_cpu_charged_seconds += 2.0 * msg_cpu;
         }
         avail = arrival[sn];
       }

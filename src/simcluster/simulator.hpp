@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "dag/partition.hpp"
 #include "dag/task_graph.hpp"
 #include "dist/distribution.hpp"
 #include "obs/metrics.hpp"
@@ -53,6 +54,13 @@ struct SimOptions {
   bool comm_thread_steal = true;
   double comm_cpu_per_msg = 5e-6;       // fixed per-message CPU cost (s)
   double comm_cpu_per_byte = 1.0 / 1e9; // pack/unpack cost (s per byte)
+  // How a producer's output reaches its consuming nodes (dag/partition.hpp).
+  // Eager serializes every transfer on the producer's send NIC; Binomial
+  // forwards through intermediate consumers (same total message count, the
+  // sends redistribute across the broadcast tree). Must match the
+  // distributed runtime's DistOptions::broadcast for per-rank
+  // cross-validation to hold.
+  BroadcastKind broadcast = BroadcastKind::Eager;
   // When non-null, receives one TraceEvent per executed task (use only for
   // runs small enough to hold the trace).
   SimTrace* trace = nullptr;
@@ -79,6 +87,10 @@ struct SimResult {
   std::array<double, kKernelTypeCount> seconds_by_kernel{};
   std::vector<double> nic_send_busy_seconds;  // per-node send-channel busy
   std::vector<double> nic_recv_busy_seconds;  // per-node receive-channel busy
+  // Per-node message counts; totals equal `messages` and, by construction,
+  // CommPlan::sent_by/received_by under the same BroadcastKind.
+  std::vector<long long> node_messages_sent;
+  std::vector<long long> node_messages_recv;
   double comm_cpu_charged_seconds = 0.0;  // comm-thread CPU debt incurred
   double comm_cpu_stolen_seconds = 0.0;   // debt actually drained from cores
 };

@@ -6,6 +6,7 @@
 // over a sweep of trees, distributions and tile shapes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -48,23 +49,91 @@ std::vector<Config> sweep() {
   };
 }
 
-// Static plan == simulated count, message for message, over the sweep.
+const BroadcastKind kKinds[] = {BroadcastKind::Eager, BroadcastKind::Binomial};
+
+const char* kind_name(BroadcastKind k) {
+  return k == BroadcastKind::Eager ? "eager" : "binomial";
+}
+
+// Static plan == simulated count, message for message and rank by rank,
+// over the sweep — under both broadcast kinds.
 TEST(CrossValidation, PlanMatchesSimulatorMessageCounts) {
   const int b = 32;
+  for (const Config& c : sweep()) {
+    for (BroadcastKind kind : kKinds) {
+      SCOPED_TRACE(c.name + std::string(", ") + kind_name(kind));
+      KernelList kernels = expand_to_kernels(
+          hqr_elimination_list(c.mt, c.nt, c.cfg), c.mt, c.nt);
+      TaskGraph graph(kernels, c.mt, c.nt);
+      CommPlan plan(graph, c.dist, kind);
+
+      SimOptions sopts;
+      sopts.b = b;
+      sopts.broadcast = kind;
+      const SimResult sim =
+          simulate_qr(graph, c.dist, c.mt * b, c.nt * b, sopts);
+      EXPECT_EQ(plan.messages(), sim.messages);
+      EXPECT_NEAR(plan.model_volume_bytes(b), sim.volume_gbytes * 1e9,
+                  1e-6 * (plan.model_volume_bytes(b) + 1.0));
+      ASSERT_EQ(static_cast<int>(sim.node_messages_sent.size()),
+                plan.ranks());
+      for (int r = 0; r < plan.ranks(); ++r) {
+        EXPECT_EQ(sim.node_messages_sent[static_cast<std::size_t>(r)],
+                  plan.sent_by(r))
+            << "rank " << r;
+        EXPECT_EQ(sim.node_messages_recv[static_cast<std::size_t>(r)],
+                  plan.received_by(r))
+            << "rank " << r;
+      }
+    }
+  }
+}
+
+// The broadcast kind redistributes sends but never changes the totals:
+// same messages, same receives per rank, and each task's forwarding lists
+// partition its consumer set exactly.
+TEST(CrossValidation, BroadcastKindsAgreeOnTotalsAndCoverage) {
   for (const Config& c : sweep()) {
     SCOPED_TRACE(c.name);
     KernelList kernels =
         expand_to_kernels(hqr_elimination_list(c.mt, c.nt, c.cfg), c.mt, c.nt);
     TaskGraph graph(kernels, c.mt, c.nt);
-    CommPlan plan(graph, c.dist);
+    CommPlan eager(graph, c.dist, BroadcastKind::Eager);
+    CommPlan tree(graph, c.dist, BroadcastKind::Binomial);
+    EXPECT_EQ(eager.messages(), tree.messages());
+    for (int r = 0; r < eager.ranks(); ++r)
+      EXPECT_EQ(eager.received_by(r), tree.received_by(r)) << "rank " << r;
 
-    SimOptions sopts;
-    sopts.b = b;
-    const SimResult sim =
-        simulate_qr(graph, c.dist, c.mt * b, c.nt * b, sopts);
-    EXPECT_EQ(plan.messages(), sim.messages);
-    EXPECT_NEAR(plan.model_volume_bytes(b), sim.volume_gbytes * 1e9,
-                1e-6 * (plan.model_volume_bytes(b) + 1.0));
+    const int log2ceil = [&] {
+      int lg = 0;
+      while ((1 << lg) < eager.ranks()) ++lg;
+      return lg;
+    }();
+    std::vector<int> recv_count(static_cast<std::size_t>(tree.ranks()));
+    for (int t = 0; t < graph.size(); ++t) {
+      const auto dests = tree.dests(t);
+      std::fill(recv_count.begin(), recv_count.end(), 0);
+      long long edges = 0;
+      for (int r = 0; r < tree.ranks(); ++r) {
+        const std::vector<std::int32_t> kids = tree.bcast_children(t, r);
+        // No rank relays more than ceil(log2(group)) frames per broadcast —
+        // the whole point of the tree.
+        EXPECT_LE(static_cast<int>(kids.size()), log2ceil);
+        for (std::int32_t k : kids) {
+          ++recv_count[static_cast<std::size_t>(k)];
+          ++edges;
+        }
+        // Non-members relay nothing.
+        if (r != tree.node_of(t) &&
+            !std::count(dests.begin(), dests.end(), r))
+          EXPECT_TRUE(kids.empty());
+      }
+      EXPECT_EQ(edges, static_cast<long long>(dests.size()));
+      // Every consumer is reached exactly once; the producer never is.
+      for (std::int32_t d : dests)
+        EXPECT_EQ(recv_count[static_cast<std::size_t>(d)], 1);
+      EXPECT_EQ(recv_count[static_cast<std::size_t>(tree.node_of(t))], 0);
+    }
   }
 }
 
@@ -82,27 +151,31 @@ TEST(CrossValidation, SingleNodePlanHasNoMessages) {
 // do receives, and every task is owned by exactly one rank.
 TEST(CrossValidation, PlanPerRankCountsAreConsistent) {
   for (const Config& c : sweep()) {
-    SCOPED_TRACE(c.name);
-    KernelList kernels =
-        expand_to_kernels(hqr_elimination_list(c.mt, c.nt, c.cfg), c.mt, c.nt);
-    TaskGraph graph(kernels, c.mt, c.nt);
-    CommPlan plan(graph, c.dist);
-    long long sent = 0, recv = 0, tasks = 0;
-    for (int r = 0; r < plan.ranks(); ++r) {
-      sent += plan.sent_by(r);
-      recv += plan.received_by(r);
-      tasks += plan.tasks_on(r);
+    for (BroadcastKind kind : kKinds) {
+      SCOPED_TRACE(c.name + std::string(", ") + kind_name(kind));
+      KernelList kernels = expand_to_kernels(
+          hqr_elimination_list(c.mt, c.nt, c.cfg), c.mt, c.nt);
+      TaskGraph graph(kernels, c.mt, c.nt);
+      CommPlan plan(graph, c.dist, kind);
+      long long sent = 0, recv = 0, tasks = 0;
+      for (int r = 0; r < plan.ranks(); ++r) {
+        sent += plan.sent_by(r);
+        recv += plan.received_by(r);
+        tasks += plan.tasks_on(r);
+      }
+      EXPECT_EQ(sent, plan.messages());
+      EXPECT_EQ(recv, plan.messages());
+      EXPECT_EQ(tasks, graph.size());
     }
-    EXPECT_EQ(sent, plan.messages());
-    EXPECT_EQ(recv, plan.messages());
-    EXPECT_EQ(tasks, graph.size());
   }
 }
 
 // The real runtime, executing over actual sockets, must measure exactly the
-// traffic the plan (and therefore the simulator) predicts — rank by rank.
+// traffic the plan (and therefore the simulator) predicts — rank by rank,
+// under the broadcast kind all three are configured with.
 int run_measured_case(int m, int n, int b, const HqrConfig& cfg,
-                      const Distribution& dist) {
+                      const Distribution& dist, BroadcastKind kind,
+                      const std::string& transport = "unix") {
   const auto rank_main = [&](net::Comm& comm) -> int {
     Rng rng(9);
     Matrix a = random_gaussian(m, n, rng);
@@ -111,6 +184,7 @@ int run_measured_case(int m, int n, int b, const HqrConfig& cfg,
 
     distrun::DistOptions opts;
     opts.progress_timeout_seconds = 60.0;
+    opts.broadcast = kind;
     distrun::DistStats stats;
     QRFactors f = distrun::dist_qr_factorize(comm, a, b, list, dist, opts,
                                              &stats);
@@ -119,50 +193,74 @@ int run_measured_case(int m, int n, int b, const HqrConfig& cfg,
     // Every rank checks its own wire counters against the plan.
     KernelList kernels = expand_to_kernels(list, probe.mt(), probe.nt());
     TaskGraph graph(kernels, probe.mt(), probe.nt());
-    CommPlan plan(graph, dist);
+    CommPlan plan(graph, dist, kind);
     const int me = comm.rank();
     if (stats.comm.data_messages_sent != plan.sent_by(me)) return 2;
     if (stats.comm.data_messages_recv != plan.received_by(me)) return 3;
     if (stats.local_tasks != plan.tasks_on(me)) return 4;
     if (me != 0) return 0;
 
-    // Rank 0 additionally checks the totals against the simulator.
+    // Rank 0 additionally checks everything against the simulator.
     long long measured = 0;
     for (const distrun::DistRankStats& r : stats.ranks)
       measured += r.data_messages_sent;
     SimOptions sopts;
     sopts.b = b;
+    sopts.broadcast = kind;
     const SimResult sim = simulate_qr(graph, dist, m, n, sopts);
     if (measured != sim.messages) return 5;
     if (measured != plan.messages()) return 6;
+    for (int r = 0; r < dist.nodes(); ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (stats.ranks[ri].data_messages_sent != sim.node_messages_sent[ri])
+        return 7;
+      if (stats.ranks[ri].data_messages_recv != sim.node_messages_recv[ri])
+        return 8;
+    }
     return 0;
   };
   net::LaunchOptions lopts;
   lopts.timeout_seconds = 120.0;
+  lopts.transport.kind = transport;
   return net::run_ranks(dist.nodes(), rank_main, lopts);
 }
 
 TEST(CrossValidation, MeasuredTrafficMatchesSimulator2DGrid) {
-  EXPECT_EQ(run_measured_case(
-                192, 192, 32,
-                HqrConfig{4, 2, TreeKind::Greedy, TreeKind::Fibonacci, true},
-                Distribution::block_cyclic_2d(2, 2)),
-            0);
+  for (BroadcastKind kind : kKinds) {
+    SCOPED_TRACE(kind_name(kind));
+    EXPECT_EQ(run_measured_case(
+                  192, 192, 32,
+                  HqrConfig{4, 2, TreeKind::Greedy, TreeKind::Fibonacci, true},
+                  Distribution::block_cyclic_2d(2, 2), kind),
+              0);
+  }
 }
 
 TEST(CrossValidation, MeasuredTrafficMatchesSimulatorCyclic1D) {
-  EXPECT_EQ(run_measured_case(
-                288, 96, 32,
-                HqrConfig{4, 2, TreeKind::Greedy, TreeKind::Fibonacci, true},
-                Distribution::cyclic_1d(3)),
-            0);
+  for (BroadcastKind kind : kKinds) {
+    SCOPED_TRACE(kind_name(kind));
+    EXPECT_EQ(run_measured_case(
+                  288, 96, 32,
+                  HqrConfig{4, 2, TreeKind::Greedy, TreeKind::Fibonacci, true},
+                  Distribution::cyclic_1d(3), kind),
+              0);
+  }
 }
 
 TEST(CrossValidation, MeasuredTrafficMatchesSimulatorBlock1D) {
   EXPECT_EQ(run_measured_case(
                 256, 128, 32,
                 HqrConfig{2, 1, TreeKind::Flat, TreeKind::Binary, false},
-                Distribution::block_1d(2, 8)),
+                Distribution::block_1d(2, 8), BroadcastKind::Binomial),
+            0);
+}
+
+TEST(CrossValidation, MeasuredTrafficMatchesSimulatorOverTcp) {
+  EXPECT_EQ(run_measured_case(
+                192, 192, 32,
+                HqrConfig{4, 2, TreeKind::Greedy, TreeKind::Fibonacci, true},
+                Distribution::block_cyclic_2d(2, 2),
+                BroadcastKind::Binomial, "tcp"),
             0);
 }
 

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -14,6 +18,7 @@
 #include "net/clock_sync.hpp"
 #include "net/comm.hpp"
 #include "net/launcher.hpp"
+#include "net/message.hpp"
 #include "net/socket.hpp"
 
 namespace hqr::net {
@@ -41,6 +46,149 @@ std::vector<Message> pump_until(Comm& c, int n) {
   for (int spin = 0; spin < 20000 && static_cast<int>(got.size()) < n; ++spin)
     c.pump(1, [&](Message&& m) { got.push_back(std::move(m)); });
   return got;
+}
+
+// A Comm wired to a raw socket end, so tests can feed it arbitrary bytes.
+struct RawPeer {
+  std::unique_ptr<Comm> c;  // rank 0; its peer "rank 1" is the raw fd
+  Fd raw;
+};
+
+RawPeer raw_peer() {
+  auto [a, b] = stream_pair();
+  std::vector<Fd> peers(2);
+  peers[1] = std::move(a);
+  return {std::make_unique<Comm>(0, std::move(peers)), std::move(b)};
+}
+
+void write_exact(int fd, const void* p, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, bytes + done, n - done);
+    ASSERT_GT(w, 0);
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+// Pump until the malformed frame surfaces as an error; returns its text.
+std::string pump_for_error(Comm& c) {
+  for (int spin = 0; spin < 1000; ++spin) {
+    try {
+      c.pump(1, [](Message&&) {});
+    } catch (const Error& e) {
+      return e.what();
+    }
+  }
+  return "";
+}
+
+TEST(Wire, HeaderEncodesLittleEndianAtFixedOffsets) {
+  FrameHeader h;
+  h.tag = static_cast<std::uint32_t>(Tag::Gather);
+  h.src = 3;
+  h.id = 0x01020304;
+  h.bytes = 0x0102030405060708ull;
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_header(h, buf);
+  // Low byte first, regardless of the host's native order.
+  EXPECT_EQ(buf[0], 0x4d);  // kMagic = 0x4851524d ("HQRM" read back-to-front)
+  EXPECT_EQ(buf[3], 0x48);
+  EXPECT_EQ(buf[4], kWireVersion);
+  EXPECT_EQ(buf[6], kFrameHeaderBytes);
+  EXPECT_EQ(buf[16], 0x04);  // id low byte
+  EXPECT_EQ(buf[24], 0x08);  // bytes low byte
+  EXPECT_EQ(buf[31], 0x01);  // bytes high byte
+  const FrameHeader back = decode_header(buf);
+  EXPECT_EQ(back.magic, kMagic);
+  EXPECT_EQ(back.version, kWireVersion);
+  EXPECT_EQ(back.header_bytes, kFrameHeaderBytes);
+  EXPECT_EQ(back.tag, h.tag);
+  EXPECT_EQ(back.src, 3);
+  EXPECT_EQ(back.id, 0x01020304);
+  EXPECT_EQ(back.bytes, h.bytes);
+}
+
+TEST(Wire, PayloadReaderRejectsOverrun) {
+  std::vector<std::uint8_t> buf(12);
+  PayloadReader r(buf);
+  std::int64_t v = 0;
+  r.raw(&v, 8);
+  EXPECT_EQ(r.remaining(), 4u);
+  double d = 0.0;
+  EXPECT_THROW(r.f64(&d, 1), Error);  // 8 > 4 remaining
+  // A huge count must not wrap the bounds arithmetic either.
+  PayloadReader r2(buf);
+  EXPECT_THROW(r2.raw(&v, static_cast<std::size_t>(-1)), Error);
+}
+
+TEST(Comm, RejectsFrameWithBadMagic) {
+  RawPeer p = raw_peer();
+  FrameHeader h;
+  h.magic = 0xdeadbeef;
+  h.tag = static_cast<std::uint32_t>(Tag::Data);
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_header(h, buf);
+  write_exact(p.raw.get(), buf, sizeof(buf));
+  EXPECT_NE(pump_for_error(*p.c).find("bad frame magic"), std::string::npos);
+}
+
+TEST(Comm, ReportsByteSwappedPeerAsEndiannessMismatch) {
+  RawPeer p = raw_peer();
+  FrameHeader h;
+  h.magic = kMagicSwapped;  // what kMagic looks like from the other order
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_header(h, buf);
+  write_exact(p.raw.get(), buf, sizeof(buf));
+  EXPECT_NE(pump_for_error(*p.c).find("byte-swapped"), std::string::npos);
+}
+
+TEST(Comm, RejectsFrameFromOtherWireVersion) {
+  RawPeer p = raw_peer();
+  FrameHeader h;
+  h.version = kWireVersion + 1;
+  h.tag = static_cast<std::uint32_t>(Tag::Data);
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_header(h, buf);
+  write_exact(p.raw.get(), buf, sizeof(buf));
+  EXPECT_NE(pump_for_error(*p.c).find("wire version mismatch"),
+            std::string::npos);
+}
+
+TEST(Comm, RejectsFrameWithUnknownTag) {
+  RawPeer p = raw_peer();
+  FrameHeader h;
+  h.tag = 250;
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_header(h, buf);
+  write_exact(p.raw.get(), buf, sizeof(buf));
+  EXPECT_NE(pump_for_error(*p.c).find("unknown tag"), std::string::npos);
+}
+
+TEST(Comm, PeerDeathMidFrameSurfacesEvenWhenEofExpected) {
+  // A valid header promising 64 payload bytes, then only 8, then death:
+  // even with eof_ok set this must surface as an error (the stream died on
+  // no frame boundary), never hang.
+  RawPeer p = raw_peer();
+  p.c->set_eof_ok(true);
+  FrameHeader h;
+  h.tag = static_cast<std::uint32_t>(Tag::Data);
+  h.src = 1;
+  h.bytes = 64;
+  std::uint8_t buf[kFrameHeaderBytes];
+  encode_header(h, buf);
+  write_exact(p.raw.get(), buf, sizeof(buf));
+  const double partial = 1.0;
+  write_exact(p.raw.get(), &partial, sizeof(partial));
+  p.raw.reset();  // the peer dies mid-frame
+  EXPECT_NE(pump_for_error(*p.c).find("mid-frame"), std::string::npos);
+
+  // Death inside the *header* is mid-stream, equally fatal.
+  RawPeer q = raw_peer();
+  q.c->set_eof_ok(true);
+  write_exact(q.raw.get(), buf, 10);  // partial header
+  q.raw.reset();
+  EXPECT_NE(pump_for_error(*q.c).find("mid-stream"), std::string::npos);
 }
 
 TEST(Comm, RoundTripPreservesTagIdAndPayload) {
@@ -169,9 +317,10 @@ TEST(Comm, PerTagCountersAndQueueDepth) {
   p.c0->post(1, Tag::Telemetry, 0, &x, sizeof(x));
   p.c0->post(1, Tag::Bye, 0, nullptr, 0);
   EXPECT_EQ(p.c0->send_queue_frames(), 3);
-  // Three 24-byte headers plus two double payloads still queued.
+  // Three frame headers plus two double payloads still queued.
   EXPECT_EQ(p.c0->send_queue_bytes(),
-            3 * 24 + 2 * static_cast<long long>(sizeof(double)));
+            3 * static_cast<long long>(kFrameHeaderBytes) +
+                2 * static_cast<long long>(sizeof(double)));
   while (!p.c0->flushed()) p.c0->pump(1, [](Message&&) {});
   EXPECT_EQ(p.c0->send_queue_frames(), 0);
   EXPECT_EQ(p.c0->send_queue_bytes(), 0);
@@ -194,6 +343,75 @@ TEST(Comm, PerTagCountersAndQueueDepth) {
   EXPECT_EQ(p.c0->counters_snapshot().messages_sent_by_tag[tag_index(
                 Tag::Telemetry)],
             1);
+}
+
+// Regression for a counter race: drain_peer used to bump the recv-side
+// counters_ fields with no lock while counters_snapshot() read them under
+// send_mu_. Under TSAN this test flags any unlocked counter mutation; under
+// a plain build it still checks snapshots are monotonic, never torn.
+TEST(Comm, CountersSnapshotIsConsistentWhileReceiving) {
+  CommPair p = comm_pair();
+  constexpr int kFrames = 400;
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    const double x = 2.5;
+    for (int i = 0; i < kFrames; ++i) {
+      p.c0->post(1, Tag::Data, i, &x, sizeof(x));
+      p.c0->pump(0, [](Message&&) {});
+    }
+    while (!p.c0->flushed()) p.c0->pump(1, [](Message&&) {});
+  });
+  std::thread receiver([&] {
+    int got = 0;
+    for (int spin = 0; spin < 200000 && got < kFrames; ++spin)
+      p.c1->pump(1, [&](Message&&) { ++got; });
+    done.store(true, std::memory_order_release);
+  });
+  long long last_msgs = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const CommCounters s = p.c1->counters_snapshot();
+    // Monotone message count, and bytes always consistent with it.
+    EXPECT_GE(s.data_messages_recv, last_msgs);
+    EXPECT_EQ(s.data_bytes_recv,
+              s.data_messages_recv * static_cast<long long>(sizeof(double)));
+    last_msgs = s.data_messages_recv;
+  }
+  sender.join();
+  receiver.join();
+  EXPECT_EQ(p.c1->counters_snapshot().data_messages_recv, kFrames);
+}
+
+// Regression for the EINTR path: a frame posted while pump() sleeps in
+// poll() is invisible to that poll's (stale) pollfd interest set; a signal
+// used to make pump return without flushing, stranding the frame until an
+// unrelated wakeup. Now an EINTR re-checks the send queues.
+TEST(Comm, SignalDuringPumpDoesNotStrandQueuedSends) {
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = [](int) {};  // no SA_RESTART: poll must see EINTR
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  CommPair p = comm_pair();
+  std::thread pumper([&] {
+    // One long sleep in poll(); nothing is queued when it starts.
+    p.c0->pump(30000, [](Message&&) {});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double x = 7.0;
+  p.c0->post(1, Tag::Data, 11, &x, sizeof(x));
+
+  // Only a signal can break the sleep before its 30 s timeout; the frame
+  // arriving proves the EINTR path flushed the queue.
+  std::vector<Message> got;
+  for (int spin = 0; spin < 2000 && got.empty(); ++spin) {
+    ::pthread_kill(pumper.native_handle(), SIGUSR1);
+    p.c1->pump(5, [&](Message&& m) { got.push_back(std::move(m)); });
+  }
+  pumper.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 11);
+  EXPECT_TRUE(p.c0->flushed());
 }
 
 TEST(ClockSync, MidpointEstimatorRecoversKnownOffset) {

@@ -1,0 +1,181 @@
+// Transport-layer tests: the TCP rendezvous/mesh building blocks in
+// process, the tcp backend end-to-end through the launcher, and the
+// failure paths (unreachable rendezvous, unknown backend) that must
+// surface as errors rather than hangs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "net/comm.hpp"
+#include "net/launcher.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace hqr::net {
+namespace {
+
+// The mesh exchange body shared by the launcher tests: every rank sends
+// its rank number to every peer and verifies what it receives.
+int all_pairs_exchange(Comm& comm) {
+  for (int q = 0; q < comm.size(); ++q) {
+    if (q == comm.rank()) continue;
+    const std::int32_t me = comm.rank();
+    comm.post(q, Tag::Data, me, &me, sizeof(me));
+  }
+  comm.set_eof_ok(true);
+  int got = 0;
+  bool ok = true;
+  for (int spin = 0;
+       spin < 100000 && (got < comm.size() - 1 || !comm.flushed()); ++spin) {
+    comm.pump(1, [&](Message&& m) {
+      std::int32_t body = -1;
+      std::memcpy(&body, m.payload.data(), sizeof(body));
+      ok = ok && body == m.src && m.id == m.src;
+      ++got;
+    });
+  }
+  return (ok && got == comm.size() - 1 && comm.flushed()) ? 0 : 1;
+}
+
+TEST(Transport, MakeTransportRejectsUnknownKind) {
+  TransportOptions opts;
+  opts.kind = "carrier-pigeon";
+  EXPECT_THROW(make_transport(opts), Error);
+  opts.kind = "unix";
+  EXPECT_STREQ(make_transport(opts)->name(), "unix");
+  opts.kind = "tcp";
+  EXPECT_STREQ(make_transport(opts)->name(), "tcp");
+}
+
+TEST(TcpSocket, ListenConnectRoundTrip) {
+  std::uint16_t port = 0;
+  Fd listener = tcp_listen("127.0.0.1", &port);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_NE(port, 0);
+
+  const double deadline = monotonic_seconds() + 20.0;
+  Fd client = tcp_connect("127.0.0.1", port, deadline);
+  Fd server = tcp_accept(listener.get(), deadline);
+  set_tcp_nodelay(client.get());
+  set_tcp_nodelay(server.get());
+
+  const char msg[] = "over tcp";
+  write_all(client.get(), msg, sizeof(msg), deadline);
+  char back[sizeof(msg)] = {};
+  read_all(server.get(), back, sizeof(back), deadline);
+  EXPECT_STREQ(back, msg);
+}
+
+TEST(TcpSocket, NodelayToleratesUnixSockets) {
+  auto [a, b] = stream_pair();
+  set_tcp_nodelay(a.get());  // must be a no-op, not an error
+}
+
+TEST(TcpSocket, ConnectToDeadPortTimesOut) {
+  // Bind-then-close yields a port with (almost surely) no listener; the
+  // deadline-bounded connect must give up with an error, not retry forever.
+  std::uint16_t port = 0;
+  { Fd dead = tcp_listen("127.0.0.1", &port); }
+  try {
+    // If something raced onto the freed port, connecting is also acceptable.
+    (void)tcp_connect("127.0.0.1", port, monotonic_seconds() + 0.3);
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+}
+
+TEST(TcpTransport, InProcessMeshCarriesComm) {
+  // Wire a 3-rank all-pairs mesh with the rendezvous building blocks, one
+  // joiner per thread, then run real framed traffic across it.
+  TransportOptions opts;
+  opts.kind = "tcp";
+  std::uint16_t port = 0;
+  Fd listener = tcp_listen(opts.host, &port);
+
+  std::vector<Fd> p0, p1, p2;
+  std::thread j1([&] { p1 = tcp_mesh_join(1, 3, opts.host, port, opts); });
+  std::thread j2([&] { p2 = tcp_mesh_join(2, 3, opts.host, port, opts); });
+  p0 = tcp_mesh_rank0(std::move(listener), 3, opts);
+  j1.join();
+  j2.join();
+  ASSERT_EQ(p0.size(), 3u);
+  for (int q = 1; q < 3; ++q) ASSERT_TRUE(p0[static_cast<std::size_t>(q)].valid());
+  ASSERT_TRUE(p1[0].valid() && p1[2].valid());
+  ASSERT_TRUE(p2[0].valid() && p2[1].valid());
+
+  auto c0 = std::make_unique<Comm>(0, std::move(p0));
+  auto c1 = std::make_unique<Comm>(1, std::move(p1));
+  auto c2 = std::make_unique<Comm>(2, std::move(p2));
+  const double x = 1.25;
+  c0->post(1, Tag::Data, 5, &x, sizeof(x));
+  c1->post(2, Tag::Stats, 6, &x, sizeof(x));
+  c2->post(0, Tag::Gather, 7, nullptr, 0);
+  std::vector<Message> got0, got1, got2;
+  for (int spin = 0;
+       spin < 20000 && (got0.empty() || got1.empty() || got2.empty());
+       ++spin) {
+    c0->pump(1, [&](Message&& m) { got0.push_back(std::move(m)); });
+    c1->pump(1, [&](Message&& m) { got1.push_back(std::move(m)); });
+    c2->pump(1, [&](Message&& m) { got2.push_back(std::move(m)); });
+  }
+  ASSERT_EQ(got1.size(), 1u);
+  EXPECT_EQ(got1[0].tag, Tag::Data);
+  EXPECT_EQ(got1[0].id, 5);
+  double back = 0.0;
+  std::memcpy(&back, got1[0].payload.data(), sizeof(back));
+  EXPECT_EQ(back, x);
+  ASSERT_EQ(got2.size(), 1u);
+  EXPECT_EQ(got2[0].tag, Tag::Stats);
+  ASSERT_EQ(got0.size(), 1u);
+  EXPECT_EQ(got0[0].tag, Tag::Gather);
+  EXPECT_EQ(got0[0].src, 2);
+}
+
+TEST(TcpTransport, LauncherRunsFourRanksOverTcp) {
+  LaunchOptions opts;
+  opts.timeout_seconds = 120.0;
+  opts.transport.kind = "tcp";
+  EXPECT_EQ(run_ranks(4, all_pairs_exchange, opts), 0);
+}
+
+TEST(TcpTransport, SingleRankNeedsNoListener) {
+  LaunchOptions opts;
+  opts.transport.kind = "tcp";
+  EXPECT_EQ(run_ranks(1,
+                      [](Comm& comm) -> int {
+                        return comm.size() == 1 && comm.rank() == 0 ? 0 : 1;
+                      },
+                      opts),
+            0);
+}
+
+TEST(TcpTransport, RendezvousTimeoutBecomesNonzeroLauncherExit) {
+  // A listener that accepts TCP connections but never runs the rendezvous
+  // protocol: a joining rank's handshake read must hit its deadline, throw,
+  // and surface as a nonzero exit code from the launcher.
+  std::uint16_t port = 0;
+  Fd dud = tcp_listen("127.0.0.1", &port);
+  LaunchOptions lopts;
+  lopts.timeout_seconds = 30.0;
+  const int rc = run_ranks(
+      1,
+      [port](Comm&) -> int {
+        TransportOptions topts;
+        topts.kind = "tcp";
+        topts.connect_timeout_seconds = 0.3;
+        std::vector<Fd> peers =
+            tcp_mesh_join(1, 2, "127.0.0.1", port, topts);  // must throw
+        return 0;
+      },
+      lopts);
+  EXPECT_NE(rc, 0);
+}
+
+}  // namespace
+}  // namespace hqr::net

@@ -24,6 +24,11 @@
 //   Telemetry
 //           id = sender rank; payload is a DistTelemetry heartbeat shipped
 //           periodically to rank 0 while the DAG executes.
+//   SubmitQR .. ErrorReply
+//           the QR-as-a-service request/response protocol; id = the
+//           client-chosen request or stream id. Payload layouts live in
+//           serve/protocol.hpp — the frame format and versioning below are
+//           shared with the rank mesh unchanged.
 //
 // The header is serialized explicitly little-endian and carries its own
 // version and size, so a peer built against a different wire revision — or
@@ -51,11 +56,26 @@ enum class Tag : std::uint32_t {
   SyncPing = 6,
   SyncPong = 7,
   Telemetry = 8,
+  // --- QR-as-a-service request/response tags (serve/protocol.hpp) ---
+  SubmitQR = 9,      // id = request id; one factorization request
+  SubmitBatch = 10,  // id = request id; many small QRs fused server-side
+  StreamOpen = 11,   // id = stream id; open a streaming TSQR session
+  StreamAppend = 12, // id = stream id; a block of rows for the session
+  StreamQuery = 13,  // id = stream id; ask for the current R (empty payload)
+  StreamClose = 14,  // id = stream id; final R then session teardown
+  Cancel = 15,       // id = request id to abandon
+  Shutdown = 16,     // id unused; graceful server stop (drain, then exit)
+  Status = 17,       // id unused; ask for server-wide counters
+  Result = 18,       // id = request id; R (and optionally Q) of one request
+  BatchResult = 19,  // id = request id; the R of every problem in a batch
+  StreamR = 20,      // id = stream id; R snapshot of a streaming session
+  StatusReply = 21,  // id unused; ServerStatus counter block
+  ErrorReply = 22,   // id = offending request id; typed error + message
 };
 
 // Number of tag slots (tag values index per-tag counters directly; slot 0
 // is unused).
-inline constexpr int kTagCount = 9;
+inline constexpr int kTagCount = 23;
 
 inline int tag_index(Tag t) { return static_cast<int>(t); }
 
@@ -73,6 +93,20 @@ inline const char* tag_name(Tag t) {
     case Tag::SyncPing: return "SyncPing";
     case Tag::SyncPong: return "SyncPong";
     case Tag::Telemetry: return "Telemetry";
+    case Tag::SubmitQR: return "SubmitQR";
+    case Tag::SubmitBatch: return "SubmitBatch";
+    case Tag::StreamOpen: return "StreamOpen";
+    case Tag::StreamAppend: return "StreamAppend";
+    case Tag::StreamQuery: return "StreamQuery";
+    case Tag::StreamClose: return "StreamClose";
+    case Tag::Cancel: return "Cancel";
+    case Tag::Shutdown: return "Shutdown";
+    case Tag::Status: return "Status";
+    case Tag::Result: return "Result";
+    case Tag::BatchResult: return "BatchResult";
+    case Tag::StreamR: return "StreamR";
+    case Tag::StatusReply: return "StatusReply";
+    case Tag::ErrorReply: return "ErrorReply";
   }
   return "Unknown";
 }
@@ -173,6 +207,7 @@ class PayloadWriter {
   explicit PayloadWriter(std::vector<std::uint8_t>& out) : out_(out) {}
 
   void raw(const void* p, std::size_t n) {
+    if (n == 0) return;  // p may be null for an empty matrix payload
     const auto* b = static_cast<const std::uint8_t*>(p);
     out_.insert(out_.end(), b, b + n);
   }
@@ -198,7 +233,7 @@ class PayloadReader {
               "malformed payload: read of " << n << " bytes at offset " << pos_
                                             << " overruns " << in_.size()
                                             << "-byte buffer");
-    std::memcpy(p, in_.data() + pos_, n);
+    if (n != 0) std::memcpy(p, in_.data() + pos_, n);  // p may be null if n==0
     pos_ += n;
   }
   void f64(double* p, std::size_t count) { raw(p, count * sizeof(double)); }

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/stopwatch.hpp"
+#include "runtime/ready_task.hpp"
 #include "runtime/steal_deque.hpp"
 
 namespace hqr {
@@ -29,17 +30,6 @@ const char* scheduler_kind_name(SchedulerKind kind) {
 }
 
 namespace {
-
-struct ReadyTask {
-  double priority;
-  std::int32_t idx;
-
-  bool operator<(const ReadyTask& o) const {
-    // max-heap by priority, FIFO-ish tiebreak on index.
-    if (priority != o.priority) return priority < o.priority;
-    return idx > o.idx;
-  }
-};
 
 // Per-worker accumulators, merged into RunStats after the join — workers
 // never contend on shared stats.

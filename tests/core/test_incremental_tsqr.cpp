@@ -130,6 +130,60 @@ TEST(IncrementalTsqr, BadConstructionThrows) {
   EXPECT_THROW(IncrementalTSQR(4, 0), Error);
 }
 
+TEST(IncrementalTsqr, InterleavedAppendAndQueryIsNonDestructive) {
+  // r() mid-stream must be a pure read: it matches the reference of the
+  // rows seen so far, repeated calls are bit-identical, and appending
+  // after a query behaves exactly as if the query never happened.
+  Rng rng(8);
+  const int n = 9, b = 4;
+  IncrementalTSQR queried(n, b), untouched(n, b);
+  Matrix stacked(0, n);
+  for (int rep = 0; rep < 7; ++rep) {
+    const int rows = 1 + static_cast<int>(rng.below(11));
+    Matrix blk = random_gaussian(rows, n, rng);
+    Matrix grown(stacked.rows() + rows, n);
+    if (stacked.rows() > 0)
+      copy(stacked.view(), grown.block(0, 0, stacked.rows(), n));
+    copy(blk.view(), grown.block(stacked.rows(), 0, rows, n));
+    stacked = std::move(grown);
+
+    queried.add_rows(blk);
+    untouched.add_rows(blk);
+
+    Matrix r1 = queried.r();
+    Matrix r2 = queried.r();
+    EXPECT_EQ(max_abs_diff(r1.view(), r2.view()), 0.0) << "rep " << rep;
+    expect_r_matches(stacked, r1, 1e-10);
+  }
+  // Querying every step vs never querying: same final state, bit for bit.
+  EXPECT_EQ(max_abs_diff(queried.r().view(), untouched.r().view()), 0.0);
+}
+
+TEST(IncrementalTsqr, AgreesWithOneShotAcrossBlockSizes) {
+  // The streaming reduction and the one-shot factorization of the full
+  // stacked matrix must produce the same R magnitudes for every tile size
+  // (different b means a different kernel sequence, so only |R| is pinned).
+  Rng rng(9);
+  const int n = 12;
+  std::vector<Matrix> blocks;
+  int total = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    blocks.push_back(random_gaussian(5 + 3 * rep, n, rng));
+    total += blocks.back().rows();
+  }
+  Matrix all(total, n);
+  int at = 0;
+  for (const auto& blk : blocks) {
+    copy(blk.view(), all.block(at, 0, blk.rows(), n));
+    at += blk.rows();
+  }
+  for (int b : {2, 3, 4, 6, 12, 16}) {
+    IncrementalTSQR tsqr(n, b);
+    for (const auto& blk : blocks) tsqr.add_rows(blk);
+    expect_r_matches(all, tsqr.r(), 1e-10);
+  }
+}
+
 TEST(IncrementalTsqr, ManySmallSingleRowBlocks) {
   Rng rng(7);
   const int n = 5;

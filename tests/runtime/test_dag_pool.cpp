@@ -1,0 +1,304 @@
+#include "runtime/dag_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/factorization.hpp"
+#include "linalg/random_matrix.hpp"
+#include "linalg/tiled_matrix.hpp"
+#include "runtime/executor.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+// A factorization packaged for pool submission, the way the serve layer
+// does it: graph and factors share one kernel list.
+struct Job {
+  std::shared_ptr<QRFactors> f;
+  std::shared_ptr<const TaskGraph> graph;
+};
+
+Job make_job(const Matrix& a, int b, const EliminationList& list) {
+  TiledMatrix t = TiledMatrix::from_matrix(a, b);
+  KernelList ks = expand_to_kernels(list, t.mt(), t.nt());
+  Job j;
+  j.graph = std::make_shared<const TaskGraph>(ks, t.mt(), t.nt());
+  j.f = std::make_shared<QRFactors>(std::move(t), std::move(ks), 0);
+  return j;
+}
+
+DagPool::ExecuteFn exec_fn(std::shared_ptr<QRFactors> f) {
+  return [f = std::move(f)](std::int32_t idx, TileWorkspace& ws) {
+    execute_kernel(f->kernels()[static_cast<std::size_t>(idx)], *f, ws);
+  };
+}
+
+// The single GEQRT op: a 1-task graph for pure scheduling tests (the exec
+// fn ignores the op entirely).
+std::shared_ptr<const TaskGraph> one_task_graph() {
+  KernelList ks{{KernelType::GEQRT, 0, 0, 0, -1}};
+  return std::make_shared<const TaskGraph>(ks, 1, 1);
+}
+
+TEST(DagPool, SingleDagBitIdenticalToSequential) {
+  // Kernels write disjoint tile regions in dependency order, so any valid
+  // pool schedule must reproduce the sequential R to the last bit.
+  Rng rng(3);
+  Matrix a0 = random_gaussian(40, 24, rng);
+  auto list = flat_ts_list(5, 3);
+  QRFactors seq = qr_factorize_sequential(a0, 8, list);
+
+  for (int threads : {1, 4}) {
+    DagPoolOptions opts;
+    opts.threads = threads;
+    DagPool pool(opts);
+    Job j = make_job(a0, 8, list);
+    DagId id = pool.submit(j.graph, 8, exec_fn(j.f));
+    EXPECT_TRUE(pool.wait(id));
+    EXPECT_EQ(max_abs_diff(extract_r(seq).view(), extract_r(*j.f).view()),
+              0.0);
+  }
+}
+
+TEST(DagPool, SingleDagBitIdenticalToExecutorPath) {
+  // The multi-DAG pool and the single-DAG executor must agree bitwise —
+  // the pinned guarantee that adding the pool changed no numerics.
+  Rng rng(5);
+  Matrix a0 = random_gaussian(36, 20, rng);
+  auto list = per_panel_tree_list(TreeKind::Binary, 9, 5);
+  ExecutorOptions eopts{4, true, true};
+  QRFactors par = qr_factorize_parallel(a0, 4, list, eopts);
+
+  DagPoolOptions opts;
+  opts.threads = 4;
+  DagPool pool(opts);
+  Job j = make_job(a0, 4, list);
+  DagId id = pool.submit(j.graph, 4, exec_fn(j.f));
+  EXPECT_TRUE(pool.wait(id));
+  EXPECT_EQ(max_abs_diff(extract_r(par).view(), extract_r(*j.f).view()), 0.0);
+}
+
+TEST(DagPool, EightConcurrentDagsOnOnePool) {
+  // Gate every DAG on its (external) root so all eight are provably active
+  // at once, then release them and check each result independently.
+  constexpr int kDags = 8;
+  Rng rng(7);
+  DagPoolOptions opts;
+  opts.threads = 4;
+  DagPool pool(opts);
+
+  std::vector<Matrix> inputs;
+  std::vector<Job> jobs;
+  std::vector<DagId> ids;
+  std::vector<std::unique_ptr<RemotePort>> ports;
+  for (int d = 0; d < kDags; ++d) {
+    // Different shapes per request, like a multi-tenant mix.
+    const int mt = 2 + d % 3, nt = 1 + d % 2;
+    inputs.push_back(random_gaussian(8 * mt, 8 * nt, rng));
+    jobs.push_back(make_job(inputs.back(), 8, flat_ts_list(mt, nt)));
+    DagSubmitOptions sopts;
+    sopts.external_tasks = {0};
+    ids.push_back(pool.submit(jobs[d].graph, 8, exec_fn(jobs[d].f), sopts));
+    ports.push_back(pool.port(ids.back()));
+  }
+  EXPECT_EQ(pool.active_dags(), kDags);
+
+  // Run each root "externally" (exactly what a remote rank does), then
+  // feed the completion through the per-DAG port.
+  for (int d = 0; d < kDags; ++d) {
+    TileWorkspace ws(8);
+    execute_kernel(jobs[d].f->kernels()[0], *jobs[d].f, ws);
+    ports[d]->remote_complete(0);
+  }
+  for (int d = 0; d < kDags; ++d) EXPECT_TRUE(pool.wait(ids[d]));
+  EXPECT_GE(pool.stats().max_active_dags, kDags);
+
+  for (int d = 0; d < kDags; ++d) {
+    QRFactors seq = qr_factorize_sequential(
+        inputs[d], 8, flat_ts_list(jobs[d].f->mt(), jobs[d].f->nt()));
+    EXPECT_EQ(
+        max_abs_diff(extract_r(seq).view(), extract_r(*jobs[d].f).view()),
+        0.0)
+        << "dag " << d;
+  }
+}
+
+TEST(DagPool, ExternalCompletionIsNamespacedByDag) {
+  // Regression: external completions used to be keyed by bare task id, so
+  // a completion for DAG B's task 0 could release DAG A's successors. The
+  // port binds the DAG id; completing B must not advance A.
+  Rng rng(11);
+  Matrix a = random_gaussian(32, 8, rng);
+  auto list = flat_ts_list(4, 1);  // a single chain rooted at task 0
+  DagPoolOptions opts;
+  opts.threads = 2;
+  DagPool pool(opts);
+
+  Job ja = make_job(a, 8, list);
+  Job jb = make_job(a, 8, list);
+  DagSubmitOptions sopts;
+  sopts.external_tasks = {0};
+  DagId ida = pool.submit(ja.graph, 8, exec_fn(ja.f), sopts);
+  DagId idb = pool.submit(jb.graph, 8, exec_fn(jb.f), sopts);
+  auto porta = pool.port(ida);
+  auto portb = pool.port(idb);
+
+  TileWorkspace ws(8);
+  execute_kernel(jb.f->kernels()[0], *jb.f, ws);
+  portb->remote_complete(0);
+  EXPECT_TRUE(pool.wait(idb));
+  // A's root was never completed: it must still be pending, not finished
+  // by B's identically-numbered task.
+  EXPECT_EQ(pool.active_dags(), 1);
+
+  execute_kernel(ja.f->kernels()[0], *ja.f, ws);
+  porta->remote_complete(0);
+  EXPECT_TRUE(pool.wait(ida));
+
+  QRFactors seq = qr_factorize_sequential(a, 8, list);
+  EXPECT_EQ(max_abs_diff(extract_r(seq).view(), extract_r(*ja.f).view()), 0.0);
+  EXPECT_EQ(max_abs_diff(extract_r(seq).view(), extract_r(*jb.f).view()), 0.0);
+}
+
+TEST(DagPool, HigherPriorityDagRunsFirst) {
+  DagPoolOptions opts;
+  opts.threads = 1;  // serialize: admission order is fully observable
+  DagPool pool(opts);
+
+  // Hold the only worker inside a blocker DAG while the queue builds up.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  DagId blocker = pool.submit(one_task_graph(), 1,
+                              [released](std::int32_t, TileWorkspace&) {
+                                released.wait();
+                              });
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto recorder = [&](int label) {
+    return [&, label](std::int32_t, TileWorkspace&) {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(label);
+    };
+  };
+  DagSubmitOptions lo;
+  lo.priority = 0;
+  DagSubmitOptions hi;
+  hi.priority = 5;
+  DagId lo_id = pool.submit(one_task_graph(), 1, recorder(0), lo);
+  DagId hi_id = pool.submit(one_task_graph(), 1, recorder(1), hi);
+
+  release.set_value();
+  EXPECT_TRUE(pool.wait(blocker));
+  EXPECT_TRUE(pool.wait(lo_id));
+  EXPECT_TRUE(pool.wait(hi_id));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // priority 5 beat priority 0 despite later submit
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(DagPool, EqualPriorityDagsInterleaveFairly) {
+  DagPoolOptions opts;
+  opts.threads = 1;
+  DagPool pool(opts);
+
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  DagId blocker = pool.submit(one_task_graph(), 1,
+                              [released](std::int32_t, TileWorkspace&) {
+                                released.wait();
+                              });
+
+  // Two equal-priority chains; least-delivered-first must alternate them
+  // (A1 B1 A2 B2 ...) instead of draining one whole chain first.
+  Rng rng(13);
+  Matrix a = random_gaussian(32, 8, rng);
+  auto list = flat_ts_list(4, 1);
+  Job ja = make_job(a, 8, list);
+  Job jb = make_job(a, 8, list);
+  std::mutex mu;
+  std::vector<int> order;
+  auto traced = [&](std::shared_ptr<QRFactors> f, int label) {
+    return [&, f, label](std::int32_t idx, TileWorkspace& ws) {
+      execute_kernel(f->kernels()[static_cast<std::size_t>(idx)], *f, ws);
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(label);
+    };
+  };
+  DagId ida = pool.submit(ja.graph, 8, traced(ja.f, 0));
+  DagId idb = pool.submit(jb.graph, 8, traced(jb.f, 1));
+
+  release.set_value();
+  EXPECT_TRUE(pool.wait(blocker));
+  EXPECT_TRUE(pool.wait(ida));
+  EXPECT_TRUE(pool.wait(idb));
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_NE(order[i], order[i - 1]) << "chains did not alternate at " << i;
+}
+
+TEST(DagPool, CancelledDagReportsCancelled) {
+  DagPoolOptions opts;
+  opts.threads = 2;
+  DagPool pool(opts);
+  // Gated on an external root that never completes: deterministic cancel.
+  Rng rng(17);
+  Matrix a = random_gaussian(16, 8, rng);
+  Job j = make_job(a, 8, flat_ts_list(2, 1));
+  DagSubmitOptions sopts;
+  sopts.external_tasks = {0};
+  bool done_cancelled = false;
+  sopts.on_done = [&](DagId, bool cancelled) { done_cancelled = cancelled; };
+  DagId id = pool.submit(j.graph, 8, exec_fn(j.f), sopts);
+
+  EXPECT_TRUE(pool.cancel(id));
+  EXPECT_FALSE(pool.wait(id));
+  EXPECT_TRUE(done_cancelled);
+  EXPECT_EQ(pool.stats().dags_cancelled, 1);
+  EXPECT_FALSE(pool.cancel(id));  // already gone
+}
+
+TEST(DagPool, ThrowingKernelPoisonsOnlyItsOwnDag) {
+  DagPoolOptions opts;
+  opts.threads = 2;
+  DagPool pool(opts);
+  DagId bad = pool.submit(one_task_graph(), 1,
+                          [](std::int32_t, TileWorkspace&) {
+                            throw Error("kernel blew up");
+                          });
+  Rng rng(19);
+  Matrix a = random_gaussian(24, 16, rng);
+  Job j = make_job(a, 8, flat_ts_list(3, 2));
+  DagId good = pool.submit(j.graph, 8, exec_fn(j.f));
+
+  EXPECT_FALSE(pool.wait(bad));
+  EXPECT_TRUE(pool.wait(good));
+  QRFactors seq = qr_factorize_sequential(a, 8, flat_ts_list(3, 2));
+  EXPECT_EQ(max_abs_diff(extract_r(seq).view(), extract_r(*j.f).view()), 0.0);
+}
+
+TEST(DagPool, StatsCountTasksAndDags) {
+  DagPoolOptions opts;
+  opts.threads = 2;
+  DagPool pool(opts);
+  Rng rng(23);
+  Matrix a = random_gaussian(16, 16, rng);
+  Job j = make_job(a, 8, flat_ts_list(2, 2));
+  DagId id = pool.submit(j.graph, 8, exec_fn(j.f));
+  EXPECT_TRUE(pool.wait(id));
+  DagPoolStats st = pool.stats();
+  EXPECT_EQ(st.dags_submitted, 1);
+  EXPECT_EQ(st.dags_completed, 1);
+  EXPECT_EQ(st.tasks_executed, j.graph->size());
+  pool.wait_all();
+  EXPECT_EQ(pool.active_dags(), 0);
+}
+
+}  // namespace
+}  // namespace hqr

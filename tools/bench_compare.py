@@ -19,8 +19,9 @@ rates from different machines gate on hardware, not regressions. Pass
 box that produced the checked-in baseline, gating on ratio measures).
 
 Supported schemas: hqr-bench-kernels-v1/v2 (results/speedups/end_to_end),
-hqr-bench-dist-v1/v2 and hqr-bench-runtime-v1 are handled by the same
-generic record walker — any JSON whose "results" entries mix identity
+hqr-bench-dist-v1/v2, hqr-bench-runtime-v1 and hqr-bench-serve-v1 (latency
+percentiles p50/p95/p99 gate lower-better with the same tolerance) are
+handled by the same generic record walker — any JSON whose "results" entries mix identity
 fields (strings/ints) with float measures works.
 """
 
@@ -31,9 +32,10 @@ import sys
 # Measures and their direction; anything not listed here is treated as an
 # identity key when integral/string, and ignored when float but unknown.
 HIGHER_BETTER = {"gflops", "speedup", "packed_gflops", "naive_gflops",
-                 "tasks_per_second"}
+                 "tasks_per_second", "throughput_rps", "problems_per_second",
+                 "fused_speedup"}
 LOWER_BETTER = {"seconds", "packed_seconds", "naive_seconds",
-                "makespan_seconds"}
+                "makespan_seconds", "p50_ms", "p95_ms", "p99_ms"}
 MEASURES = HIGHER_BETTER | LOWER_BETTER
 
 # Provenance annotations, not identity: the v2 kernel bench records which

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <condition_variable>
-#include <map>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -106,16 +105,24 @@ struct DagPool::Impl {
     work_cv.notify_all();
     auto cb = std::move(dag->on_done);
     if (cb) {
+      // wait_all() must not return while a callback is mid-flight: the
+      // callback may still chain a submit() or touch per-request state, and
+      // callers use wait_all() as the license to tear the pool down.
+      ++callbacks_inflight;
       lk.unlock();
       cb(dag->id, cancelled);
       lk.lock();
+      if (--callbacks_inflight == 0) done_cv.notify_all();
     }
   }
 
   void worker() {
-    // One workspace per tile size seen by this worker — mixed-b tenants
-    // reuse scratch instead of reallocating per task.
-    std::map<int, std::unique_ptr<TileWorkspace>> ws_by_b;
+    // A few workspaces per worker, LRU by tile size — mixed-b tenants reuse
+    // scratch instead of reallocating per task, but b is client-controlled,
+    // so the cache is capped: a tenant rotating tile sizes cannot grow
+    // O(b^2) scratch per worker without bound.
+    constexpr std::size_t kMaxCachedWorkspaces = 4;
+    std::vector<std::pair<int, std::unique_ptr<TileWorkspace>>> ws_cache;
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
       std::shared_ptr<DagState> dag = pick_best_locked();
@@ -131,10 +138,28 @@ struct DagPool::Impl {
       ++dag->inflight;
       lk.unlock();
 
-      auto& ws = ws_by_b[dag->b];
-      if (!ws) ws = std::make_unique<TileWorkspace>(dag->b);
       bool failed = false;
       try {
+        // Workspace lookup/construction sits inside the try: b is sized by
+        // the client, so an allocation failure here must poison only the
+        // offending DAG, exactly like a throwing kernel.
+        TileWorkspace* ws = nullptr;
+        for (std::size_t i = 0; i < ws_cache.size(); ++i) {
+          if (ws_cache[i].first == dag->b) {
+            std::rotate(ws_cache.begin() + static_cast<std::ptrdiff_t>(i),
+                        ws_cache.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                        ws_cache.end());
+            ws = ws_cache.back().second.get();
+            break;
+          }
+        }
+        if (!ws) {
+          auto fresh = std::make_unique<TileWorkspace>(dag->b);
+          if (ws_cache.size() >= kMaxCachedWorkspaces)
+            ws_cache.erase(ws_cache.begin());
+          ws_cache.emplace_back(dag->b, std::move(fresh));
+          ws = ws_cache.back().second.get();
+        }
         dag->exec(idx, *ws);
       } catch (...) {
         // A throwing kernel poisons only its own DAG, never the pool: the
@@ -236,7 +261,10 @@ struct DagPool::Impl {
 
   void wait_all_dags() {
     std::unique_lock<std::mutex> lk(mu);
-    done_cv.wait(lk, [&] { return active.empty(); });
+    // Also wait out in-flight on_done callbacks: a callback that chains a
+    // submit() re-populates `active` before callbacks_inflight drops, so
+    // this predicate cannot miss chained work.
+    done_cv.wait(lk, [&] { return active.empty() && callbacks_inflight == 0; });
   }
 
   bool cancel_dag(DagId id) {
@@ -302,6 +330,7 @@ struct DagPool::Impl {
   DagId next_id = 1;
   bool stopping = false;
   long long total_ready = 0;
+  long long callbacks_inflight = 0;  // on_done invocations not yet returned
   DagPoolStats pool_stats;
   std::vector<std::thread> workers;
 };

@@ -65,7 +65,10 @@ struct DagSubmitOptions {
   // Invoked exactly once, on the worker that finished the DAG's last task
   // (or on the thread that observed cancellation complete). May call back
   // into the pool (e.g. submit a follow-up DAG); runs outside the pool
-  // lock.
+  // lock. A chained submit can race pool teardown — submit() throws
+  // hqr::Error once the destructor has started, so callbacks that chain
+  // must be prepared to catch it. wait_all() does not return while any
+  // on_done is still running.
   std::function<void(DagId, bool cancelled)> on_done;
 };
 
@@ -103,7 +106,9 @@ class DagPool {
   // a per-DAG outcome record; a long-lived server retains ~tens of bytes
   // per request).
   bool wait(DagId id);
-  // Blocks until no DAG is active.
+  // Blocks until no DAG is active AND every on_done callback has returned
+  // (including DAGs those callbacks chained via submit()). After wait_all()
+  // the pool can be destroyed without racing a late callback.
   void wait_all();
 
   // Best-effort cancellation: queued tasks of the DAG are dropped, running

@@ -151,11 +151,31 @@ std::optional<ErrorInfo> validate_shape(std::int32_t m, std::int32_t n,
     return err(ErrorCode::TooLarge,
                "dimension exceeds server limit of " +
                    std::to_string(limits.max_dimension));
+  if (b > limits.max_dimension)
+    return err(ErrorCode::TooLarge,
+               "tile size " + std::to_string(b) +
+                   " exceeds server limit of " +
+                   std::to_string(limits.max_dimension));
   if (static_cast<std::int64_t>(m) * n > limits.max_elements)
     return err(ErrorCode::TooLarge,
                "matrix of " + std::to_string(static_cast<std::int64_t>(m) * n) +
                    " elements exceeds server limit of " +
                    std::to_string(limits.max_elements));
+  // The server pads every matrix to whole b x b tiles, so the element cap
+  // must hold for the PADDED shape too — otherwise a tiny matrix with a
+  // huge b (1x1 at b = 2^30) passes the raw check and then forces an
+  // O(b^2) allocation. pn >= 1, and pm <= 2 * max_dimension, so the
+  // division form below cannot overflow where the product could.
+  const std::int64_t pm =
+      (static_cast<std::int64_t>(m) + b - 1) / b * static_cast<std::int64_t>(b);
+  const std::int64_t pn =
+      (static_cast<std::int64_t>(n) + b - 1) / b * static_cast<std::int64_t>(b);
+  if (pm > limits.max_elements / pn)
+    return err(ErrorCode::TooLarge,
+               "matrix padded to " + std::to_string(pm) + "x" +
+                   std::to_string(pn) + " tiles of b=" + std::to_string(b) +
+                   " exceeds server limit of " +
+                   std::to_string(limits.max_elements) + " elements");
   return std::nullopt;
 }
 
@@ -305,6 +325,21 @@ std::optional<ErrorInfo> decode_stream_open(
     return err(ErrorCode::TooLarge,
                "stream width exceeds server limit of " +
                    std::to_string(limits.max_dimension));
+  if (req->b > limits.max_dimension)
+    return err(ErrorCode::TooLarge,
+               "stream tile size " + std::to_string(req->b) +
+                   " exceeds server limit of " +
+                   std::to_string(limits.max_dimension));
+  // The running triangle is nt x nt tiles = pn x pn elements (pn = n
+  // padded to whole tiles); bound that allocation like any other matrix.
+  const std::int64_t pn = (static_cast<std::int64_t>(req->n) + req->b - 1) /
+                          req->b * static_cast<std::int64_t>(req->b);
+  if (pn > limits.max_elements / pn)
+    return err(ErrorCode::TooLarge,
+               "stream triangle of " + std::to_string(pn) + "x" +
+                   std::to_string(pn) + " padded elements (b=" +
+                   std::to_string(req->b) + ") exceeds server limit of " +
+                   std::to_string(limits.max_elements));
   return std::nullopt;
 }
 
@@ -360,6 +395,7 @@ void encode_status(const ServerStatus& s, std::vector<std::uint8_t>& out) {
   w.i64(s.active_dags);
   w.i64(s.ready_tasks);
   w.i64(s.max_active_dags);
+  w.i64(s.open_sessions);
 }
 
 ServerStatus decode_status(const std::vector<std::uint8_t>& payload) {
@@ -376,6 +412,7 @@ ServerStatus decode_status(const std::vector<std::uint8_t>& payload) {
   s.active_dags = r.i64();
   s.ready_tasks = r.i64();
   s.max_active_dags = r.i64();
+  s.open_sessions = r.i64();
   return s;
 }
 

@@ -80,8 +80,10 @@ struct ErrorInfo {
 // Server-side admission limits, enforced before any allocation sized by
 // client-controlled numbers.
 struct ServerLimits {
-  std::int32_t max_dimension = 1 << 20;     // rows or cols of one matrix
-  std::int64_t max_elements = 16ll << 20;   // doubles per matrix (128 MiB)
+  std::int32_t max_dimension = 1 << 20;     // rows, cols, or tile size b
+  // Doubles per matrix (128 MiB), enforced on the TILE-PADDED shape
+  // (ceil(m/b)*b x ceil(n/b)*b) — what the server actually allocates.
+  std::int64_t max_elements = 16ll << 20;
   std::int32_t max_batch_problems = 100000;
   std::int64_t max_payload_bytes = 1ll << 30;  // per frame
 };
@@ -183,6 +185,9 @@ struct ServerStatus {
   std::int64_t active_dags = 0;
   std::int64_t ready_tasks = 0;
   std::int64_t max_active_dags = 0;  // concurrency high-watermark
+  // Live connections: dead sessions are reaped by the accept loop, so this
+  // tracks currently-connected clients, not connections ever accepted.
+  std::int64_t open_sessions = 0;
 };
 
 void encode_status(const ServerStatus& s, std::vector<std::uint8_t>& out);

@@ -85,6 +85,7 @@ struct Server::Impl {
 
   void accept_loop() {
     while (!stopping.load(std::memory_order_acquire)) {
+      reap_dead_sessions();
       if (!wait_readable(listener.get(), 200)) continue;
       net::Fd fd;
       try {
@@ -97,10 +98,41 @@ struct Server::Impl {
       session->shared = std::make_shared<SessionShared>();
       session->fd = std::move(fd);
       Session* s = session.get();
-      session->writer = std::thread([this, s] { writer_loop(s); });
+      session->writer = std::thread([this, s] {
+        writer_loop(s);
+        s->writer_done.store(true, std::memory_order_release);
+      });
       session->reader = std::thread([this, s] { reader_loop(s); });
       std::lock_guard<std::mutex> lk(sessions_mu);
       sessions.push_back(std::move(session));
+    }
+  }
+
+  // Joins and frees sessions whose connection already died, so a
+  // long-running server does not keep one fd and two thread handles per
+  // connection ever accepted. Runs on the accept thread between accepts.
+  // Draining (Shutdown) sessions are left for stop_all(), which flushes
+  // their in-flight results before closing the outbox.
+  void reap_dead_sessions() {
+    std::vector<std::unique_ptr<Session>> done;
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu);
+      auto it = sessions.begin();
+      while (it != sessions.end()) {
+        Session& s = **it;
+        if (s.dead.load(std::memory_order_acquire) &&
+            s.writer_done.load(std::memory_order_acquire) &&
+            !s.draining.load(std::memory_order_acquire)) {
+          done.push_back(std::move(*it));
+          it = sessions.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& s : done) {
+      if (s->reader.joinable()) s->reader.join();
+      if (s->writer.joinable()) s->writer.join();
     }
   }
 
@@ -110,16 +142,24 @@ struct Server::Impl {
     stopping.store(true, std::memory_order_release);
     request_stop();  // unblock wait()
     if (accept_thread.joinable()) accept_thread.join();
-    // Drain in-flight DAGs so every accepted request still gets its reply.
-    pool->wait_all();
     std::vector<std::unique_ptr<Session>> doomed;
     {
       std::lock_guard<std::mutex> lk(sessions_mu);
       doomed.swap(sessions);
     }
+    // Readers stop FIRST so nothing can be admitted after the drain below
+    // (a reader stopped this way keeps its pending DAGs running — see
+    // reader_loop's graceful path).
     for (auto& s : doomed) {
       s->stop.store(true, std::memory_order_release);
       if (s->reader.joinable()) s->reader.join();
+    }
+    // Drain in-flight DAGs AND their completion callbacks: wait_all()
+    // returns only once every on_done has run, so each accepted request's
+    // reply is in its outbox and no late callback (e.g. the chained
+    // Q-formation submit) can race pool destruction.
+    pool->wait_all();
+    for (auto& s : doomed) {
       // Everything in flight has been delivered to the outbox by now;
       // close it so the writer exits once the tail is flushed.
       {
@@ -156,6 +196,10 @@ struct Server::Impl {
     // Set when the reader exits because of a Shutdown request: in-flight
     // DAGs drain and their results flush instead of being cancelled.
     std::atomic<bool> draining{false};
+    // Reader exited (connection gone or stop requested): the session is a
+    // candidate for reaping once the writer finished too.
+    std::atomic<bool> dead{false};
+    std::atomic<bool> writer_done{false};
   };
 
   void writer_loop(Session* s) {
@@ -244,11 +288,14 @@ struct Server::Impl {
       }
     }
 
-    // Connection died (EOF/desync/stop): cancel what it still has in
-    // flight and let the writer drain. A graceful Shutdown instead leaves
-    // the DAGs running — stop_all() drains the pool, the completion
-    // callbacks enqueue their results, and only then is the outbox closed.
-    if (!s->draining.load(std::memory_order_acquire)) {
+    // Connection died (EOF/desync): cancel what it still has in flight and
+    // let the writer drain. The graceful paths — a Shutdown request or a
+    // server-side stop() — instead leave the DAGs running: stop_all()
+    // drains the pool, the completion callbacks enqueue their results, and
+    // only then is the outbox closed.
+    const bool graceful = s->draining.load(std::memory_order_acquire) ||
+                          s->stop.load(std::memory_order_acquire);
+    if (!graceful) {
       std::vector<DagId> orphans;
       {
         std::lock_guard<std::mutex> lk(s->shared->mu);
@@ -260,6 +307,7 @@ struct Server::Impl {
       for (DagId d : orphans) pool->cancel(d);
     }
     s->shared->cv.notify_all();
+    s->dead.store(true, std::memory_order_release);
   }
 
   // Reads and discards an oversized declared payload in bounded chunks so
@@ -373,12 +421,20 @@ struct Server::Impl {
       shared->pending.emplace(id, DagId{0});
     }
     requests_accepted.fetch_add(1, std::memory_order_relaxed);
-    DagId dag = pool->submit(
-        graph, job->b,
-        [f](std::int32_t idx, TileWorkspace& ws) {
-          execute_kernel(f->kernels()[static_cast<std::size_t>(idx)], *f, ws);
-        },
-        std::move(sopts));
+    DagId dag{0};
+    try {
+      dag = pool->submit(
+          graph, job->b,
+          [f](std::int32_t idx, TileWorkspace& ws) {
+            execute_kernel(f->kernels()[static_cast<std::size_t>(idx)], *f, ws);
+          },
+          std::move(sopts));
+    } catch (const Error&) {
+      // The pool refused admission (teardown raced this request).
+      finish_request_error(shared, id,
+                           {ErrorCode::ShuttingDown, "server is shutting down"});
+      return;
+    }
     {
       std::lock_guard<std::mutex> lk(shared->mu);
       auto it = shared->pending.find(id);
@@ -435,13 +491,24 @@ struct Server::Impl {
       observe_latency("qr", t0);
       finish_request(shared, id, /*cancelled=*/false, std::move(payload));
     };
-    DagId dag = pool->submit(
-        graph, f->b(),
-        [f, c, ops](std::int32_t idx, TileWorkspace& ws) {
-          execute_apply_kernel((*ops)[static_cast<std::size_t>(idx)], *f,
-                               Trans::No, *c, ws);
-        },
-        std::move(sopts));
+    DagId dag{0};
+    try {
+      dag = pool->submit(
+          graph, f->b(),
+          [f, c, ops](std::int32_t idx, TileWorkspace& ws) {
+            execute_apply_kernel((*ops)[static_cast<std::size_t>(idx)], *f,
+                                 Trans::No, *c, ws);
+          },
+          std::move(sopts));
+    } catch (const Error&) {
+      // This chained submit runs inside the factor DAG's on_done, on a pool
+      // worker: if the pool is being torn down, submit() throws — answer
+      // with a typed error instead of letting it escape the worker thread
+      // (which would std::terminate the whole server).
+      finish_request_error(shared, id,
+                           {ErrorCode::ShuttingDown, "server is shutting down"});
+      return;
+    }
     // Re-point the pending entry so Cancel aims at the live DAG.
     std::lock_guard<std::mutex> lk(shared->mu);
     auto it = shared->pending.find(id);
@@ -451,19 +518,35 @@ struct Server::Impl {
   void finish_request(const std::shared_ptr<SessionShared>& shared,
                       std::int32_t id, bool cancelled,
                       std::vector<std::uint8_t> result_payload) {
+    if (cancelled) {
+      finish_request_error(shared, id,
+                           {ErrorCode::Cancelled, "request was cancelled"});
+      return;
+    }
     {
       std::lock_guard<std::mutex> lk(shared->mu);
       shared->pending.erase(id);
     }
-    if (cancelled) {
-      requests_cancelled.fetch_add(1, std::memory_order_relaxed);
-      std::vector<std::uint8_t> payload;
-      encode_error({ErrorCode::Cancelled, "request was cancelled"}, payload);
-      shared->push(Tag::ErrorReply, id, std::move(payload));
-    } else {
-      requests_completed.fetch_add(1, std::memory_order_relaxed);
-      shared->push(Tag::Result, id, std::move(result_payload));
+    requests_completed.fetch_add(1, std::memory_order_relaxed);
+    shared->push(Tag::Result, id, std::move(result_payload));
+    update_queue_gauges();
+  }
+
+  // Resolves a pending request to a typed ErrorReply (Cancelled,
+  // ShuttingDown, ...) from a completion callback or a failed admission.
+  void finish_request_error(const std::shared_ptr<SessionShared>& shared,
+                            std::int32_t id, const ErrorInfo& e) {
+    {
+      std::lock_guard<std::mutex> lk(shared->mu);
+      shared->pending.erase(id);
     }
+    if (e.code == ErrorCode::Cancelled)
+      requests_cancelled.fetch_add(1, std::memory_order_relaxed);
+    else
+      requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::uint8_t> payload;
+    encode_error(e, payload);
+    shared->push(Tag::ErrorReply, id, std::move(payload));
     update_queue_gauges();
   }
 
@@ -513,12 +596,19 @@ struct Server::Impl {
     // pre-submit so completion can never outrun acceptance in a snapshot.
     requests_accepted.fetch_add(1, std::memory_order_relaxed);
     batches_accepted.fetch_add(1, std::memory_order_relaxed);
-    DagId dag = pool->submit(
-        fused->graph(), fused->b(),
-        [fused](std::int32_t idx, TileWorkspace& ws) {
-          fused->execute(idx, ws);
-        },
-        std::move(sopts));
+    DagId dag{0};
+    try {
+      dag = pool->submit(
+          fused->graph(), fused->b(),
+          [fused](std::int32_t idx, TileWorkspace& ws) {
+            fused->execute(idx, ws);
+          },
+          std::move(sopts));
+    } catch (const Error&) {
+      finish_request_error(shared, id,
+                           {ErrorCode::ShuttingDown, "server is shutting down"});
+      return;
+    }
     {
       std::lock_guard<std::mutex> lk(shared->mu);
       auto it = shared->pending.find(id);
@@ -642,6 +732,10 @@ struct Server::Impl {
     st.active_dags = pool->active_dags();
     st.ready_tasks = pool->ready_tasks();
     st.max_active_dags = pool->stats().max_active_dags;
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu);
+      st.open_sessions = static_cast<std::int64_t>(sessions.size());
+    }
     return st;
   }
 
@@ -650,7 +744,7 @@ struct Server::Impl {
   net::Fd listener;
   std::unique_ptr<DagPool> pool;
 
-  std::mutex sessions_mu;
+  mutable std::mutex sessions_mu;
   std::vector<std::unique_ptr<Session>> sessions;
   std::thread accept_thread;
 

@@ -2,14 +2,23 @@
 // factorization requests from many clients and executes them concurrently
 // on ONE shared worker pool (runtime/dag_pool.hpp).
 //
-// Threading model: one accept thread; per connection a reader thread
-// (frame parse -> validate -> submit to the pool) and a writer thread
-// (drains an outbox of encoded responses). Kernel work never runs on
-// connection threads — every factorization, fused batch and Q formation is
-// a DAG submitted to the shared DagPool, whose completion callback encodes
-// the response and enqueues it on the owning connection's outbox. Requests
-// from different connections and tenants therefore interleave at task
-// granularity, and a large request does not block a small one behind it.
+// Threading model: one accept thread (which also reaps sessions whose
+// connection died, so fds and thread handles do not accumulate); per
+// connection a reader thread (frame parse -> validate -> submit to the
+// pool) and a writer thread (drains an outbox of encoded responses).
+// Factorization DAGs never run on connection threads — every SubmitQR,
+// fused batch and Q formation is a DAG submitted to the shared DagPool,
+// whose completion callback encodes the response and enqueues it on the
+// owning connection's outbox. Requests from different connections and
+// tenants therefore interleave at task granularity, and a large request
+// does not block a small one behind it.
+//
+// One deliberate exception: streaming TSQR reductions (StreamAppend) run
+// inline on the connection's reader thread — stream state is
+// single-threaded by construction and needs no locking. A large append
+// (bounded by ServerLimits) therefore serializes with other requests
+// pipelined on the SAME connection, including Cancel; clients with heavy
+// streams should give them a dedicated connection.
 //
 // Validation happens before admission (serve/protocol.hpp): a malformed or
 // out-of-contract request gets a typed ErrorReply and the connection — and

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -281,6 +284,32 @@ TEST(DagPool, ThrowingKernelPoisonsOnlyItsOwnDag) {
   EXPECT_TRUE(pool.wait(good));
   QRFactors seq = qr_factorize_sequential(a, 8, flat_ts_list(3, 2));
   EXPECT_EQ(max_abs_diff(extract_r(seq).view(), extract_r(*j.f).view()), 0.0);
+}
+
+TEST(DagPool, WaitAllCoversOnDoneCallbacks) {
+  // wait_all() is the license to destroy the pool: it must not return
+  // while an on_done callback is still running, nor before a DAG that
+  // callback chained via submit() (the serve layer's Q-formation pattern)
+  // has finished — otherwise the chained submit races ~DagPool and throws
+  // on a worker thread with no handler.
+  DagPoolOptions opts;
+  opts.threads = 2;
+  DagPool pool(opts);
+  std::atomic<bool> chained_done{false};
+  DagSubmitOptions first;
+  first.on_done = [&](DagId, bool) {
+    // Widen the race window: without callback tracking, wait_all() has
+    // already returned long before the chained submit below runs.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    DagSubmitOptions second;
+    second.on_done = [&](DagId, bool) { chained_done.store(true); };
+    pool.submit(one_task_graph(), 1, [](std::int32_t, TileWorkspace&) {},
+                std::move(second));
+  };
+  pool.submit(one_task_graph(), 1, [](std::int32_t, TileWorkspace&) {},
+              std::move(first));
+  pool.wait_all();
+  EXPECT_TRUE(chained_done.load());
 }
 
 TEST(DagPool, StatsCountTasksAndDags) {

@@ -61,6 +61,8 @@ TEST(Protocol, ValidationRejectsBadShapes) {
       {4, 4, 4, 4, ErrorCode::BadInnerBlock},  // ib == b also invalid
       {128, 4, 4, 0, ErrorCode::TooLarge},     // > max_dimension
       {40, 40, 4, 0, ErrorCode::TooLarge},     // > max_elements
+      {4, 4, 128, 0, ErrorCode::TooLarge},     // b > max_dimension
+      {1, 1, 64, 0, ErrorCode::TooLarge},      // padded 64x64 > max_elements
   };
   for (const Case& c : cases) {
     auto e = validate_shape(c.m, c.n, c.b, c.ib, small_limits());
@@ -70,6 +72,27 @@ TEST(Protocol, ValidationRejectsBadShapes) {
   }
   EXPECT_FALSE(validate_shape(8, 8, 4, 0, small_limits()).has_value());
   EXPECT_FALSE(validate_shape(8, 8, 4, 2, small_limits()).has_value());
+}
+
+TEST(Protocol, StreamOpenBoundsTileSizeAndPaddedTriangle) {
+  // The running R triangle is pn x pn (n padded to whole b-tiles): a tiny
+  // stream with a gigantic b must be rejected before anything is sized.
+  auto open_err = [&](std::int32_t n, std::int32_t b) {
+    StreamOpenReq req;
+    req.n = n;
+    req.b = b;
+    std::vector<std::uint8_t> wire;
+    encode_stream_open(req, wire);
+    StreamOpenReq back;
+    return decode_stream_open(wire, small_limits(), &back);
+  };
+  auto e = open_err(8, 1 << 20);  // b > max_dimension
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->code, ErrorCode::TooLarge);
+  e = open_err(8, 64);  // padded triangle 64x64 = 4096 > max_elements
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->code, ErrorCode::TooLarge);
+  EXPECT_FALSE(open_err(8, 4).has_value());
 }
 
 TEST(Protocol, DecodeRejectsWithoutAllocating) {
@@ -172,6 +195,7 @@ TEST(Protocol, ResultStatusErrorRoundTrip) {
   st.active_dags = 5;
   st.ready_tasks = 77;
   st.max_active_dags = 8;
+  st.open_sessions = 6;
   wire.clear();
   encode_status(st, wire);
   ServerStatus sb = decode_status(wire);
@@ -179,6 +203,7 @@ TEST(Protocol, ResultStatusErrorRoundTrip) {
   EXPECT_EQ(sb.batch_problems, 3000);
   EXPECT_EQ(sb.stream_rows, 12345);
   EXPECT_EQ(sb.max_active_dags, 8);
+  EXPECT_EQ(sb.open_sessions, 6);
 
   ErrorInfo err{ErrorCode::BadInnerBlock, "ib out of range"};
   wire.clear();

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -229,6 +230,22 @@ TEST(Serve, OversizedRequestsRejectedAtProtocolLayer) {
   } catch (const ServeError& e) {
     EXPECT_EQ(e.code(), ErrorCode::TooLarge);
   }
+  // A tiny matrix with a huge tile size: the PADDED shape (b x b for a
+  // 2x2 at b=1024) busts the element cap — rejected before the server
+  // sizes anything by b.
+  try {
+    client.submit_qr(random_gaussian(2, 2, rng), 1024);
+    FAIL() << "expected TooLarge";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::TooLarge);
+  }
+  // Same for a stream open whose padded triangle explodes.
+  try {
+    client.stream_open(2, 1024);
+    FAIL() << "expected TooLarge";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::TooLarge);
+  }
   // Over the frame cap: the server drains the payload without allocating
   // it and the connection keeps working.
   try {
@@ -273,6 +290,38 @@ TEST(Serve, CancelResolvesEitherWay) {
   } catch (const ServeError& e) {
     EXPECT_EQ(e.code(), ErrorCode::UnknownRequest);
   }
+  server.stop();
+}
+
+TEST(Serve, DeadConnectionsAreReaped) {
+  ServerOptions sopts;
+  sopts.threads = 1;
+  Server server(sopts);
+  Client probe(client_opts(server));
+
+  Rng rng(67);
+  for (int i = 0; i < 3; ++i) {
+    Client c(client_opts(server));
+    Matrix a = random_gaussian(16, 8, rng);
+    c.submit_qr(a, 4);
+  }  // each client's destructor closes its connection
+
+  // The accept thread reaps dead sessions between accepts (every <= 200ms);
+  // within a bounded time only the probe connection remains, so a
+  // long-running server cannot accumulate one fd per connection ever made.
+  ServerStatus st = server.status();
+  for (int tries = 0; tries < 100 && st.open_sessions > 1; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    st = server.status();
+  }
+  EXPECT_EQ(st.open_sessions, 1);
+
+  // The surviving connection still works.
+  Matrix a = random_gaussian(12, 12, rng);
+  QROutcome res = probe.submit_qr(a, 4);
+  EXPECT_EQ(max_abs_diff(sequential_r(a, 4, TreeChoice::FlatTs).view(),
+                         res.r.view()),
+            0.0);
   server.stop();
 }
 

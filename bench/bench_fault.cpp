@@ -1,0 +1,164 @@
+// Chaos sweep on the cluster simulator: inject a deterministic rank kill
+// into 1k-4k-node HQR runs across high-level tree shapes and report what
+// recovery costs — makespan inflation over the fault-free run, tasks the
+// replacement re-executes, frames the survivors replay and the duplicates
+// the replacement re-posts. The same FaultPlan grammar drives the real
+// runtime (fault/plan.hpp), so the deterministic quantities cross-validate
+// against a measured run (examples/fault_quickstart.cpp): tasks_reexecuted
+// equals the victim partition's task count exactly under both.
+//
+// Pass --json=PATH for machine-readable results (hqr-bench-fault-v1,
+// consumed by tools/bench_compare.py).
+#include <iostream>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/algorithms.hpp"
+#include "fault/plan.hpp"
+
+using namespace hqr;
+
+namespace {
+
+// Near-square grid for `nodes` (largest divisor <= sqrt).
+void pick_grid(int nodes, int* p, int* q) {
+  *p = 1;
+  for (int d = 1; d * d <= nodes; ++d)
+    if (nodes % d == 0) *p = d;
+  *q = nodes / *p;
+}
+
+struct Row {
+  int nodes = 0, p = 0, q = 0, mt = 0, nt = 0;
+  std::string high;
+  int victim = 0;
+  long long at_task = 0;
+  SimResult base, faulty;
+};
+
+void write_json(const std::string& path, int b, long long at,
+                double restart_seconds, const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  HQR_CHECK(out.good(), "cannot write " << path);
+  out.precision(17);
+  out << "{\n  \"schema\": \"hqr-bench-fault-v1\",\n"
+      << "  \"b\": " << b << ", \"at_task\": " << at
+      << ", \"restart_seconds\": " << restart_seconds << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double inflation =
+        r.base.seconds > 0 ? r.faulty.seconds / r.base.seconds - 1.0 : 0.0;
+    out << "    {\"nodes\": " << r.nodes << ", \"grid\": \"" << r.p << "x"
+        << r.q << "\", \"high\": \"" << r.high << "\", \"mt\": " << r.mt
+        << ", \"nt\": " << r.nt << ", \"tasks\": " << r.base.tasks
+        << ", \"victim\": " << r.victim << ", \"kill_seconds\": "
+        << r.faulty.kill_seconds << ",\n     \"base_seconds\": "
+        << r.base.seconds << ", \"fault_seconds\": " << r.faulty.seconds
+        << ", \"recovery_inflation\": " << inflation
+        << ",\n     \"tasks_lost\": " << r.faulty.tasks_lost
+        << ", \"tasks_reexecuted\": " << r.faulty.tasks_reexecuted
+        << ", \"messages_replayed\": " << r.faulty.messages_replayed
+        << ", \"messages_resent\": " << r.faulty.messages_resent
+        << ", \"base_messages\": " << r.base.messages
+        << ", \"fault_messages\": " << r.faulty.messages << "}"
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "(json written to " << path << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv, {{"b", "280"},
+                       {"a", "4"},
+                       {"at", "3"},
+                       {"restart", "0.05"},
+                       {"bcast", "binomial"},
+                       {"json", ""},
+                       {"csv", ""},
+                       {"quick", "false"}});
+  const int b = static_cast<int>(cli.integer("b"));
+  const long long at = cli.integer("at");
+  const double restart_seconds = std::stod(cli.str("restart"));
+
+  std::vector<int> node_counts = {1024, 2048, 4096};
+  if (cli.flag("quick")) node_counts = {1024};
+
+  std::vector<Row> rows;
+  TextTable table({"nodes", "grid", "high", "tasks", "base s", "fault s",
+                   "inflation %", "re-exec", "replayed", "resent"});
+  for (TreeKind high :
+       {TreeKind::Greedy, TreeKind::Binary, TreeKind::Flat}) {
+    for (int nodes : node_counts) {
+      int p = 0, q = 0;
+      pick_grid(nodes, &p, &q);
+      // ~4 tile rows per grid row and one tile column per grid column keeps
+      // every node populated while the task count stays tractable at 4k
+      // nodes.
+      const int mt = 4 * p, nt = q;
+      const long long m = static_cast<long long>(mt) * b;
+      const long long n = static_cast<long long>(nt) * b;
+      HqrConfig cfg{p, static_cast<int>(cli.integer("a")), TreeKind::Greedy,
+                    high, /*domino=*/false};
+      AlgorithmRun run = make_hqr_run(mt, nt, cfg, q);
+
+      SimOptions so;
+      so.platform = Platform::edel();
+      so.b = b;
+      so.broadcast = cli.str("bcast") == "eager" ? BroadcastKind::Eager
+                                                 : BroadcastKind::Binomial;
+      const SimResult base = simulate_algorithm(run, m, n, so);
+
+      // Deterministic victim away from rank 0 (the gather root in the real
+      // runtime stays irreplaceable).
+      const int victim = nodes / 2 + 1;
+      fault::FaultAction kill;
+      kill.kind = fault::FaultKind::KillRank;
+      kill.rank = victim;
+      kill.at_task = at;
+      so.fault_plan.actions.push_back(kill);
+      so.fault_restart_seconds = restart_seconds;
+      const SimResult faulty = simulate_algorithm(run, m, n, so);
+      HQR_CHECK(faulty.faults_injected == 1,
+                "kill at completion " << at << " never fired on node "
+                                      << victim);
+
+      Row r;
+      r.nodes = nodes;
+      r.p = p;
+      r.q = q;
+      r.mt = mt;
+      r.nt = nt;
+      r.high = tree_name(high);
+      r.victim = victim;
+      r.at_task = at;
+      r.base = base;
+      r.faulty = faulty;
+      const double inflation =
+          base.seconds > 0 ? faulty.seconds / base.seconds - 1.0 : 0.0;
+      table.row()
+          .add(nodes)
+          .add(std::to_string(p) + "x" + std::to_string(q))
+          .add(r.high)
+          .add(base.tasks)
+          .add(base.seconds, 4)
+          .add(faulty.seconds, 4)
+          .add(100.0 * inflation, 3)
+          .add(faulty.tasks_reexecuted)
+          .add(faulty.messages_replayed)
+          .add(faulty.messages_resent);
+      rows.push_back(std::move(r));
+    }
+  }
+
+  bench::emit(table, cli,
+              "Fault sweep: one rank killed and recovered, by scale and "
+              "high-level tree");
+  if (!cli.str("json").empty())
+    write_json(cli.str("json"), b, at, restart_seconds, rows);
+  return 0;
+}

@@ -28,6 +28,8 @@
 
 #include "dag/partition.hpp"
 #include "dist/distribution.hpp"
+#include "fault/events.hpp"
+#include "fault/plan.hpp"
 #include "net/clock_sync.hpp"
 #include "net/comm.hpp"
 #include "runtime/executor.hpp"
@@ -50,6 +52,34 @@ struct DistTelemetry {
   long long data_bytes_sent = 0;
   long long data_bytes_recv = 0;
   double seconds = 0.0;  // since this rank started executing
+};
+
+// Fault injection + recovery wiring for one rank (DistOptions::fault).
+// With `recovery` set the rank keeps a SentTileLog of every Data frame it
+// ships, survives peer death (typed events instead of fatal errors), and
+// replays the log when the launcher re-wires a link — the survivor half of
+// the owner-computes recovery protocol (DESIGN.md §14). The fields mirror
+// fault::FtRankContext; dist_quickstart-style callers copy them across.
+struct DistFaultConfig {
+  // Injections this rank arms (fault::FaultPlan::actions_for(rank)); each
+  // fires at its 1-based local-completion trigger.
+  std::vector<fault::FaultAction> faults;
+  // Survive peer death and replay on re-wire. Off (default) keeps the
+  // historical behavior: any peer failure is fatal.
+  bool recovery = false;
+  // This process replaces a dead rank: skip the clock-sync handshake (the
+  // survivors are mid-run and will not answer) and re-execute the whole
+  // partition. Survivors deduplicate the re-posted outputs.
+  bool is_replacement = false;
+  int incarnation = 0;  // 0 = original process
+  // The launcher control channel (fault/ft_launcher.hpp); -1 = detection
+  // without re-wiring.
+  int control_fd = -1;
+  // SentTileLog byte cap; past it the log stops recording and a later
+  // replay attempt fails typed instead of replaying a partial history.
+  long long sent_log_max_bytes = 256ll << 20;
+  // Invoked once per detected failure, on the thread that detected it.
+  std::function<void(const fault::RankFailure&)> on_failure;
 };
 
 struct DistOptions {
@@ -79,6 +109,8 @@ struct DistOptions {
   // Observability sinks for this rank's executor (worker lanes).
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Fault injection and recovery; inert by default.
+  DistFaultConfig fault;
 };
 
 // Per-rank summary shipped to rank 0 over Tag::Stats; a plain byte-copied
@@ -105,6 +137,14 @@ struct DistRankStats {
   // its stats; Data slots equal plan.sent_by/received_by for the rank.
   std::array<long long, net::kTagCount> messages_sent_by_tag{};
   std::array<long long, net::kTagCount> messages_recv_by_tag{};
+  // Fault tolerance (all zero on fault-free runs).
+  std::int32_t incarnation = 0;       // 0 = original process of this rank
+  std::int32_t faults_injected = 0;   // chaos actions this rank armed+fired
+  long long peers_down = 0;           // peer-death events this rank observed
+  long long peers_replaced = 0;       // links the launcher re-wired for us
+  long long frames_dropped = 0;       // posts swallowed while a peer was down
+  long long frames_replayed = 0;      // SentTileLog frames re-shipped
+  long long bytes_replayed = 0;
 };
 
 struct DistStats {

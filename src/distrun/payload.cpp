@@ -49,6 +49,41 @@ void apply_strict_lower(net::PayloadReader& r, MatrixView v) {
           v.rows - j - 1);
 }
 
+// A full-tile payload applied per region: column j splits at the diagonal
+// into upper rows [0, j] and strict-lower rows (j, rows). The two halves
+// can be gated differently — TTQRT rewrites only U of a tile GEQRT wrote
+// whole, so a stale GEQRT frame may still own L while having lost U.
+void apply_full_gated(net::PayloadReader& r, MatrixView v, bool keep_upper,
+                      bool keep_lower) {
+  if (keep_upper && keep_lower) {
+    apply_full(r, v);
+    return;
+  }
+  for (int j = 0; j < v.cols; ++j) {
+    double* col = v.data + static_cast<std::size_t>(j) * v.ld;
+    const std::size_t nu =
+        static_cast<std::size_t>(j + 1 < v.rows ? j + 1 : v.rows);
+    if (keep_upper)
+      r.f64(col, nu);
+    else
+      r.skip(nu * sizeof(double));
+    const std::size_t nl = static_cast<std::size_t>(v.rows) - nu;
+    if (keep_lower)
+      r.f64(col + nu, nl);
+    else
+      r.skip(nl * sizeof(double));
+  }
+}
+
+void apply_upper_gated(net::PayloadReader& r, MatrixView v, bool keep) {
+  if (keep) {
+    apply_upper(r, v);
+    return;
+  }
+  for (int j = 0; j < v.cols; ++j)
+    r.skip(static_cast<std::size_t>(j + 1) * sizeof(double));
+}
+
 // The write set of a kernel over tile regions, same region indexing as the
 // task graph's dependency inference: 2*(j*mt + i) for the upper half of
 // tile (i, j) (incl. diagonal), +1 for the strict lower half. Must stay in
@@ -147,36 +182,64 @@ void pack_task_output(const KernelOp& op, const QRFactors& f,
   }
 }
 
+void RegionGates::bump_writes(const KernelOp& op, std::int32_t task) {
+  for_each_write(op, mt_, [&](std::int64_t reg) { advance(reg, task); });
+}
+
 void apply_task_output(const KernelOp& op, QRFactors& f,
-                       const std::vector<std::uint8_t>& payload) {
+                       const std::vector<std::uint8_t>& payload,
+                       RegionGates& gates, std::int32_t task) {
   HQR_CHECK(payload.size() == task_output_bytes(op, f.b()),
             "payload size mismatch for " << kernel_name(op.type) << ": got "
                                          << payload.size() << " bytes");
   net::PayloadReader r(payload);
   TiledMatrix& a = f.a();
+  const int mt = f.mt();
+  const auto upper = [&](int i, int j) {
+    return gates.advance(2 * (static_cast<std::int64_t>(j) * mt + i), task);
+  };
+  const auto lower = [&](int i, int j) {
+    return gates.advance(2 * (static_cast<std::int64_t>(j) * mt + i) + 1,
+                         task);
+  };
   switch (op.type) {
-    case KernelType::GEQRT:
-      apply_full(r, a.tile(op.row, op.k));
+    case KernelType::GEQRT: {
+      const bool ku = upper(op.row, op.k);
+      const bool kl = lower(op.row, op.k);
+      apply_full_gated(r, a.tile(op.row, op.k), ku, kl);
       apply_full(r, f.t_geqrt(op.row, op.k));
       break;
-    case KernelType::UNMQR:
-      apply_full(r, a.tile(op.row, op.j));
+    }
+    case KernelType::UNMQR: {
+      const bool ku = upper(op.row, op.j);
+      const bool kl = lower(op.row, op.j);
+      apply_full_gated(r, a.tile(op.row, op.j), ku, kl);
       break;
-    case KernelType::TSQRT:
-      apply_upper(r, a.tile(op.piv, op.k));
-      apply_full(r, a.tile(op.row, op.k));
+    }
+    case KernelType::TSQRT: {
+      apply_upper_gated(r, a.tile(op.piv, op.k), upper(op.piv, op.k));
+      const bool ku = upper(op.row, op.k);
+      const bool kl = lower(op.row, op.k);
+      apply_full_gated(r, a.tile(op.row, op.k), ku, kl);
       apply_full(r, f.t_pencil(op.row, op.k));
       break;
-    case KernelType::TTQRT:
-      apply_upper(r, a.tile(op.piv, op.k));
-      apply_upper(r, a.tile(op.row, op.k));
+    }
+    case KernelType::TTQRT: {
+      apply_upper_gated(r, a.tile(op.piv, op.k), upper(op.piv, op.k));
+      apply_upper_gated(r, a.tile(op.row, op.k), upper(op.row, op.k));
       apply_full(r, f.t_pencil(op.row, op.k));
       break;
+    }
     case KernelType::TSMQR:
-    case KernelType::TTMQR:
-      apply_full(r, a.tile(op.piv, op.j));
-      apply_full(r, a.tile(op.row, op.j));
+    case KernelType::TTMQR: {
+      const bool ku1 = upper(op.piv, op.j);
+      const bool kl1 = lower(op.piv, op.j);
+      apply_full_gated(r, a.tile(op.piv, op.j), ku1, kl1);
+      const bool ku2 = upper(op.row, op.j);
+      const bool kl2 = lower(op.row, op.j);
+      apply_full_gated(r, a.tile(op.row, op.j), ku2, kl2);
       break;
+    }
   }
   HQR_CHECK(r.remaining() == 0, "trailing bytes in payload");
 }

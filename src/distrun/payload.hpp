@@ -28,6 +28,7 @@
 // releases the consumer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,44 @@
 
 namespace hqr::distrun {
 
+// Monotone per-region writer versions of this rank's tile replica.
+//
+// Data frames from different producers share no FIFO: two ranks' streams
+// can deliver same-region writers inverted, and a SentTileLog replay
+// re-ships history arbitrarily late — seconds after newer writers of the
+// same regions (remote frames or local kernels) already advanced the
+// replica. The task graph totally orders every region's writers by task
+// index, so an apply may only move a region FORWARD: a frame whose task is
+// at or behind a region's gate keeps the newer bytes and skips that
+// segment. Workers stamp their task's write regions at completion (before
+// successors release, so anything newer is provably not yet running); the
+// comm thread consults and advances gates on every Data apply.
+class RegionGates {
+ public:
+  RegionGates(int mt, int nt)
+      : mt_(mt), v_(2 * static_cast<std::size_t>(mt) * nt) {
+    for (auto& g : v_) g.store(-1, std::memory_order_relaxed);
+  }
+
+  // True if `task` is newer than everything that wrote `region` so far;
+  // advances the gate when it is.
+  bool advance(std::int64_t region, std::int32_t task) {
+    auto& g = v_[static_cast<std::size_t>(region)];
+    std::int32_t cur = g.load(std::memory_order_acquire);
+    while (cur < task)
+      if (g.compare_exchange_weak(cur, task, std::memory_order_acq_rel))
+        return true;
+    return false;
+  }
+
+  // Worker-side: stamp every region `task`'s kernel writes.
+  void bump_writes(const KernelOp& op, std::int32_t task);
+
+ private:
+  int mt_;
+  std::vector<std::atomic<std::int32_t>> v_;
+};
+
 // Byte size of the payload `op` produces (for frame validation).
 std::size_t task_output_bytes(const KernelOp& op, int b);
 
@@ -45,12 +84,18 @@ std::size_t task_output_bytes(const KernelOp& op, int b);
 void pack_task_output(const KernelOp& op, const QRFactors& f,
                       std::vector<std::uint8_t>& out);
 
-// Applies a received payload of `op` onto the local replica. Safe to call
-// while workers run: every local task that touches these regions is either
-// a graph ancestor of `op` (already finished everywhere, or the frame could
-// not exist) or a successor (not yet released).
+// Applies a received payload of `op` onto the local replica, region by
+// region through `gates` (`task` is `op`'s graph index). Safe to call while
+// workers run: every local task touching a region this frame still wins is
+// either a graph ancestor of `op` (finished everywhere, or the frame could
+// not exist) or a successor (not yet released); regions the gates reject
+// are never written, so a late frame cannot race the newer local kernel
+// that beat it. T factors apply unconditionally — each has exactly one
+// writer ever (a row is factored once per column), so a frame that passed
+// the seen-producer dedup is that writer's only delivery.
 void apply_task_output(const KernelOp& op, QRFactors& f,
-                       const std::vector<std::uint8_t>& payload);
+                       const std::vector<std::uint8_t>& payload,
+                       RegionGates& gates, std::int32_t task);
 
 // ---- End-of-run gather ---------------------------------------------------
 //

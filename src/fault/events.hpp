@@ -1,0 +1,36 @@
+// Typed failure events: what the detection layers report instead of dying.
+//
+// Three detectors feed these events. The Comm pump notices peer streams
+// closing mid-frame (PeerClosed, detected_by = the surviving rank); the
+// distributed runtime's progress watchdog notices a wedged run
+// (WatchdogTimeout); and the fault-tolerant launcher observes child exits
+// directly (KilledBySignal / NonzeroExit / LaunchTimeout, detected_by = -1).
+#pragma once
+
+#include <string>
+
+namespace hqr::fault {
+
+enum class FailureReason {
+  PeerClosed,       // a rank's stream hit EOF or a hard socket error
+  WatchdogTimeout,  // progress watchdog expired with tasks outstanding
+  KilledBySignal,   // the launcher reaped a signal death
+  NonzeroExit,      // the launcher reaped a nonzero _exit
+  LaunchTimeout,    // the whole-run wall-clock budget expired
+};
+
+const char* failure_reason_name(FailureReason r);
+
+struct RankFailure {
+  int rank = -1;         // the rank that failed
+  int detected_by = -1;  // observing rank; -1 = the launcher itself
+  FailureReason reason = FailureReason::PeerClosed;
+  // Reason-specific detail: the killing signal (KilledBySignal), the exit
+  // code (NonzeroExit), or 0.
+  int detail = 0;
+  double seconds = 0.0;  // monotonic instant of detection
+
+  std::string describe() const;
+};
+
+}  // namespace hqr::fault

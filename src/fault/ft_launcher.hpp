@@ -1,0 +1,81 @@
+// Fault-tolerant rank launcher: the plain launcher's fork-and-supervise
+// loop, extended with a per-rank control channel, rank-failure recovery and
+// link re-wiring.
+//
+// Topology. Next to the transport-built rank mesh, every rank gets a
+// private AF_UNIX socketpair to the launcher (the control channel of
+// net/control.hpp). Ranks report dead links upward (LinkDown); the
+// launcher pushes repaired links downward (ReplacePeer + a passed
+// descriptor). Because replacement ranks receive their entire mesh as
+// passed descriptors, recovery is transport-blind: it works identically
+// under `unix` and `tcp` (all ranks are forked children of one launcher).
+//
+// Recovery of a dead rank r (r != 0; the collector's death is final):
+//   1. The supervisor reaps r, records a typed RankFailure, and creates a
+//      fresh socketpair per survivor plus a fresh control channel.
+//   2. Survivors get ReplacePeer{peer=r} with their end of the new link;
+//      their Comm installs it and the distributed runtime replays its
+//      SentTileLog into it.
+//   3. A replacement process is forked with FtRankContext.is_replacement
+//      set; it rebuilds the deterministic plan, re-executes r's entire
+//      partition, and re-posts its outputs (survivors deduplicate).
+// A LinkDown for a live peer (chaos DropLink) re-wires just that link: a
+// fresh pair, ReplacePeer to both endpoints. Epoch stamps deduplicate the
+// two reports a severed link produces and discard reports that predate a
+// re-wire already performed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/events.hpp"
+#include "fault/plan.hpp"
+#include "net/comm.hpp"
+#include "net/launcher.hpp"
+
+namespace hqr::fault {
+
+struct FtLaunchOptions {
+  net::LaunchOptions launch;
+  // The deterministic injection schedule; each rank receives its own
+  // actions through FtRankContext (replacements receive none — a fault
+  // fires once per plan, not once per incarnation).
+  FaultPlan plan;
+  // Fork replacements for dead ranks (rank 0 excluded). Off = any death
+  // tears the group down, exactly like net::run_ranks_report.
+  bool recovery = true;
+  // Recoveries beyond this count escalate to group teardown: a rank that
+  // keeps dying is a real bug, not chaos.
+  int max_recoveries = 3;
+};
+
+// What a rank body learns about its incarnation.
+struct FtRankContext {
+  int rank = -1;
+  bool is_replacement = false;
+  int incarnation = 0;  // 0 = original process, 1 = first replacement, ...
+  // This rank's end of the launcher control channel; wire it into
+  // Comm::enable_fault_tolerance.
+  int control_fd = -1;
+  // The injections this incarnation must arm (empty for replacements).
+  std::vector<FaultAction> faults;
+};
+
+struct FtLaunchReport {
+  net::LaunchReport launch;  // final-incarnation exits, rank by rank
+  std::vector<RankFailure> failures;  // every launcher-observed failure
+  int replacements_forked = 0;
+  int links_rewired = 0;  // DropLink repairs (rank recoveries not counted)
+
+  bool ok() const { return launch.ok(); }
+};
+
+// Forks `nranks` ranks running `rank_main` and supervises them with
+// recovery. Same fork caveat as net::run_ranks: call before the launching
+// process spawns threads.
+FtLaunchReport run_ranks_ft(
+    int nranks,
+    const std::function<int(net::Comm&, const FtRankContext&)>& rank_main,
+    const FtLaunchOptions& opts = {});
+
+}  // namespace hqr::fault

@@ -1,0 +1,168 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "fault/events.hpp"
+
+namespace hqr::fault {
+
+const char* failure_reason_name(FailureReason r) {
+  switch (r) {
+    case FailureReason::PeerClosed:
+      return "peer-closed";
+    case FailureReason::WatchdogTimeout:
+      return "watchdog-timeout";
+    case FailureReason::KilledBySignal:
+      return "killed-by-signal";
+    case FailureReason::NonzeroExit:
+      return "nonzero-exit";
+    case FailureReason::LaunchTimeout:
+      return "launch-timeout";
+  }
+  return "?";
+}
+
+std::string RankFailure::describe() const {
+  std::ostringstream os;
+  os << "rank " << rank << " " << failure_reason_name(reason);
+  if (detail != 0) os << " (" << detail << ")";
+  os << ", detected by "
+     << (detected_by < 0 ? std::string("launcher")
+                         : "rank " + std::to_string(detected_by));
+  return os.str();
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::KillRank:
+      return "kill";
+    case FaultKind::DropLink:
+      return "drop";
+    case FaultKind::DelayLink:
+      return "delay";
+  }
+  return "?";
+}
+
+std::vector<FaultAction> FaultPlan::actions_for(int r) const {
+  std::vector<FaultAction> mine;
+  for (const FaultAction& a : actions)
+    if (a.rank == r) mine.push_back(a);
+  return mine;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const FaultAction& a = actions[i];
+    if (i > 0) os << ";";
+    os << fault_kind_name(a.kind) << ":" << a.rank;
+    if (a.kind != FaultKind::KillRank) os << "-" << a.peer;
+    os << "@" << a.at_task;
+    if (a.kind == FaultKind::DelayLink) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", a.delay_seconds);
+      os << "+" << buf;
+    }
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int nranks, int max_task) {
+  HQR_CHECK(nranks >= 2, "a fault plan needs at least 2 ranks");
+  HQR_CHECK(max_task >= 1, "max_task must be >= 1");
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultAction a;
+  const double kind = rng.uniform();
+  a.kind = kind < 0.5 ? FaultKind::KillRank
+                      : (kind < 0.8 ? FaultKind::DropLink
+                                    : FaultKind::DelayLink);
+  // Victims avoid rank 0: the collector's death is unrecoverable.
+  a.rank = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                nranks - 1)));
+  a.at_task =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(max_task)));
+  if (a.kind != FaultKind::KillRank) {
+    a.peer = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(nranks - 1)));
+    if (a.peer >= a.rank) ++a.peer;  // any peer but the victim itself
+  }
+  if (a.kind == FaultKind::DelayLink)
+    a.delay_seconds = 0.05 + 0.45 * rng.uniform();
+  plan.actions.push_back(a);
+  return plan;
+}
+
+namespace {
+
+// Parses a non-negative integer at *s, advancing it past the digits.
+int parse_int(const char*& s, const char* what) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  HQR_CHECK(end != s && v >= 0, "fault spec: bad " << what << " near '" << s
+                                                   << "'");
+  s = end;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    if (item.empty()) continue;
+    FaultAction a;
+    const char* s = item.c_str();
+    if (item.rfind("kill:", 0) == 0) {
+      a.kind = FaultKind::KillRank;
+      s += 5;
+    } else if (item.rfind("drop:", 0) == 0) {
+      a.kind = FaultKind::DropLink;
+      s += 5;
+    } else if (item.rfind("delay:", 0) == 0) {
+      a.kind = FaultKind::DelayLink;
+      s += 6;
+    } else {
+      HQR_CHECK(false, "fault spec: unknown action '" << item
+                                                      << "' (want kill:/"
+                                                         "drop:/delay:)");
+    }
+    a.rank = parse_int(s, "rank");
+    if (a.kind != FaultKind::KillRank) {
+      HQR_CHECK(*s == '-', "fault spec: expected '-<peer>' in '" << item
+                                                                 << "'");
+      ++s;
+      a.peer = parse_int(s, "peer");
+      HQR_CHECK(a.peer != a.rank,
+                "fault spec: link endpoints must differ in '" << item << "'");
+    }
+    HQR_CHECK(*s == '@', "fault spec: expected '@<task>' in '" << item
+                                                               << "'");
+    ++s;
+    a.at_task = parse_int(s, "task trigger");
+    HQR_CHECK(a.at_task >= 1, "fault spec: task trigger is 1-based");
+    if (a.kind == FaultKind::DelayLink) {
+      HQR_CHECK(*s == '+', "fault spec: expected '+<seconds>' in '" << item
+                                                                    << "'");
+      ++s;
+      char* end = nullptr;
+      a.delay_seconds = std::strtod(s, &end);
+      HQR_CHECK(end != s && a.delay_seconds >= 0,
+                "fault spec: bad delay in '" << item << "'");
+      s = end;
+    }
+    HQR_CHECK(*s == '\0', "fault spec: trailing garbage in '" << item << "'");
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+}  // namespace hqr::fault

@@ -1,0 +1,57 @@
+// Deterministic fault plans: *what* to break, *where*, and *when*, pinned
+// down before the run starts so that a chaos run is reproducible bit for
+// bit and the cluster simulator can execute the very same plan.
+//
+// Triggers are logical, not temporal: `at_task = k` arms the fault at the
+// victim rank's k-th local task completion (1-based). Logical triggers are
+// what make the injection deterministic across machines, schedulers and
+// load — wall-clock triggers would make every chaos run unique.
+//
+// Spec grammar (semicolon-separated actions):
+//   kill:<rank>@<k>                 SIGKILL rank at its k-th completion
+//   drop:<rank>-<peer>@<k>          sever the rank<->peer stream at k
+//   delay:<rank>-<peer>@<k>+<sec>   hold rank->peer sends for <sec> seconds
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hqr::fault {
+
+enum class FaultKind {
+  KillRank,   // process death (SIGKILL, no cleanup)
+  DropLink,   // one stream dies; both endpoints survive
+  DelayLink,  // outbound frames held for delay_seconds, then restored
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultAction {
+  FaultKind kind = FaultKind::KillRank;
+  int rank = -1;  // the rank that executes the injection
+  int peer = -1;  // the other endpoint (link faults only)
+  // 1-based local-completion count that triggers the action.
+  int at_task = 1;
+  double delay_seconds = 0.0;  // DelayLink only
+};
+
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+  std::uint64_t seed = 0;  // 0 = hand-written / parsed plan
+
+  bool empty() const { return actions.empty(); }
+  // Actions rank `r` must arm locally.
+  std::vector<FaultAction> actions_for(int r) const;
+  // Round-trips through parse(): describe() output is a valid spec.
+  std::string describe() const;
+
+  // One seeded random action. Kill victims avoid rank 0 (the collector is
+  // unrecoverable by design — see DESIGN.md §14), so any seed yields a
+  // recoverable plan on nranks >= 2.
+  static FaultPlan random(std::uint64_t seed, int nranks, int max_task);
+  // Parses the spec grammar above; throws hqr::Error on malformed input.
+  static FaultPlan parse(const std::string& spec);
+};
+
+}  // namespace hqr::fault

@@ -1,0 +1,60 @@
+#include "fault/sent_log.hpp"
+
+#include "common/check.hpp"
+
+namespace hqr::fault {
+
+SentTileLog::SentTileLog(int nranks, long long max_bytes)
+    : max_bytes_(max_bytes) {
+  HQR_CHECK(nranks >= 1, "SentTileLog needs at least one rank");
+  per_dest_.resize(static_cast<std::size_t>(nranks));
+}
+
+bool SentTileLog::append(int dest, int producer_task, Payload payload) {
+  HQR_CHECK(dest >= 0 && dest < static_cast<int>(per_dest_.size()),
+            "SentTileLog: bad destination " << dest);
+  HQR_CHECK(payload != nullptr, "SentTileLog: null payload");
+  std::lock_guard<std::mutex> lk(mu_);
+  if (overflowed_) return false;
+  const long long sz = static_cast<long long>(payload->size());
+  if (max_bytes_ > 0 && bytes_ + sz > max_bytes_) {
+    // Stop recording entirely: a log with holes replays a partial history,
+    // which is worse than a typed refusal to replay at all.
+    overflowed_ = true;
+    return false;
+  }
+  per_dest_[static_cast<std::size_t>(dest)].push_back(
+      Entry{producer_task, std::move(payload)});
+  bytes_ += sz;
+  ++frames_;
+  return true;
+}
+
+bool SentTileLog::replay(
+    int dest,
+    const std::function<void(int producer_task, const Payload&)>& fn) const {
+  HQR_CHECK(dest >= 0 && dest < static_cast<int>(per_dest_.size()),
+            "SentTileLog: bad destination " << dest);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (overflowed_) return false;
+  for (const Entry& e : per_dest_[static_cast<std::size_t>(dest)])
+    fn(e.producer_task, e.payload);
+  return true;
+}
+
+long long SentTileLog::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+long long SentTileLog::frames() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return frames_;
+}
+
+bool SentTileLog::overflowed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return overflowed_;
+}
+
+}  // namespace hqr::fault

@@ -37,10 +37,30 @@ struct CommCounters {
   long long control_bytes_sent = 0;
   long long control_messages_recv = 0;
   long long control_bytes_recv = 0;
+  // Fault tolerance (all zero unless enable_fault_tolerance was called):
+  // frames posted to a peer currently marked down are dropped — never
+  // counted as sent — and tallied here; the SentTileLog replay after the
+  // re-wire is what actually delivers their payloads.
+  long long frames_dropped_peer_down = 0;
+  long long peers_down = 0;      // peer-death events observed
+  long long peers_replaced = 0;  // links re-wired by the launcher
   std::array<long long, kTagCount> messages_sent_by_tag{};
   std::array<long long, kTagCount> bytes_sent_by_tag{};
   std::array<long long, kTagCount> messages_recv_by_tag{};
   std::array<long long, kTagCount> bytes_recv_by_tag{};
+};
+
+// Callbacks of the fault-tolerant mode, both invoked on the thread driving
+// pump() with no Comm lock held (posting from them is safe).
+struct CommFaultHooks {
+  // The stream to `peer` died (EOF or hard socket error). The peer is
+  // already marked down: frames posted to it drop silently and its LinkDown
+  // report has been sent to the launcher's control channel.
+  std::function<void(int peer)> on_peer_down;
+  // The launcher re-wired the link (ReplacePeer + passed descriptor): the
+  // new socket is installed and the peer accepts traffic again. The
+  // distributed runtime replays its SentTileLog from here.
+  std::function<void(int peer)> on_peer_replaced;
 };
 
 class Comm {
@@ -71,6 +91,31 @@ class Comm {
   // Tolerate peers closing their end (set before the shutdown flush).
   void set_eof_ok(bool ok) { eof_ok_ = ok; }
 
+  // Switches peer death from fatal (HQR_CHECK throw) to survivable: a dead
+  // peer is marked down, its queued frames are discarded (tallied in
+  // frames_dropped_peer_down), a LinkDown report goes to `control_fd` (the
+  // launcher's channel; -1 = detection only, no re-wiring), and
+  // hooks.on_peer_down fires. pump() additionally polls control_fd for
+  // ReplacePeer messages and installs the passed descriptor. Call before
+  // the first pump(); the default (off) behavior is bit-identical to
+  // pre-fault builds.
+  void enable_fault_tolerance(int control_fd, CommFaultHooks hooks);
+
+  // True while frames to q are being dropped (between peer death and the
+  // launcher's re-wire). Thread-safe.
+  bool peer_down(int q) const;
+
+  // Times the link to q has been re-wired (the LinkDown dedup epoch).
+  int peer_epoch(int q) const;
+
+  // Chaos hook (fault/plan.hpp DropLink): hard-closes both directions of
+  // the stream to q, so both endpoints observe EOF as if the link failed.
+  void sever_link(int q);
+
+  // Chaos hook (DelayLink): holds outbound frames to q for `seconds`, then
+  // restores normal flushing; inbound traffic is unaffected.
+  void pause_peer(int q, double seconds);
+
   const CommCounters& counters() const { return counters_; }
 
   // Locked copy of the counters, safe to take mid-run while other threads
@@ -98,9 +143,15 @@ class Comm {
     bool closed = false;
   };
 
-  void flush_peer(int q);
+  // Both return true when the peer died under fault mode (already marked
+  // down; the caller owes the hooks an on_peer_down).
+  bool flush_peer(int q);
   // Reads from peer q; appends complete messages to `out`.
-  void drain_peer(int q, std::vector<Message>& out);
+  bool drain_peer(int q, std::vector<Message>& out);
+
+  void drop_queue_locked(int q);
+  void mark_peer_down_locked(int q);
+  void handle_control(std::vector<int>& replaced);
 
   int rank_;
   std::vector<Fd> peers_;
@@ -115,6 +166,15 @@ class Comm {
   long long pending_bytes_ = 0;
   bool eof_ok_ = false;
   CommCounters counters_;
+  // Fault-tolerant mode (all guarded by send_mu_ where shared).
+  bool fault_mode_ = false;
+  int control_fd_ = -1;
+  CommFaultHooks hooks_;
+  std::vector<char> down_;
+  std::vector<int> down_epoch_;  // epoch_[q] at the instant q went down
+  std::vector<int> epoch_;
+  std::vector<double> paused_until_;  // 0 = not paused
+  int paused_links_ = 0;
 };
 
 }  // namespace hqr::net

@@ -51,8 +51,74 @@ namespace {
 
 }  // namespace
 
-int run_ranks(int nranks, const std::function<int(Comm&)>& rank_main,
-              const LaunchOptions& opts) {
+namespace detail {
+
+void record_exit(RankExit& e, int status) {
+  if (WIFEXITED(status)) {
+    e.exited = true;
+    e.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    e.signaled = true;
+    e.term_signal = WTERMSIG(status);
+  }
+}
+
+// Tears down every still-running rank. With a grace budget the group first
+// gets SIGTERM (a chance to flush traces and metrics before dying); ranks
+// still alive at the deadline get SIGKILL. Blocks until all are reaped.
+void kill_group(std::vector<pid_t>& pids, std::vector<RankExit>& exits,
+                double grace_seconds) {
+  const int n = static_cast<int>(pids.size());
+  bool any = false;
+  for (pid_t pid : pids) any = any || pid > 0;
+  if (!any) return;
+  if (grace_seconds > 0) {
+    for (pid_t pid : pids)
+      if (pid > 0) ::kill(pid, SIGTERM);
+    const auto kill_at =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(grace_seconds));
+    for (;;) {
+      bool alive = false;
+      for (int r = 0; r < n; ++r) {
+        pid_t& pid = pids[static_cast<std::size_t>(r)];
+        if (pid < 0) continue;
+        int status = 0;
+        const pid_t got = ::waitpid(pid, &status, WNOHANG);
+        if (got == pid) {
+          record_exit(exits[static_cast<std::size_t>(r)], status);
+          exits[static_cast<std::size_t>(r)].killed_by_launcher = true;
+          pid = -1;
+        } else {
+          alive = true;
+        }
+      }
+      if (!alive || std::chrono::steady_clock::now() >= kill_at) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  for (pid_t pid : pids)
+    if (pid > 0) ::kill(pid, SIGKILL);
+  for (int r = 0; r < n; ++r) {
+    pid_t& pid = pids[static_cast<std::size_t>(r)];
+    if (pid < 0) continue;
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    record_exit(exits[static_cast<std::size_t>(r)], status);
+    exits[static_cast<std::size_t>(r)].killed_by_launcher = true;
+    pid = -1;
+  }
+}
+
+}  // namespace detail
+
+using detail::kill_group;
+using detail::record_exit;
+
+LaunchReport run_ranks_report(int nranks,
+                              const std::function<int(Comm&)>& rank_main,
+                              const LaunchOptions& opts) {
   HQR_CHECK(nranks >= 1, "need at least one rank, got " << nranks);
   std::unique_ptr<Transport> transport = make_transport(opts.transport);
   transport->prepare(nranks);
@@ -73,9 +139,9 @@ int run_ranks(int nranks, const std::function<int(Comm&)>& rank_main,
           std::chrono::duration<double>(
               opts.timeout_seconds > 0 ? opts.timeout_seconds : 0));
 
+  LaunchReport report;
+  report.ranks.resize(static_cast<std::size_t>(nranks));
   int alive = nranks;
-  int first_failure = 0;
-  bool timed_out = false;
   while (alive > 0) {
     bool reaped = false;
     for (int r = 0; r < nranks; ++r) {
@@ -88,41 +154,42 @@ int run_ranks(int nranks, const std::function<int(Comm&)>& rank_main,
       pid = -1;
       --alive;
       reaped = true;
+      RankExit& e = report.ranks[static_cast<std::size_t>(r)];
+      record_exit(e, status);
       int code = 0;
-      if (WIFEXITED(status)) {
-        code = WEXITSTATUS(status);
-      } else if (WIFSIGNALED(status)) {
+      if (e.exited) {
+        code = e.exit_code;
+      } else if (e.signaled) {
         std::fprintf(stderr, "[launcher] rank %d killed by signal %d\n", r,
-                     WTERMSIG(status));
+                     e.term_signal);
         code = 1;
       }
-      if (code != 0 && first_failure == 0) first_failure = code;
+      if (code != 0 && report.first_failure == 0) {
+        report.first_failure = code;
+        report.failed_rank = r;
+      }
     }
     if (alive == 0) break;
-    if (first_failure != 0) break;  // one rank failed: kill the rest
+    if (report.first_failure != 0) break;  // one rank failed: kill the rest
     if (opts.timeout_seconds > 0 &&
         std::chrono::steady_clock::now() >= deadline) {
-      std::fprintf(stderr, "[launcher] timeout after %.1fs, killing %d rank(s)\n",
+      std::fprintf(stderr,
+                   "[launcher] timeout after %.1fs, killing %d rank(s)\n",
                    opts.timeout_seconds, alive);
-      timed_out = true;
+      report.timed_out = true;
       break;
     }
     if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
 
-  if (alive > 0) {
-    for (pid_t pid : pids)
-      if (pid > 0) ::kill(pid, SIGKILL);
-    for (int r = 0; r < nranks; ++r) {
-      pid_t& pid = pids[static_cast<std::size_t>(r)];
-      if (pid < 0) continue;
-      int status = 0;
-      ::waitpid(pid, &status, 0);
-      pid = -1;
-    }
-  }
-  if (timed_out && first_failure == 0) first_failure = 1;
-  return first_failure;
+  kill_group(pids, report.ranks, opts.term_grace_seconds);
+  if (report.timed_out && report.first_failure == 0) report.first_failure = 1;
+  return report;
+}
+
+int run_ranks(int nranks, const std::function<int(Comm&)>& rank_main,
+              const LaunchOptions& opts) {
+  return run_ranks_report(nranks, rank_main, opts).first_failure;
 }
 
 }  // namespace hqr::net

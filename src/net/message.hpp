@@ -237,6 +237,13 @@ class PayloadReader {
     pos_ += n;
   }
   void f64(double* p, std::size_t count) { raw(p, count * sizeof(double)); }
+  void skip(std::size_t n) {
+    HQR_CHECK(n <= in_.size() - pos_,
+              "malformed payload: skip of " << n << " bytes at offset " << pos_
+                                            << " overruns " << in_.size()
+                                            << "-byte buffer");
+    pos_ += n;
+  }
   std::int64_t i64() {
     std::int64_t v;
     raw(&v, sizeof(v));

@@ -196,4 +196,78 @@ void read_all(int fd, void* p, std::size_t n, double deadline) {
   }
 }
 
+void send_with_fd(int sock, const void* p, std::size_t n, int fd_to_pass) {
+  iovec iov{};
+  iov.iov_base = const_cast<void*>(p);
+  iov.iov_len = n;
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  if (fd_to_pass >= 0) {
+    std::memset(cbuf, 0, sizeof(cbuf));
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+    cm->cmsg_level = SOL_SOCKET;
+    cm->cmsg_type = SCM_RIGHTS;
+    cm->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cm), &fd_to_pass, sizeof(int));
+  }
+  for (;;) {
+    const ssize_t r = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    if (r == static_cast<ssize_t>(n)) return;
+    HQR_CHECK(r < 0, "sendmsg: short control message (" << r << " of " << n
+                                                        << " bytes)");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poll_for(sock, POLLOUT, monotonic_seconds() + 10.0, "control send");
+      continue;
+    }
+    HQR_CHECK(false, "sendmsg: " << std::strerror(errno));
+  }
+}
+
+bool recv_with_fd(int sock, void* p, std::size_t n, Fd* received,
+                  double deadline) {
+  iovec iov{};
+  iov.iov_base = p;
+  iov.iov_len = n;
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    const ssize_t r = ::recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+    if (r == 0) return false;  // orderly EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        poll_for(sock, POLLIN, deadline, "control recv");
+        continue;
+      }
+      HQR_CHECK(false, "recvmsg: " << std::strerror(errno));
+    }
+    // Control messages are tiny and sent in one atomic sendmsg on an
+    // AF_UNIX stream, so a partial read means a desynchronized channel.
+    HQR_CHECK(r == static_cast<ssize_t>(n),
+              "recvmsg: short control message (" << r << " of " << n
+                                                 << " bytes)");
+    for (cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+         cm = CMSG_NXTHDR(&msg, cm)) {
+      if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SCM_RIGHTS) {
+        int fd = -1;
+        std::memcpy(&fd, CMSG_DATA(cm), sizeof(int));
+        if (received != nullptr)
+          *received = Fd(fd);
+        else if (fd >= 0)
+          ::close(fd);
+      }
+    }
+    return true;
+  }
+}
+
 }  // namespace hqr::net

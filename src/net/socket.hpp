@@ -91,4 +91,20 @@ void set_tcp_nodelay(int fd);
 void write_all(int fd, const void* p, std::size_t n, double deadline);
 void read_all(int fd, void* p, std::size_t n, double deadline);
 
+// --- Descriptor passing (the fault-tolerant launcher's re-wiring path) ---
+
+// Sends `n` bytes plus, when fd_to_pass >= 0, one file descriptor as
+// SCM_RIGHTS ancillary data over an AF_UNIX socket. The message is sent
+// atomically (small control payloads only). Throws hqr::Error on failure,
+// including a closed peer.
+void send_with_fd(int sock, const void* p, std::size_t n, int fd_to_pass);
+
+// Receives exactly `n` bytes and any descriptor that rode along (stored in
+// *received, which is left invalid when none arrived). Returns false on
+// orderly EOF before any byte, true on a full message; throws on a short or
+// failed read. `sock` may be nonblocking — the call polls until the message
+// arrives or `deadline` passes.
+bool recv_with_fd(int sock, void* p, std::size_t n, Fd* received,
+                  double deadline);
+
 }  // namespace hqr::net

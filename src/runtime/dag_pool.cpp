@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <queue>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -222,6 +223,13 @@ struct DagPool::Impl {
 
     std::unique_lock<std::mutex> lk(mu);
     HQR_CHECK(!stopping, "DagPool is shutting down");
+    if (opts.max_active_dags > 0 && !sopts.bypass_admission_limit &&
+        static_cast<int>(active.size()) >= opts.max_active_dags) {
+      std::ostringstream os;
+      os << "DagPool overloaded: " << active.size() << " active DAGs (limit "
+         << opts.max_active_dags << ")";
+      throw PoolOverloaded(os.str());
+    }
     dag->id = next_id++;
     int seeded = 0;
     for (int i = 0; i < n; ++i) {

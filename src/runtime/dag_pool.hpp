@@ -46,8 +46,20 @@ namespace hqr {
 
 using DagId = std::uint64_t;
 
+// Thrown by submit() when the pool is at max_active_dags — distinguishable
+// from teardown (plain hqr::Error) so servers can answer with a typed
+// "overloaded, retry later" instead of "shutting down".
+class PoolOverloaded : public Error {
+ public:
+  using Error::Error;
+};
+
 struct DagPoolOptions {
   int threads = 1;
+  // Admission bound: submit() throws PoolOverloaded while this many DAGs
+  // are active (0 = unbounded). Backpressure for serving layers — a client
+  // burst degrades into typed refusals instead of unbounded queue growth.
+  int max_active_dags = 0;
   // Optional sinks: dagpool.* counters/gauges (tasks, completions, ready
   // depth). Null = disabled.
   obs::MetricsRegistry* metrics = nullptr;
@@ -70,6 +82,10 @@ struct DagSubmitOptions {
   // must be prepared to catch it. wait_all() does not return while any
   // on_done is still running.
   std::function<void(DagId, bool cancelled)> on_done;
+  // Skip the max_active_dags admission check: for internal continuation
+  // DAGs (e.g. a server chaining Q formation onto a finished factorization)
+  // that must be able to drain even when the pool refuses new work.
+  bool bypass_admission_limit = false;
 };
 
 struct DagPoolStats {

@@ -129,6 +129,7 @@ const char* error_code_name(ErrorCode c) {
     case ErrorCode::ShuttingDown: return "ShuttingDown";
     case ErrorCode::Cancelled: return "Cancelled";
     case ErrorCode::Internal: return "Internal";
+    case ErrorCode::Overloaded: return "Overloaded";
   }
   return "Unknown";
 }
@@ -396,6 +397,7 @@ void encode_status(const ServerStatus& s, std::vector<std::uint8_t>& out) {
   w.i64(s.ready_tasks);
   w.i64(s.max_active_dags);
   w.i64(s.open_sessions);
+  w.i64(s.requests_overloaded);
 }
 
 ServerStatus decode_status(const std::vector<std::uint8_t>& payload) {
@@ -413,6 +415,7 @@ ServerStatus decode_status(const std::vector<std::uint8_t>& payload) {
   s.ready_tasks = r.i64();
   s.max_active_dags = r.i64();
   s.open_sessions = r.i64();
+  s.requests_overloaded = r.i64();
   return s;
 }
 

@@ -68,6 +68,7 @@ enum class ErrorCode : std::int32_t {
   ShuttingDown = 10,   // submit after Shutdown was requested
   Cancelled = 11,      // the request was cancelled before completing
   Internal = 12,       // unexpected server-side failure
+  Overloaded = 13,     // admission limit hit — back off and retry later
 };
 
 const char* error_code_name(ErrorCode c);
@@ -86,6 +87,13 @@ struct ServerLimits {
   std::int64_t max_elements = 16ll << 20;
   std::int32_t max_batch_problems = 100000;
   std::int64_t max_payload_bytes = 1ll << 30;  // per frame
+  // Concurrency admission (0 = unbounded). max_active_dags bounds the DAGs
+  // the worker pool will hold simultaneously; max_inflight_per_tenant bounds
+  // one tenant's unfinished SubmitQR/SubmitBatch requests. Either limit
+  // trips a typed ErrorReply{Overloaded} — the client backs off and retries
+  // instead of growing the server's queues without bound.
+  std::int32_t max_active_dags = 0;
+  std::int32_t max_inflight_per_tenant = 0;
 };
 
 // Shared shape validation: returns the typed error a request with these
@@ -188,6 +196,8 @@ struct ServerStatus {
   // Live connections: dead sessions are reaped by the accept loop, so this
   // tracks currently-connected clients, not connections ever accepted.
   std::int64_t open_sessions = 0;
+  // Submits refused with ErrorCode::Overloaded (pool or per-tenant limit).
+  std::int64_t requests_overloaded = 0;
 };
 
 void encode_status(const ServerStatus& s, std::vector<std::uint8_t>& out);

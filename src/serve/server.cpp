@@ -72,6 +72,7 @@ struct Server::Impl {
   explicit Impl(const ServerOptions& o) : opts(o) {
     DagPoolOptions popts;
     popts.threads = opts.threads;
+    popts.max_active_dags = opts.limits.max_active_dags;
     popts.metrics = opts.metrics;
     pool = std::make_unique<DagPool>(popts);
     bound_port = opts.port;
@@ -365,6 +366,27 @@ struct Server::Impl {
           .add(1);
   }
 
+  // Per-tenant admission: false (nothing recorded) when the tenant already
+  // has max_inflight_per_tenant unfinished submits; otherwise records one.
+  bool tenant_admit(std::int64_t tenant) {
+    if (opts.limits.max_inflight_per_tenant <= 0) return true;
+    std::lock_guard<std::mutex> lk(tenant_mu);
+    int& n = tenant_inflight[tenant];
+    if (n >= opts.limits.max_inflight_per_tenant) return false;
+    ++n;
+    return true;
+  }
+
+  // Pairs with every successful tenant_admit(), on whichever path resolves
+  // the request (result, cancel, error, refused pool admission).
+  void tenant_release(std::int64_t tenant) {
+    if (opts.limits.max_inflight_per_tenant <= 0) return;
+    std::lock_guard<std::mutex> lk(tenant_mu);
+    auto it = tenant_inflight.find(tenant);
+    if (it != tenant_inflight.end() && --it->second <= 0)
+      tenant_inflight.erase(it);
+  }
+
   void update_queue_gauges() {
     if (!opts.metrics) return;
     opts.metrics->gauge("serve.queue_depth")
@@ -393,6 +415,15 @@ struct Server::Impl {
       return;
     }
     if (admission_closed(s, id)) return;
+    if (!tenant_admit(job->tenant)) {
+      requests_overloaded.fetch_add(1, std::memory_order_relaxed);
+      reject(s, id,
+             {ErrorCode::Overloaded,
+              "tenant " + std::to_string(job->tenant) + " is at " +
+                  std::to_string(opts.limits.max_inflight_per_tenant) +
+                  " in-flight requests"});
+      return;
+    }
     note_tenant(job->tenant);
 
     auto tiled = TiledMatrix::from_matrix(job->a, job->b);
@@ -429,9 +460,14 @@ struct Server::Impl {
             execute_kernel(f->kernels()[static_cast<std::size_t>(idx)], *f, ws);
           },
           std::move(sopts));
+    } catch (const PoolOverloaded& e) {
+      requests_overloaded.fetch_add(1, std::memory_order_relaxed);
+      finish_request_error(shared, id, job->tenant,
+                           {ErrorCode::Overloaded, e.what()});
+      return;
     } catch (const Error&) {
       // The pool refused admission (teardown raced this request).
-      finish_request_error(shared, id,
+      finish_request_error(shared, id, job->tenant,
                            {ErrorCode::ShuttingDown, "server is shutting down"});
       return;
     }
@@ -449,7 +485,7 @@ struct Server::Impl {
                         const std::shared_ptr<QRJob>& job, double t0,
                         bool cancelled) {
     if (cancelled) {
-      finish_request(shared, id, /*cancelled=*/true, {});
+      finish_request(shared, id, job->tenant, /*cancelled=*/true, {});
       return;
     }
     if (!job->want_q) {
@@ -458,7 +494,8 @@ struct Server::Impl {
       std::vector<std::uint8_t> payload;
       encode_result(res, payload);
       observe_latency("qr", t0);
-      finish_request(shared, id, /*cancelled=*/false, std::move(payload));
+      finish_request(shared, id, job->tenant, /*cancelled=*/false,
+                     std::move(payload));
       return;
     }
     // Q formation as a second DAG on the same pool (build_q, parallel): C
@@ -474,9 +511,12 @@ struct Server::Impl {
         TaskGraph::apply_graph(*ops, f->mt(), c->nt()));
     DagSubmitOptions sopts;
     sopts.priority = job->priority;
+    // The Q DAG is the tail of an already-admitted request: it must drain
+    // even when the pool is at max_active_dags refusing new submits.
+    sopts.bypass_admission_limit = true;
     sopts.on_done = [this, shared, id, f, job, c, t0](DagId, bool q_cancelled) {
       if (q_cancelled) {
-        finish_request(shared, id, /*cancelled=*/true, {});
+        finish_request(shared, id, job->tenant, /*cancelled=*/true, {});
         return;
       }
       QROutcome res;
@@ -489,7 +529,8 @@ struct Server::Impl {
       std::vector<std::uint8_t> payload;
       encode_result(res, payload);
       observe_latency("qr", t0);
-      finish_request(shared, id, /*cancelled=*/false, std::move(payload));
+      finish_request(shared, id, job->tenant, /*cancelled=*/false,
+                     std::move(payload));
     };
     DagId dag{0};
     try {
@@ -505,7 +546,7 @@ struct Server::Impl {
       // worker: if the pool is being torn down, submit() throws — answer
       // with a typed error instead of letting it escape the worker thread
       // (which would std::terminate the whole server).
-      finish_request_error(shared, id,
+      finish_request_error(shared, id, job->tenant,
                            {ErrorCode::ShuttingDown, "server is shutting down"});
       return;
     }
@@ -516,13 +557,14 @@ struct Server::Impl {
   }
 
   void finish_request(const std::shared_ptr<SessionShared>& shared,
-                      std::int32_t id, bool cancelled,
+                      std::int32_t id, std::int64_t tenant, bool cancelled,
                       std::vector<std::uint8_t> result_payload) {
     if (cancelled) {
-      finish_request_error(shared, id,
+      finish_request_error(shared, id, tenant,
                            {ErrorCode::Cancelled, "request was cancelled"});
       return;
     }
+    tenant_release(tenant);
     {
       std::lock_guard<std::mutex> lk(shared->mu);
       shared->pending.erase(id);
@@ -535,7 +577,9 @@ struct Server::Impl {
   // Resolves a pending request to a typed ErrorReply (Cancelled,
   // ShuttingDown, ...) from a completion callback or a failed admission.
   void finish_request_error(const std::shared_ptr<SessionShared>& shared,
-                            std::int32_t id, const ErrorInfo& e) {
+                            std::int32_t id, std::int64_t tenant,
+                            const ErrorInfo& e) {
+    tenant_release(tenant);
     {
       std::lock_guard<std::mutex> lk(shared->mu);
       shared->pending.erase(id);
@@ -558,6 +602,15 @@ struct Server::Impl {
       return;
     }
     if (admission_closed(s, id)) return;
+    if (!tenant_admit(job->tenant)) {
+      requests_overloaded.fetch_add(1, std::memory_order_relaxed);
+      reject(s, id,
+             {ErrorCode::Overloaded,
+              "tenant " + std::to_string(job->tenant) + " is at " +
+                  std::to_string(opts.limits.max_inflight_per_tenant) +
+                  " in-flight requests"});
+      return;
+    }
     note_tenant(job->tenant);
 
     // ONE fused DAG, ONE scheduler pass for the whole batch.
@@ -567,9 +620,9 @@ struct Server::Impl {
     auto shared = s->shared;
     DagSubmitOptions sopts;
     sopts.priority = job->priority;
-    sopts.on_done = [this, shared, id, fused, t0](DagId, bool cancelled) {
+    sopts.on_done = [this, shared, id, fused, job, t0](DagId, bool cancelled) {
       if (cancelled) {
-        finish_request(shared, id, /*cancelled=*/true, {});
+        finish_request(shared, id, job->tenant, /*cancelled=*/true, {});
         return;
       }
       std::vector<Matrix> rs;
@@ -580,6 +633,7 @@ struct Server::Impl {
       observe_latency("batch", t0);
       batch_problems.fetch_add(static_cast<long long>(fused->size()),
                                std::memory_order_relaxed);
+      tenant_release(job->tenant);
       {
         std::lock_guard<std::mutex> lk(shared->mu);
         shared->pending.erase(id);
@@ -604,8 +658,13 @@ struct Server::Impl {
             fused->execute(idx, ws);
           },
           std::move(sopts));
+    } catch (const PoolOverloaded& e) {
+      requests_overloaded.fetch_add(1, std::memory_order_relaxed);
+      finish_request_error(shared, id, job->tenant,
+                           {ErrorCode::Overloaded, e.what()});
+      return;
     } catch (const Error&) {
-      finish_request_error(shared, id,
+      finish_request_error(shared, id, job->tenant,
                            {ErrorCode::ShuttingDown, "server is shutting down"});
       return;
     }
@@ -732,6 +791,8 @@ struct Server::Impl {
     st.active_dags = pool->active_dags();
     st.ready_tasks = pool->ready_tasks();
     st.max_active_dags = pool->stats().max_active_dags;
+    st.requests_overloaded =
+        requests_overloaded.load(std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(sessions_mu);
       st.open_sessions = static_cast<std::int64_t>(sessions.size());
@@ -762,6 +823,11 @@ struct Server::Impl {
   std::atomic<long long> batch_problems{0};
   std::atomic<long long> streams_opened{0};
   std::atomic<long long> stream_rows{0};
+  std::atomic<long long> requests_overloaded{0};
+
+  // Per-tenant in-flight SubmitQR/SubmitBatch counts (admission control).
+  std::mutex tenant_mu;
+  std::unordered_map<std::int64_t, int> tenant_inflight;
 };
 
 Server::Server(const ServerOptions& opts)

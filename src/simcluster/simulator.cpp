@@ -135,8 +135,66 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
   SimResult res;
   res.tasks = ntasks;
 
+  // ---- Fault model state (inert unless the plan has actions) -------------
+  // The kill model mirrors the runtime's recovery protocol: the victim's
+  // k-th local completion dies in on_complete (its output never leaves),
+  // every completed-but-victim-local result is rolled back (the replacement
+  // re-executes the whole partition), remote consumers keep what they
+  // already received, and at t_kill + fault_restart_seconds the survivors
+  // replay the victim's inbound history. One approximation: broadcast trees
+  // are pre-scheduled at completion time, so frames still in flight at the
+  // kill count as delivered (the real runtime re-delivers them via replay
+  // at nearly the same instant).
+  const bool faulty = !opts.fault_plan.empty();
+  struct ArmedAction {
+    fault::FaultAction a;
+    bool fired = false;
+  };
+  std::vector<std::vector<ArmedAction>> armed;  // per node
+  std::vector<long long> completions_on;        // 1-based trigger counters
+  std::vector<int> gen;    // node incarnation; bumped on kill
+  std::vector<int> evgen;  // incarnation stamped on each queued event
+  std::vector<char> completed;  // per task; only maintained when faulty
+  std::vector<char> redo;  // completion rolled back by a kill; re-executes
+  struct LinkBlock {
+    int from, to;
+    double until;
+  };
+  std::vector<LinkBlock> link_blocks;
+  struct PendingRestart {
+    int victim = -1;  // -1: no death window open
+    double t_restart = 0.0;
+    std::vector<std::int32_t> replay;    // producers completed pre-kill
+    std::vector<std::int32_t> deferred;  // producers completed while dead
+  };
+  PendingRestart restart;
+  std::vector<char> def_mask;  // per-node scratch: delivery deferred
+  if (faulty) {
+    armed.assign(static_cast<std::size_t>(nnodes), {});
+    for (const fault::FaultAction& a : opts.fault_plan.actions) {
+      HQR_CHECK(a.rank >= 0 && a.rank < nnodes,
+                "fault plan rank " << a.rank << " out of range for " << nnodes
+                                   << " simulated nodes");
+      if (a.kind != fault::FaultKind::KillRank)
+        HQR_CHECK(a.peer >= 0 && a.peer < nnodes && a.peer != a.rank,
+                  "fault plan peer " << a.peer << " invalid for rank "
+                                     << a.rank);
+      armed[static_cast<std::size_t>(a.rank)].push_back({a, false});
+    }
+    completions_on.assign(static_cast<std::size_t>(nnodes), 0);
+    gen.assign(static_cast<std::size_t>(nnodes), 0);
+    evgen.assign(static_cast<std::size_t>(ntasks), 0);
+    completed.assign(static_cast<std::size_t>(ntasks), 0);
+    redo.assign(static_cast<std::size_t>(ntasks), 0);
+    def_mask.assign(static_cast<std::size_t>(nnodes), 0);
+  }
+  const auto push_event = [&](double t, std::int32_t task, bool completion) {
+    if (faulty) evgen[task] = gen[node[task]];
+    events.push({t, task, completion});
+  };
+
   for (std::int32_t r : graph.roots())
-    events.push({0.0, r, /*is_completion=*/false});
+    push_event(0.0, r, /*completion=*/false);
 
   double now = 0.0;
   // Scratch for per-producer broadcast dedup: arrival time per dest node.
@@ -161,6 +219,13 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
   // `avail`; charges NICs, counters and comm-thread CPU on both endpoints
   // and returns the arrival time.
   auto charge_edge = [&](int from, int to, double avail) {
+    // A blocked link (severed or delayed by a chaos action) holds frames
+    // until it is repaired/expired.
+    if (!link_blocks.empty()) {
+      for (const LinkBlock& lb : link_blocks)
+        if (lb.from == from && lb.to == to && lb.until > avail)
+          avail = lb.until;
+    }
     double arr;
     if (opts.nic_contention) {
       const double start = std::max({avail, send_free[from], recv_free[to]});
@@ -208,7 +273,7 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       const double finish = now + d;
       busy_accel[nd] += d;
       record(t, nd, now, finish, /*accel=*/true);
-      events.push({finish, t, /*is_completion=*/true});
+      push_event(finish, t, /*completion=*/true);
     }
     // Cores take the highest-priority task across both pools.
     while (idle[nd] > 0) {
@@ -235,16 +300,185 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       const double finish = now + d;
       busy[nd] += d;
       record(t, nd, now, finish, /*accel=*/false);
-      events.push({finish, t, /*is_completion=*/true});
+      push_event(finish, t, /*completion=*/true);
     }
   };
 
   long long done = 0;
-  while (!events.empty()) {
+
+  // ---- Fault model procedures -------------------------------------------
+  // Distinct remote consumer nodes of p, ascending — CommPlan's group order,
+  // used to rebuild p's broadcast tree deterministically at recovery time.
+  std::vector<std::int32_t> cons;
+  const auto consumer_nodes_of = [&](std::int32_t p,
+                                     std::vector<std::int32_t>& out) {
+    out.clear();
+    for (std::int32_t s : graph.successors(p)) {
+      const std::int32_t sn = node[s];
+      if (sn != node[p] && std::find(out.begin(), out.end(), sn) == out.end())
+        out.push_back(sn);
+    }
+    std::sort(out.begin(), out.end());
+  };
+
+  const auto do_kill = [&](int nd) {
+    HQR_CHECK(restart.victim < 0,
+              "fault plan: rank " << nd << " killed while another recovery "
+                                  << "window was still open");
+    ++res.faults_injected;
+    res.kill_seconds = now;
+    restart.victim = nd;
+    restart.t_restart = now + opts.fault_restart_seconds;
+    restart.replay.clear();
+    restart.deferred.clear();
+    ++gen[nd];           // every in-flight event on the victim is now a ghost
+    long long lost = 1;  // the completion that triggered the kill dies too
+    for (std::int32_t i = 0; i < ntasks; ++i) {
+      if (node[i] != nd) continue;
+      if (completed[i]) {
+        // Output already reached its remote consumers; the replacement still
+        // re-executes it (redo: duplicates dropped at the receivers).
+        completed[i] = 0;
+        redo[i] = 1;
+        --done;
+        ++lost;
+      }
+      npred[i] = graph.num_predecessors(i);
+      ready_time[i] = restart.t_restart;
+      ++res.tasks_reexecuted;
+    }
+    res.tasks_lost += lost;
+    // Frames the victim had been shipped before dying; survivors keep them
+    // in their SentTileLogs and replay at re-wire.
+    for (std::int32_t p = 0; p < ntasks; ++p) {
+      if (!completed[p] || node[p] == nd) continue;
+      for (std::int32_t s : graph.successors(p)) {
+        if (node[s] == nd) {
+          restart.replay.push_back(p);
+          break;
+        }
+      }
+    }
+    // The replacement process starts with fresh resources and arms no
+    // further chaos actions.
+    idle[nd] = opts.platform.cores_per_node;
+    idle_accel[nd] = naccel;
+    comm_debt[nd] = 0.0;
+    ready[nd] = {};
+    ready_upd[nd] = {};
+    if (opts.trace != nullptr) {
+      free_units[nd].clear();
+      for (int c = cores + naccel; c-- > 0;) free_units[nd].push_back(c);
+    }
+    armed[nd].clear();
+  };
+
+  // The replacement joins at t_restart: survivors replay the victim's
+  // inbound history, deliveries the death window starved get relayed down
+  // the victim's subtrees, and the partition's roots restart.
+  const auto process_restart = [&]() {
+    const int vic = restart.victim;
+    now = restart.t_restart;
+    for (std::int32_t p : restart.replay) {
+      consumer_nodes_of(p, cons);
+      double arr;
+      if (opts.broadcast == BroadcastKind::Binomial) {
+        const int g = static_cast<int>(cons.size()) + 1;
+        const int vv =
+            1 + static_cast<int>(std::lower_bound(cons.begin(), cons.end(),
+                                                  vic) -
+                                 cons.begin());
+        // Each frame re-arrives from the sender the plan used originally:
+        // the victim's parent in p's broadcast tree.
+        const int parent = vv - (vv & -vv);
+        arr = charge_edge(parent == 0 ? node[p]
+                                      : cons[static_cast<std::size_t>(parent -
+                                                                      1)],
+                          vic, restart.t_restart);
+        ++res.messages_replayed;
+        // The replacement relays the replayed frame to its tree children,
+        // which already hold it and drop the duplicate.
+        for_each_binomial_child(vv, g, [&](int c) {
+          charge_edge(vic, cons[static_cast<std::size_t>(c - 1)], arr);
+          ++res.messages_resent;
+        });
+      } else {
+        arr = charge_edge(node[p], vic, restart.t_restart);
+        ++res.messages_replayed;
+      }
+      for (std::int32_t s : graph.successors(p)) {
+        if (node[s] != vic) continue;
+        ready_time[s] = std::max(ready_time[s], arr);
+        if (--npred[s] == 0) push_event(ready_time[s], s, false);
+      }
+    }
+    for (std::int32_t p : restart.deferred) {
+      consumer_nodes_of(p, cons);
+      if (opts.broadcast == BroadcastKind::Binomial) {
+        const int g = static_cast<int>(cons.size()) + 1;
+        const int vv =
+            1 + static_cast<int>(std::lower_bound(cons.begin(), cons.end(),
+                                                  vic) -
+                                 cons.begin());
+        const auto node_at = [&](int v) -> int {
+          return v == 0 ? node[p] : cons[static_cast<std::size_t>(v - 1)];
+        };
+        const int parent = vv - (vv & -vv);
+        std::vector<double> arr_v(static_cast<std::size_t>(g), 0.0);
+        std::vector<char> in_sub(static_cast<std::size_t>(g), 0);
+        in_sub[vv] = 1;
+        arr_v[vv] = charge_edge(node_at(parent), vic, restart.t_restart);
+        ++res.messages_replayed;
+        // Children have higher virtual indices than their parent, so one
+        // ascending scan visits the subtree parents-first.
+        for (int v = vv; v < g; ++v) {
+          if (!in_sub[v]) continue;
+          for_each_binomial_child(v, g, [&](int c) {
+            in_sub[c] = 1;
+            arr_v[c] = charge_edge(node_at(v), node_at(c), arr_v[v]);
+          });
+        }
+        for (std::int32_t s : graph.successors(p)) {
+          const std::int32_t sn = node[s];
+          if (sn == node[p]) continue;
+          const int v =
+              1 + static_cast<int>(std::lower_bound(cons.begin(), cons.end(),
+                                                    sn) -
+                                   cons.begin());
+          if (!in_sub[v]) continue;
+          ready_time[s] = std::max(ready_time[s], arr_v[v]);
+          if (--npred[s] == 0) push_event(ready_time[s], s, false);
+        }
+      } else {
+        const double arr = charge_edge(node[p], vic, restart.t_restart);
+        ++res.messages_replayed;
+        for (std::int32_t s : graph.successors(p)) {
+          if (node[s] != vic) continue;
+          ready_time[s] = std::max(ready_time[s], arr);
+          if (--npred[s] == 0) push_event(ready_time[s], s, false);
+        }
+      }
+    }
+    for (std::int32_t i = 0; i < ntasks; ++i) {
+      if (node[i] != vic || graph.num_predecessors(i) != 0) continue;
+      push_event(ready_time[i], i, false);
+    }
+    restart.victim = -1;
+  };
+
+  while (!events.empty() || (faulty && restart.victim >= 0)) {
+    if (faulty && restart.victim >= 0 &&
+        (events.empty() || restart.t_restart <= events.top().time)) {
+      process_restart();
+      continue;
+    }
     const Event ev = events.top();
     events.pop();
     now = ev.time;
     const int nd = node[ev.task];
+    // Events stamped by a dead incarnation of their node are ghosts: the
+    // kill rolled their effects back.
+    if (faulty && evgen[ev.task] != gen[nd]) continue;
     if (!ev.is_completion) {
       if (accel_ok[ev.task])
         ready_upd[nd].push({depth[ev.task], ev.task});
@@ -254,6 +488,31 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       continue;
     }
 
+    // Chaos triggers fire on the node's k-th local completion, like the
+    // runtime's on_complete hook; a kill discards the completion itself.
+    if (faulty && !armed[nd].empty()) {
+      const long long k = ++completions_on[nd];
+      bool killed = false;
+      for (ArmedAction& aa : armed[nd]) {
+        if (aa.fired || aa.a.at_task != k) continue;
+        aa.fired = true;
+        if (aa.a.kind == fault::FaultKind::KillRank) {
+          do_kill(nd);
+          killed = true;
+          break;
+        }
+        ++res.faults_injected;
+        const double until =
+            now + (aa.a.kind == fault::FaultKind::DelayLink
+                       ? aa.a.delay_seconds
+                       : opts.fault_restart_seconds);
+        link_blocks.push_back({nd, aa.a.peer, until});
+        if (aa.a.kind == fault::FaultKind::DropLink)
+          link_blocks.push_back({aa.a.peer, nd, until});  // severed both ways
+      }
+      if (killed) continue;
+    }
+
     // Task completion: free the resource, release successors.
     ++done;
     if (resource[ev.task])
@@ -261,6 +520,43 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
     else
       ++idle[nd];
     if (opts.trace != nullptr) free_units[nd].push_back(unit_of[ev.task]);
+    if (faulty && redo[ev.task]) {
+      // Re-execution of rolled-back work whose output already reached every
+      // remote consumer before the kill: the replacement re-posts (direct
+      // tree children only — receivers drop the duplicate without
+      // forwarding) and only victim-local successors are gated on it.
+      redo[ev.task] = 0;
+      completed[ev.task] = 1;
+      consumer_nodes_of(ev.task, cons);
+      if (!cons.empty()) {
+        if (opts.broadcast == BroadcastKind::Binomial) {
+          const int g = static_cast<int>(cons.size()) + 1;
+          for_each_binomial_child(0, g, [&](int c) {
+            charge_edge(nd, cons[static_cast<std::size_t>(c - 1)], now);
+            ++res.messages_resent;
+          });
+        } else {
+          for (std::int32_t cn : cons) {
+            charge_edge(nd, cn, now);
+            ++res.messages_resent;
+          }
+        }
+      }
+      for (std::int32_t s : graph.successors(ev.task)) {
+        if (node[s] != nd) continue;
+        ready_time[s] = std::max(ready_time[s], now);
+        if (--npred[s] == 0) push_event(ready_time[s], s, false);
+      }
+      dispatch(nd);
+      continue;
+    }
+    if (faulty) completed[ev.task] = 1;
+    // While a death window is open, deliveries into the victim (and, under
+    // Binomial, through it to its subtree) defer to the restart: the frame
+    // is dropped at the dead peer but logged, and the replacement relays it
+    // after replay.
+    const bool window = faulty && restart.victim >= 0;
+    bool any_deferred = false;
     if (opts.broadcast == BroadcastKind::Binomial) {
       // Pre-schedule the whole broadcast tree: collect the distinct
       // consumer nodes (ascending, CommPlan's group order), then walk
@@ -278,15 +574,46 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       const auto node_at = [&](int v) -> int {
         return v == 0 ? nd : touched[static_cast<std::size_t>(v - 1)];
       };
+      if (window) {
+        int vv = -1;
+        for (int v = 1; v < g; ++v)
+          if (node_at(v) == restart.victim) {
+            vv = v;
+            break;
+          }
+        if (vv > 0) {
+          // The victim heads a subtree of this broadcast: defer its node
+          // set's deliveries to the restart.
+          any_deferred = true;
+          restart.deferred.push_back(ev.task);
+          std::vector<char> in_sub(static_cast<std::size_t>(g), 0);
+          in_sub[vv] = 1;
+          for (int v = vv; v < g; ++v) {
+            if (!in_sub[v]) continue;
+            def_mask[node_at(v)] = 1;
+            for_each_binomial_child(v, g, [&](int c) { in_sub[c] = 1; });
+          }
+        }
+      }
       for (int v = 0; v < g; ++v) {
+        if (any_deferred && def_mask[node_at(v)]) continue;
         const double avail = v == 0 ? now : arrival[node_at(v)];
         for_each_binomial_child(v, g, [&](int c) {
+          if (any_deferred && def_mask[node_at(c)]) return;
           arrival[node_at(c)] = charge_edge(node_at(v), node_at(c), avail);
         });
       }
     }
     for (std::int32_t s : graph.successors(ev.task)) {
       const int sn = node[s];
+      if (window && sn == restart.victim && !def_mask[sn]) {
+        // Eager reaches here with no pre-scheduled tree: defer the
+        // victim's (sole) deferred delivery the same way.
+        any_deferred = true;
+        def_mask[sn] = 1;
+        restart.deferred.push_back(ev.task);
+      }
+      if (any_deferred && def_mask[sn]) continue;  // held until the restart
       double avail = now;
       if (sn != nd) {
         if (arrival[sn] < 0.0) {  // Eager: lazy per-dest dedup
@@ -297,7 +624,11 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       }
       ready_time[s] = std::max(ready_time[s], avail);
       if (--npred[s] == 0)
-        events.push({ready_time[s], s, /*is_completion=*/false});
+        push_event(ready_time[s], s, /*completion=*/false);
+    }
+    if (any_deferred) {
+      for (std::int32_t t : touched) def_mask[t] = 0;
+      def_mask[restart.victim] = 0;
     }
     for (std::int32_t t : touched) arrival[t] = -1.0;
     touched.clear();
@@ -351,6 +682,14 @@ SimResult simulate_qr(const TaskGraph& graph, const Distribution& dist,
       const std::string kname = kernel_name(static_cast<KernelType>(t));
       m.counter("sim.tasks." + kname).add(res.tasks_by_kernel[t]);
       m.gauge("sim.task_seconds." + kname).add(res.seconds_by_kernel[t]);
+    }
+    if (faulty) {
+      m.counter("sim.fault.injected").add(res.faults_injected);
+      m.counter("sim.fault.tasks_lost").add(res.tasks_lost);
+      m.counter("sim.fault.tasks_reexecuted").add(res.tasks_reexecuted);
+      m.counter("sim.fault.messages_replayed").add(res.messages_replayed);
+      m.counter("sim.fault.messages_resent").add(res.messages_resent);
+      m.gauge("sim.fault.kill_seconds").add(res.kill_seconds);
     }
   }
   return res;

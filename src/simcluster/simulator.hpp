@@ -24,6 +24,7 @@
 #include "dag/partition.hpp"
 #include "dag/task_graph.hpp"
 #include "dist/distribution.hpp"
+#include "fault/plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simcluster/platform.hpp"
@@ -61,6 +62,19 @@ struct SimOptions {
   // distributed runtime's DistOptions::broadcast for per-rank
   // cross-validation to hold.
   BroadcastKind broadcast = BroadcastKind::Eager;
+  // Deterministic fault schedule, executed with the same logical triggers
+  // as the distributed runtime (fault/plan.hpp: a node's k-th local task
+  // completion). KillRank rolls the victim's completed-but-unconsumed work
+  // back and models the recovery protocol: restart after
+  // fault_restart_seconds, survivors replay every frame the victim was
+  // sent, the replacement re-executes its whole partition and re-posts
+  // (duplicates charged, dropped at receivers). DropLink/DelayLink block
+  // the link's edges until repair/expiry. Empty = fault-free (bit-identical
+  // to pre-fault builds).
+  fault::FaultPlan fault_plan;
+  // Death window: delay between a kill and the replacement joining
+  // (launcher detection + fork + deterministic rebuild).
+  double fault_restart_seconds = 0.05;
   // When non-null, receives one TraceEvent per executed task (use only for
   // runs small enough to hold the trace).
   SimTrace* trace = nullptr;
@@ -93,6 +107,21 @@ struct SimResult {
   std::vector<long long> node_messages_recv;
   double comm_cpu_charged_seconds = 0.0;  // comm-thread CPU debt incurred
   double comm_cpu_stolen_seconds = 0.0;   // debt actually drained from cores
+
+  // Fault model (SimOptions::fault_plan; all zero on fault-free runs).
+  int faults_injected = 0;
+  double kill_seconds = 0.0;       // simulated instant of the (last) kill
+  long long tasks_lost = 0;        // victim completions the kill discarded
+  // Victim-partition tasks the replacement re-executes — deterministic:
+  // equals CommPlan::tasks_on(victim) and the replacement's measured task
+  // count in the real runtime (the cross-validation invariant).
+  long long tasks_reexecuted = 0;
+  // Frames survivors re-ship from their SentTileLogs (includes deliveries
+  // the death window deferred); bounded by CommPlan::received_by(victim).
+  long long messages_replayed = 0;
+  // Duplicate frames the replacement re-posts while re-executing (dropped
+  // at the receivers); bounded by CommPlan::sent_by(victim).
+  long long messages_resent = 0;
 };
 
 // Simulates the execution of `graph` (built for an mt x nt tile grid) under

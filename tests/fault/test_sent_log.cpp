@@ -1,0 +1,77 @@
+// SentTileLog: per-destination ordering, byte accounting, and the
+// overflow contract (past the cap, nothing records and every replay
+// reports the gap instead of shipping a partial history).
+#include "fault/sent_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hqr::fault {
+namespace {
+
+SentTileLog::Payload payload_of(std::size_t bytes, std::uint8_t fill) {
+  return std::make_shared<const std::vector<std::uint8_t>>(bytes, fill);
+}
+
+TEST(SentTileLog, ReplaysPerDestinationInSendOrder) {
+  SentTileLog log(4, 1 << 20);
+  EXPECT_TRUE(log.append(1, 10, payload_of(8, 0xa)));
+  EXPECT_TRUE(log.append(2, 11, payload_of(8, 0xb)));
+  EXPECT_TRUE(log.append(1, 12, payload_of(8, 0xc)));
+
+  std::vector<int> tasks;
+  EXPECT_TRUE(log.replay(1, [&](int task, const SentTileLog::Payload& p) {
+    tasks.push_back(task);
+    EXPECT_EQ(p->size(), 8u);
+  }));
+  EXPECT_EQ(tasks, (std::vector<int>{10, 12}));
+
+  tasks.clear();
+  EXPECT_TRUE(log.replay(2, [&](int task, const SentTileLog::Payload&) {
+    tasks.push_back(task);
+  }));
+  EXPECT_EQ(tasks, (std::vector<int>{11}));
+
+  // A destination never sent to replays cleanly as empty.
+  EXPECT_TRUE(log.replay(3, [&](int, const SentTileLog::Payload&) {
+    FAIL() << "dest 3 has no frames";
+  }));
+
+  EXPECT_EQ(log.frames(), 3);
+  EXPECT_EQ(log.bytes(), 24);
+  EXPECT_FALSE(log.overflowed());
+}
+
+TEST(SentTileLog, OverflowStopsRecordingForGood) {
+  SentTileLog log(2, 100);
+  EXPECT_TRUE(log.append(1, 1, payload_of(60, 0)));
+  // This append trips the cap: it must record nothing.
+  EXPECT_FALSE(log.append(1, 2, payload_of(60, 0)));
+  EXPECT_TRUE(log.overflowed());
+  // Even a frame that would fit is refused after the trip — the history
+  // already has a hole, so the log stays poisoned.
+  EXPECT_FALSE(log.append(1, 3, payload_of(1, 0)));
+  EXPECT_EQ(log.frames(), 1);
+
+  // Every replay reports the gap, even for destinations whose slice is
+  // intact: the caller must escalate, not replay partial history.
+  int calls = 0;
+  EXPECT_FALSE(log.replay(1, [&](int, const SentTileLog::Payload&) {
+    ++calls;
+  }));
+  EXPECT_FALSE(log.replay(0, [&](int, const SentTileLog::Payload&) {
+    ++calls;
+  }));
+}
+
+TEST(SentTileLog, SharesPayloadOwnershipInsteadOfCopying) {
+  SentTileLog log(2, 1 << 20);
+  auto p = payload_of(16, 0x5);
+  log.append(1, 7, p);
+  // The log aliases the shipped buffer: one owner here, one in the log.
+  EXPECT_EQ(p.use_count(), 2);
+}
+
+}  // namespace
+}  // namespace hqr::fault

@@ -1,0 +1,118 @@
+// Simulator fault model: an empty plan is bit-identical to the fault-free
+// simulator, a kill's recovery cost equals the deterministic CommPlan
+// quantities (the cross-validation invariant the measured runtime pins
+// from the other side in test_recovery.cpp), and injections are
+// reproducible event for event.
+#include <gtest/gtest.h>
+
+#include "dag/partition.hpp"
+#include "fault/plan.hpp"
+#include "simcluster/simulator.hpp"
+#include "trees/single_level.hpp"
+
+namespace hqr {
+namespace {
+
+constexpr int kMt = 12, kNt = 6, kB = 64;
+
+TaskGraph test_graph() {
+  return TaskGraph(expand_to_kernels(greedy_global_list(kMt, kNt).list, kMt,
+                                     kNt),
+                   kMt, kNt);
+}
+
+SimOptions base_opts(BroadcastKind bcast) {
+  SimOptions o;
+  o.platform = Platform::edel();
+  o.platform.nodes = 4;
+  o.b = kB;
+  o.broadcast = bcast;
+  return o;
+}
+
+SimResult run(const SimOptions& o) {
+  TaskGraph g = test_graph();
+  return simulate_qr(g, Distribution::cyclic_1d(4), kMt * kB, kNt * kB, o);
+}
+
+TEST(SimFault, EmptyPlanIsBitIdenticalToFaultFree) {
+  const SimResult base = run(base_opts(BroadcastKind::Binomial));
+  SimOptions o = base_opts(BroadcastKind::Binomial);
+  o.fault_plan = fault::FaultPlan{};  // explicit empty
+  const SimResult r = run(o);
+  EXPECT_EQ(r.seconds, base.seconds);
+  EXPECT_EQ(r.messages, base.messages);
+  EXPECT_EQ(r.faults_injected, 0);
+  EXPECT_EQ(r.tasks_lost, 0);
+  EXPECT_EQ(r.tasks_reexecuted, 0);
+}
+
+class SimFaultBcast : public ::testing::TestWithParam<BroadcastKind> {};
+
+TEST_P(SimFaultBcast, KillRecoveryCostMatchesCommPlan) {
+  const BroadcastKind bcast = GetParam();
+  const SimResult base = run(base_opts(bcast));
+
+  SimOptions o = base_opts(bcast);
+  o.fault_plan = fault::FaultPlan::parse("kill:2@3");
+  const SimResult r = run(o);
+
+  EXPECT_EQ(r.faults_injected, 1);
+  EXPECT_GT(r.kill_seconds, 0.0);
+  EXPECT_GE(r.seconds, base.seconds);
+  // Completed-but-lost work is a subset of what the replacement redoes.
+  EXPECT_GE(r.tasks_lost, 1);
+  EXPECT_LE(r.tasks_lost, r.tasks_reexecuted);
+
+  // The cross-validation invariants (DESIGN.md §14): the replacement
+  // re-executes the victim's whole partition, and survivors replay at
+  // most what the victim was ever planned to receive.
+  TaskGraph g = test_graph();
+  const CommPlan plan(g, Distribution::cyclic_1d(4), bcast);
+  EXPECT_EQ(r.tasks_reexecuted, plan.tasks_on(2));
+  EXPECT_LE(r.messages_replayed, plan.received_by(2));
+  EXPECT_GE(r.messages_replayed, 1);
+}
+
+TEST_P(SimFaultBcast, InjectionIsReproducible) {
+  SimOptions o = base_opts(GetParam());
+  o.fault_plan = fault::FaultPlan::parse("kill:1@5");
+  const SimResult a = run(o);
+  const SimResult b = run(o);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.kill_seconds, b.kill_seconds);
+  EXPECT_EQ(a.tasks_lost, b.tasks_lost);
+  EXPECT_EQ(a.messages_replayed, b.messages_replayed);
+  EXPECT_EQ(a.messages_resent, b.messages_resent);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBroadcasts, SimFaultBcast,
+                         ::testing::Values(BroadcastKind::Eager,
+                                           BroadcastKind::Binomial));
+
+TEST(SimFault, DropLinkDelaysButLosesNothing) {
+  const SimResult base = run(base_opts(BroadcastKind::Binomial));
+  SimOptions o = base_opts(BroadcastKind::Binomial);
+  o.fault_plan = fault::FaultPlan::parse("drop:1-2@2");
+  const SimResult r = run(o);
+  EXPECT_EQ(r.faults_injected, 1);
+  EXPECT_EQ(r.tasks_lost, 0);
+  EXPECT_EQ(r.tasks_reexecuted, 0);
+  EXPECT_GE(r.seconds, base.seconds);
+  // Same work, same traffic — only the schedule shifts.
+  EXPECT_EQ(r.messages, base.messages);
+}
+
+TEST(SimFault, DelayLinkInflatesMakespanDeterministically) {
+  SimOptions o = base_opts(BroadcastKind::Binomial);
+  o.fault_plan = fault::FaultPlan::parse("delay:1-2@2+0.5");
+  const SimResult a = run(o);
+  const SimResult b = run(o);
+  EXPECT_EQ(a.faults_injected, 1);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.tasks_lost, 0);
+}
+
+}  // namespace
+}  // namespace hqr

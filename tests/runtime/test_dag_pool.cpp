@@ -329,5 +329,56 @@ TEST(DagPool, StatsCountTasksAndDags) {
   EXPECT_EQ(pool.active_dags(), 0);
 }
 
+TEST(DagPool, AdmissionLimitThrowsTypedOverload) {
+  // Deterministic via external-root gating: DAGs held open on their
+  // ungated root keep the pool at its bound without timing assumptions.
+  DagPoolOptions opts;
+  opts.threads = 1;
+  opts.max_active_dags = 2;
+  DagPool pool(opts);
+
+  Rng rng(29);
+  DagSubmitOptions gated;
+  gated.external_tasks = {0};
+  const auto open_dag = [&](const DagSubmitOptions& sopts) {
+    Matrix a = random_gaussian(16, 8, rng);
+    Job j = make_job(a, 8, flat_ts_list(2, 1));
+    DagId id = pool.submit(j.graph, 8, exec_fn(j.f), sopts);
+    return std::make_pair(j, id);
+  };
+  const auto release = [&](const std::pair<Job, DagId>& d) {
+    TileWorkspace ws(8);
+    execute_kernel(d.first.f->kernels()[0], *d.first.f, ws);
+    pool.port(d.second)->remote_complete(0);
+    EXPECT_TRUE(pool.wait(d.second));
+  };
+
+  auto a = open_dag(gated);
+  auto b = open_dag(gated);
+  EXPECT_EQ(pool.active_dags(), 2);
+
+  // At the bound: a plain submit is refused with the typed overload (a
+  // subclass of Error, so teardown-hardened callers still catch it).
+  EXPECT_THROW(open_dag(gated), PoolOverloaded);
+  EXPECT_THROW(open_dag(gated), Error);
+
+  // Internal continuation DAGs bypass the limit and still run.
+  DagSubmitOptions bypass = gated;
+  bypass.bypass_admission_limit = true;
+  auto c = open_dag(bypass);
+  EXPECT_EQ(pool.active_dags(), 3);
+
+  // Draining below the bound frees a slot for the next submit (the
+  // bypassed DAG counts toward active while it lives, so both must go).
+  release(a);
+  release(c);
+  auto d = open_dag(gated);
+
+  release(b);
+  release(d);
+  pool.wait_all();
+  EXPECT_EQ(pool.active_dags(), 0);
+}
+
 }  // namespace
 }  // namespace hqr

@@ -344,5 +344,90 @@ TEST(Serve, ShutdownDrainsInFlightWork) {
   server.reset();
 }
 
+TEST(Serve, PerTenantLimitRejectsTypedOverloaded) {
+  ServerOptions sopts;
+  sopts.threads = 1;
+  sopts.limits.max_inflight_per_tenant = 1;
+  Server server(sopts);
+
+  ClientOptions copts = client_opts(server);
+  copts.tenant = 7;
+  Client client(copts);
+
+  Rng rng(71);
+  // One slow request holds tenant 7's single slot: a single worker and
+  // >100ms of kernel work keep it in flight while the follow-ups (decoded
+  // on the same session thread, microseconds later) hit the limit.
+  Matrix big = random_gaussian(512, 512, rng);
+  std::int32_t slow = client.submit_qr_async(big, 16);
+
+  Matrix small = random_gaussian(24, 24, rng);
+  std::int32_t refused = client.submit_qr_async(small, 8);
+  try {
+    (void)client.wait_result(refused);
+    FAIL() << "second in-flight submit for the tenant must be refused";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Overloaded);
+  }
+
+  // Another tenant is unaffected by tenant 7's limit.
+  ClientOptions other = client_opts(server);
+  other.tenant = 8;
+  Client client2(other);
+  QROutcome ores = client2.submit_qr(small, 8);
+  EXPECT_EQ(max_abs_diff(sequential_r(small, 8, TreeChoice::FlatTs).view(),
+                         ores.r.view()),
+            0.0);
+
+  // The refusal is backpressure, not failure: once the slot frees, the
+  // same tenant's next submit succeeds.
+  QROutcome sres = client.wait_result(slow);
+  EXPECT_EQ(max_abs_diff(sequential_r(big, 16, TreeChoice::FlatTs).view(),
+                         sres.r.view()),
+            0.0);
+  QROutcome retry = client.submit_qr(small, 8);
+  EXPECT_EQ(max_abs_diff(sequential_r(small, 8, TreeChoice::FlatTs).view(),
+                         retry.r.view()),
+            0.0);
+
+  ServerStatus st = server.status();
+  EXPECT_GE(st.requests_overloaded, 1);
+  EXPECT_GE(st.requests_rejected, 1);
+  server.stop();
+}
+
+TEST(Serve, PoolLimitRejectsAndQChainBypasses) {
+  ServerOptions sopts;
+  sopts.threads = 1;
+  sopts.limits.max_active_dags = 1;
+  Server server(sopts);
+  Client client(client_opts(server));
+
+  Rng rng(73);
+  Matrix big = random_gaussian(512, 512, rng);
+  std::int32_t slow = client.submit_qr_async(big, 16);
+
+  Matrix small = random_gaussian(24, 24, rng);
+  std::int32_t refused = client.submit_qr_async(small, 8);
+  try {
+    (void)client.wait_result(refused);
+    FAIL() << "submit past max_active_dags must be refused";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Overloaded);
+  }
+  (void)client.wait_result(slow);
+
+  // want_q chains a second DAG onto the factor DAG; the chain bypasses
+  // the admission bound, so it completes even at max_active_dags = 1.
+  Matrix a = random_gaussian(48, 32, rng);
+  QROutcome res = client.submit_qr(a, 8, 0, TreeChoice::Greedy, 0,
+                                   /*want_q=*/true);
+  ASSERT_TRUE(res.has_q);
+  EXPECT_LT(orthogonality_error(res.q.view()), 1e-12);
+  EXPECT_LT(factorization_residual(a.view(), res.q.view(), res.r.view()),
+            1e-12);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace hqr::serve

@@ -19,10 +19,14 @@ rates from different machines gate on hardware, not regressions. Pass
 box that produced the checked-in baseline, gating on ratio measures).
 
 Supported schemas: hqr-bench-kernels-v1/v2 (results/speedups/end_to_end),
-hqr-bench-dist-v1/v2, hqr-bench-runtime-v1 and hqr-bench-serve-v1 (latency
-percentiles p50/p95/p99 gate lower-better with the same tolerance) are
-handled by the same generic record walker — any JSON whose "results" entries mix identity
-fields (strings/ints) with float measures works.
+hqr-bench-dist-v1/v2, hqr-bench-runtime-v1, hqr-bench-serve-v1 (latency
+percentiles p50/p95/p99 gate lower-better with the same tolerance) and
+hqr-bench-fault-v1 (base/fault makespans and recovery_inflation gate
+lower-better; the deterministic recovery counters are provenance, not
+identity, so a model change shows up as a measure diff instead of
+silently unmatching the record) are handled by the same generic record
+walker — any JSON whose "results" entries mix identity fields
+(strings/ints) with float measures works.
 """
 
 import argparse
@@ -35,14 +39,21 @@ HIGHER_BETTER = {"gflops", "speedup", "packed_gflops", "naive_gflops",
                  "tasks_per_second", "throughput_rps", "problems_per_second",
                  "fused_speedup"}
 LOWER_BETTER = {"seconds", "packed_seconds", "naive_seconds",
-                "makespan_seconds", "p50_ms", "p95_ms", "p99_ms"}
+                "makespan_seconds", "p50_ms", "p95_ms", "p99_ms",
+                "base_seconds", "fault_seconds", "recovery_inflation"}
 MEASURES = HIGHER_BETTER | LOWER_BETTER
 
 # Provenance annotations, not identity: the v2 kernel bench records which
 # micro-kernel produced each number. Two runs still measure the same thing
 # when the dispatched kernel differs (that difference is the measurement),
 # and v1 baselines lack the fields entirely.
-PROVENANCE = {"isa", "shape"}
+PROVENANCE = {"isa", "shape",
+              # hqr-bench-fault-v1 recovery counters: deterministic for a
+              # given (plan, graph, dist), but a legitimate model change
+              # must not unmatch the whole record.
+              "kill_seconds", "tasks_lost", "tasks_reexecuted",
+              "messages_replayed", "messages_resent", "base_messages",
+              "fault_messages"}
 
 
 def identity(record):
